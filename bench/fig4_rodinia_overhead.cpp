@@ -1,0 +1,21 @@
+//===- bench/fig4_rodinia_overhead.cpp - Paper Figure 4 --------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 4: StructSlim's runtime overhead when monitoring
+// the Rodinia suite (synthetic stand-in kernels; see DESIGN.md). The
+// paper's average is ~8.2%.
+//
+//===----------------------------------------------------------------------===//
+
+#include "OverheadSuite.h"
+
+int main(int argc, char **argv) {
+  return structslim::benchutil::runOverheadSuite(
+      structslim::workloads::rodiniaSuite(),
+      "Figure 4: StructSlim overhead on the Rodinia suite "
+      "(synthetic stand-ins)",
+      8.2, argc, argv);
+}

@@ -1,0 +1,21 @@
+//===- bench/fig5_spec_overhead.cpp - Paper Figure 5 -----------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 5: StructSlim's runtime overhead when monitoring
+// SPEC CPU2006 (synthetic stand-in kernels; see DESIGN.md). The
+// paper's average is ~4.2%.
+//
+//===----------------------------------------------------------------------===//
+
+#include "OverheadSuite.h"
+
+int main(int argc, char **argv) {
+  return structslim::benchutil::runOverheadSuite(
+      structslim::workloads::specCpu2006Suite(),
+      "Figure 5: StructSlim overhead on the SPEC CPU2006 suite "
+      "(synthetic stand-ins)",
+      4.2, argc, argv);
+}

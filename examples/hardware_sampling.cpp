@@ -1,0 +1,122 @@
+//===- examples/hardware_sampling.cpp - Real PEBS, if present --*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+//
+// Demonstrates the real-hardware path: on an Intel Linux machine with
+// perf_event access, samples this process's own loads via the precise
+// mem-loads event (the same PEBS-LL configuration the paper uses) while
+// scanning a genuine array of structures, and runs the GCD stride
+// analysis on the resulting (ip, address, latency) samples. Where
+// hardware sampling is unavailable (containers, non-Intel hosts) it
+// reports the reason and exits cleanly — the simulator-based examples
+// cover the analysis in that case.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pmu/PerfEventBackend.h"
+#include "support/Format.h"
+#include "support/MathUtil.h"
+
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace structslim;
+
+namespace {
+
+struct Record {
+  uint64_t A, B, C, D; // 32-byte element.
+};
+
+/// Minimal online GCD-stride analysis over raw hardware samples: per
+/// sampled IP, the stride GCD of its unique addresses (paper Eq. 2-3).
+class StrideSink : public pmu::SampleSink {
+public:
+  explicit StrideSink(uintptr_t Lo, uintptr_t Hi) : Lo(Lo), Hi(Hi) {}
+
+  void onSample(const pmu::AddressSample &S) override {
+    if (S.EffAddr < Lo || S.EffAddr >= Hi)
+      return; // Only the monitored array.
+    auto &St = Streams[S.Ip];
+    ++St.Samples;
+    St.Latency += S.Latency;
+    if (St.Seen.insert(S.EffAddr).second) {
+      if (St.Last)
+        St.Gcd = gcd64(St.Gcd, S.EffAddr > St.Last ? S.EffAddr - St.Last
+                                                   : St.Last - S.EffAddr);
+      St.Last = S.EffAddr;
+    }
+  }
+
+  struct Stream {
+    uint64_t Samples = 0;
+    uint64_t Latency = 0;
+    uint64_t Gcd = 0;
+    uint64_t Last = 0;
+    std::set<uint64_t> Seen;
+  };
+  std::map<uint64_t, Stream> Streams;
+
+private:
+  uintptr_t Lo, Hi;
+};
+
+} // namespace
+
+int main() {
+  std::string Reason;
+  if (!pmu::PerfEventSampler::isSupported(&Reason)) {
+    std::cout << "hardware address sampling unavailable on this host: "
+              << Reason << "\n"
+              << "(the simulator-based examples demonstrate the full "
+                 "pipeline; run examples/quickstart)\n";
+    return 0;
+  }
+
+  constexpr size_t N = 1 << 21; // 64 MB of 32-byte records.
+  std::vector<Record> Data(N);
+  for (size_t I = 0; I != N; ++I)
+    Data[I] = {I, 2 * I, 3 * I, 4 * I};
+
+  pmu::PerfEventSampler::Config Cfg;
+  Cfg.Period = 2000;
+  pmu::PerfEventSampler Sampler(Cfg);
+  StrideSink Sink(reinterpret_cast<uintptr_t>(Data.data()),
+                  reinterpret_cast<uintptr_t>(Data.data() + N));
+  std::string Error;
+  if (!Sampler.start(Sink, &Error)) {
+    std::cerr << "failed to start sampling: " << Error << "\n";
+    return 1;
+  }
+
+  // The paper's Fig. 1 shape: one loop reads fields A and C only.
+  volatile uint64_t Acc = 0;
+  for (int Round = 0; Round != 24; ++Round) {
+    for (size_t I = 0; I != N; ++I)
+      Acc = Acc + Data[I].A + Data[I].C;
+    Sampler.poll();
+  }
+  Sampler.stop();
+
+  std::cout << "hardware samples on the monitored array: "
+            << Sampler.getSamplesDelivered() << " (lost "
+            << Sampler.getRecordsLost() << ")\n\n";
+  std::cout << "per-instruction streams (paper Eq. 2-3 on real PEBS "
+               "data):\n";
+  for (const auto &[Ip, St] : Sink.Streams) {
+    if (St.Samples < 8)
+      continue;
+    std::cout << "  ip " << formatHex(Ip) << ": samples=" << St.Samples
+              << " unique=" << St.Seen.size() << " strideGCD=" << St.Gcd
+              << " avg latency="
+              << (St.Samples ? St.Latency / St.Samples : 0) << "\n";
+  }
+  std::cout << "\nexpect stride GCDs of 32 (the record size): the two "
+               "hot loads cross one full record per iteration.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+//===- analysis/CodeMap.cpp -----------------------------------*- C++ -*-===//
+
+#include "analysis/CodeMap.h"
+
+#include "ir/Program.h"
+
+#include <cassert>
+
+using namespace structslim;
+using namespace structslim::analysis;
+
+CodeMap::CodeMap(const ir::Program &P) {
+  Base = ir::Program::TextBase;
+  Sites.assign(P.getIpEnd() - Base, CodeSite{});
+
+  for (const auto &F : P.functions()) {
+    FunctionNames.push_back(F->Name);
+    LoopNest Nest(*F);
+    uint32_t FirstGlobal = static_cast<uint32_t>(Loops.size());
+    for (const Loop &L : Nest.loops()) {
+      LoopRecord R;
+      R.GlobalId = FirstGlobal + L.Id;
+      R.FuncId = F->Id;
+      R.FuncName = F->Name;
+      R.Header = L.Header;
+      R.Parent = L.Parent < 0
+                     ? -1
+                     : static_cast<int32_t>(FirstGlobal + L.Parent);
+      R.Depth = L.Depth;
+      R.Irreducible = L.Irreducible;
+      R.LineBegin = L.LineBegin;
+      R.LineEnd = L.LineEnd;
+      Loops.push_back(std::move(R));
+    }
+
+    for (const auto &BB : F->Blocks) {
+      int Local = Nest.innermostLoopFor(BB->Id);
+      int32_t Global =
+          Local < 0 ? -1 : static_cast<int32_t>(FirstGlobal + Local);
+      for (const ir::Instr &I : BB->Instrs) {
+        assert(I.Ip >= Base && I.Ip - Base < Sites.size() &&
+               "instruction IP outside the program text range");
+        CodeSite &Site = Sites[I.Ip - Base];
+        Site.FuncId = F->Id;
+        Site.LoopId = Global;
+        Site.Line = I.Line;
+        Site.Valid = true;
+      }
+    }
+  }
+}

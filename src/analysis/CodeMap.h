@@ -1,0 +1,92 @@
+//===- analysis/CodeMap.h - Program-wide IP attribution --------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The load-module map the online profiler consults: for every
+/// instruction pointer, the enclosing function, the innermost loop
+/// (from the Havlak analysis, i.e. the hpcstruct role) and the source
+/// line (the DWARF role). Lookup is O(1) because the simulated text
+/// section assigns dense IPs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_ANALYSIS_CODEMAP_H
+#define STRUCTSLIM_ANALYSIS_CODEMAP_H
+
+#include "analysis/LoopNest.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace structslim {
+namespace ir {
+class Program;
+} // namespace ir
+
+namespace analysis {
+
+/// Code-centric attribution record for one IP.
+struct CodeSite {
+  uint32_t FuncId = 0;
+  int32_t LoopId = -1; ///< Global loop id, -1 when outside all loops.
+  uint32_t Line = 0;
+  bool Valid = false;
+};
+
+/// A loop with program-global identity.
+struct LoopRecord {
+  uint32_t GlobalId = 0;
+  uint32_t FuncId = 0;
+  std::string FuncName;
+  uint32_t Header = 0;
+  int32_t Parent = -1; ///< Global id of the enclosing loop, -1 if none.
+  unsigned Depth = 1;
+  bool Irreducible = false;
+  uint32_t LineBegin = 0;
+  uint32_t LineEnd = 0;
+
+  /// The paper's "615-616" style label.
+  std::string name() const {
+    return std::to_string(LineBegin) + "-" + std::to_string(LineEnd);
+  }
+};
+
+/// Program-wide IP -> (function, loop, line) map.
+class CodeMap {
+public:
+  explicit CodeMap(const ir::Program &P);
+
+  /// Attribution for \p Ip; returns an invalid site for foreign IPs.
+  const CodeSite &lookup(uint64_t Ip) const {
+    static const CodeSite Invalid{};
+    uint64_t Index = Ip - Base;
+    if (Ip < Base || Index >= Sites.size())
+      return Invalid;
+    return Sites[Index];
+  }
+
+  const std::vector<LoopRecord> &loops() const { return Loops; }
+  const LoopRecord &getLoop(uint32_t GlobalId) const {
+    return Loops[GlobalId];
+  }
+
+  /// Function name for a CodeSite's FuncId (symbol-table role).
+  const std::string &getFunctionName(uint32_t FuncId) const {
+    return FunctionNames[FuncId];
+  }
+
+private:
+  uint64_t Base = 0;
+  std::vector<CodeSite> Sites;
+  std::vector<LoopRecord> Loops;
+  std::vector<std::string> FunctionNames;
+};
+
+} // namespace analysis
+} // namespace structslim
+
+#endif // STRUCTSLIM_ANALYSIS_CODEMAP_H

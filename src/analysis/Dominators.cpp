@@ -1,0 +1,105 @@
+//===- analysis/Dominators.cpp --------------------------------*- C++ -*-===//
+//
+// Cooper, Harvey, Kennedy: "A Simple, Fast Dominance Algorithm".
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include "ir/Program.h"
+
+#include <cassert>
+
+using namespace structslim;
+using namespace structslim::analysis;
+
+/// Builds predecessor lists and a post-order numbering with an
+/// iterative DFS (functions can have many blocks; no recursion).
+DominatorTree::DominatorTree(const ir::Function &F) {
+  size_t N = F.Blocks.size();
+  Idom.assign(N, -1);
+  RpoIndex.assign(N, -1);
+
+  std::vector<std::vector<uint32_t>> Preds(N);
+  for (const auto &BB : F.Blocks)
+    for (uint32_t S : BB->Succs)
+      Preds[S].push_back(BB->Id);
+
+  // Iterative post-order DFS from the entry block.
+  std::vector<uint32_t> PostOrder;
+  std::vector<uint8_t> State(N, 0); // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::pair<uint32_t, size_t>> Stack;
+  Stack.push_back({0, 0});
+  State[0] = 1;
+  while (!Stack.empty()) {
+    auto &[Block, NextSucc] = Stack.back();
+    const auto &Succs = F.Blocks[Block]->Succs;
+    if (NextSucc < Succs.size()) {
+      uint32_t S = Succs[NextSucc++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.push_back({S, 0});
+      }
+      continue;
+    }
+    State[Block] = 2;
+    PostOrder.push_back(Block);
+    Stack.pop_back();
+  }
+
+  Rpo.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (size_t I = 0; I != Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = static_cast<int>(I);
+
+  // Iterate to a fixed point; intersect() walks the current idom links
+  // using post-order numbers as in the CHK paper.
+  std::vector<int> PostNum(N, -1);
+  for (size_t I = 0; I != PostOrder.size(); ++I)
+    PostNum[PostOrder[I]] = static_cast<int>(I);
+
+  auto Intersect = [&](int B1, int B2) {
+    while (B1 != B2) {
+      while (PostNum[B1] < PostNum[B2])
+        B1 = Idom[B1];
+      while (PostNum[B2] < PostNum[B1])
+        B2 = Idom[B2];
+    }
+    return B1;
+  };
+
+  Idom[0] = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t Block : Rpo) {
+      if (Block == 0)
+        continue;
+      int NewIdom = -1;
+      for (uint32_t P : Preds[Block]) {
+        if (Idom[P] < 0)
+          continue; // Skip unprocessed/unreachable predecessors.
+        NewIdom = NewIdom < 0 ? static_cast<int>(P)
+                              : Intersect(NewIdom, static_cast<int>(P));
+      }
+      if (NewIdom >= 0 && Idom[Block] != NewIdom) {
+        Idom[Block] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool DominatorTree::dominates(uint32_t A, uint32_t B) const {
+  if (!isReachable(A) || !isReachable(B))
+    return false;
+  // Walk B's idom chain; depth is bounded by the tree height.
+  uint32_t Cur = B;
+  for (;;) {
+    if (Cur == A)
+      return true;
+    uint32_t Next = static_cast<uint32_t>(Idom[Cur]);
+    if (Next == Cur)
+      return false; // Reached the entry.
+    Cur = Next;
+  }
+}

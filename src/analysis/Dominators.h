@@ -1,0 +1,57 @@
+//===- analysis/Dominators.h - Dominator tree ------------------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator-tree construction using the Cooper-Harvey-Kennedy
+/// iterative algorithm. The loop-nesting tests use dominators to
+/// compute natural loops as an independent oracle for the Havlak
+/// analysis, mirroring how a binary-analysis toolchain would
+/// cross-check its interval analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_ANALYSIS_DOMINATORS_H
+#define STRUCTSLIM_ANALYSIS_DOMINATORS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace structslim {
+namespace ir {
+struct Function;
+} // namespace ir
+
+namespace analysis {
+
+/// Immediate-dominator tree over the reachable blocks of a function.
+class DominatorTree {
+public:
+  explicit DominatorTree(const ir::Function &F);
+
+  /// Immediate dominator of \p Block; the entry block returns itself;
+  /// unreachable blocks return -1.
+  int getIdom(uint32_t Block) const { return Idom[Block]; }
+
+  /// True when \p A dominates \p B (reflexive). Unreachable blocks are
+  /// dominated by nothing and dominate nothing.
+  bool dominates(uint32_t A, uint32_t B) const;
+
+  /// True when the block was reachable from the entry.
+  bool isReachable(uint32_t Block) const { return Idom[Block] >= 0; }
+
+  /// Blocks in reverse post order (reachable only).
+  const std::vector<uint32_t> &getRpo() const { return Rpo; }
+
+private:
+  std::vector<int> Idom;
+  std::vector<int> RpoIndex;
+  std::vector<uint32_t> Rpo;
+};
+
+} // namespace analysis
+} // namespace structslim
+
+#endif // STRUCTSLIM_ANALYSIS_DOMINATORS_H

@@ -1,0 +1,231 @@
+//===- analysis/LoopNest.cpp ----------------------------------*- C++ -*-===//
+//
+// Implementation of Havlak's loop-nesting algorithm with the union-find
+// acceleration, following the exposition in Havlak (TOPLAS 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopNest.h"
+
+#include "ir/Program.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+using namespace structslim;
+using namespace structslim::analysis;
+
+namespace {
+
+/// Union-find over DFS preorder indices with path compression.
+class UnionFind {
+public:
+  explicit UnionFind(size_t N) : Parent(N) {
+    for (size_t I = 0; I != N; ++I)
+      Parent[I] = static_cast<uint32_t>(I);
+  }
+
+  uint32_t find(uint32_t X) {
+    uint32_t Root = X;
+    while (Parent[Root] != Root)
+      Root = Parent[Root];
+    while (Parent[X] != Root) {
+      uint32_t Next = Parent[X];
+      Parent[X] = Root;
+      X = Next;
+    }
+    return Root;
+  }
+
+  /// Collapses \p X into \p Target.
+  void unite(uint32_t X, uint32_t Target) { Parent[find(X)] = find(Target); }
+
+private:
+  std::vector<uint32_t> Parent;
+};
+
+} // namespace
+
+LoopNest::LoopNest(const ir::Function &F) {
+  size_t NumBlocks = F.Blocks.size();
+  BlockLoop.assign(NumBlocks, -1);
+  if (NumBlocks == 0)
+    return;
+
+  constexpr uint32_t Unvisited = std::numeric_limits<uint32_t>::max();
+
+  // --- Step 1: DFS preorder numbering with subtree completion marks. ---
+  std::vector<uint32_t> Number(NumBlocks, Unvisited); // block -> preorder
+  std::vector<uint32_t> Last;    // preorder -> max preorder in subtree
+  std::vector<uint32_t> ToBlock; // preorder -> block id
+
+  {
+    std::vector<std::pair<uint32_t, size_t>> Stack;
+    Stack.push_back({0, 0});
+    Number[0] = 0;
+    ToBlock.push_back(0);
+    Last.push_back(0);
+    while (!Stack.empty()) {
+      auto &[Block, NextSucc] = Stack.back();
+      const auto &Succs = F.Blocks[Block]->Succs;
+      if (NextSucc < Succs.size()) {
+        uint32_t S = Succs[NextSucc++];
+        if (Number[S] == Unvisited) {
+          Number[S] = static_cast<uint32_t>(ToBlock.size());
+          ToBlock.push_back(S);
+          Last.push_back(Number[S]);
+          Stack.push_back({S, 0});
+        }
+        continue;
+      }
+      uint32_t Current = Number[Block];
+      Stack.pop_back();
+      if (!Stack.empty()) {
+        uint32_t Up = Number[Stack.back().first];
+        Last[Up] = std::max(Last[Up], Last[Current]);
+      }
+    }
+  }
+
+  size_t N = ToBlock.size(); // Reachable blocks only.
+  auto IsAncestor = [&](uint32_t W, uint32_t V) {
+    return W <= V && V <= Last[W];
+  };
+
+  // --- Step 2: classify predecessor edges (in preorder space). ---
+  std::vector<std::vector<uint32_t>> BackPreds(N), NonBackPreds(N);
+  for (const auto &BB : F.Blocks) {
+    if (Number[BB->Id] == Unvisited)
+      continue;
+    uint32_t V = Number[BB->Id];
+    for (uint32_t S : BB->Succs) {
+      if (Number[S] == Unvisited)
+        continue;
+      uint32_t W = Number[S];
+      if (IsAncestor(W, V))
+        BackPreds[W].push_back(V);
+      else
+        NonBackPreds[W].push_back(V);
+    }
+  }
+
+  // --- Step 3: process headers bottom-up, collapsing loop bodies. ---
+  UnionFind Uf(N);
+  // Loop id owned by a collapsed preorder node (the node is the header
+  // of that loop), -1 otherwise.
+  std::vector<int> HeaderLoop(N, -1);
+  std::vector<std::vector<uint32_t>> LoopChildren; // loop -> child loops
+  std::vector<std::vector<uint32_t>> LoopOwnBlocks; // direct blocks
+
+  for (size_t WIdx = N; WIdx-- > 0;) {
+    uint32_t W = static_cast<uint32_t>(WIdx);
+    std::vector<uint32_t> NodePool;
+    std::vector<uint8_t> InPool(N, 0);
+    bool SelfLoop = false;
+    for (uint32_t V : BackPreds[W]) {
+      if (V == W) {
+        SelfLoop = true;
+        continue;
+      }
+      uint32_t R = Uf.find(V);
+      if (!InPool[R]) {
+        InPool[R] = 1;
+        NodePool.push_back(R);
+      }
+    }
+
+    bool Irreducible = false;
+    std::vector<uint32_t> WorkList = NodePool;
+    while (!WorkList.empty()) {
+      uint32_t X = WorkList.back();
+      WorkList.pop_back();
+      for (uint32_t Y : NonBackPreds[X]) {
+        uint32_t YDash = Uf.find(Y);
+        if (!IsAncestor(W, YDash)) {
+          // An entry into the loop body that bypasses the header: the
+          // region is irreducible. Defer the edge to an outer header.
+          Irreducible = true;
+          NonBackPreds[W].push_back(YDash);
+          continue;
+        }
+        if (YDash != W && !InPool[YDash]) {
+          InPool[YDash] = 1;
+          NodePool.push_back(YDash);
+          WorkList.push_back(YDash);
+        }
+      }
+    }
+
+    if (NodePool.empty() && !SelfLoop)
+      continue;
+
+    Loop L;
+    L.Id = static_cast<uint32_t>(Loops.size());
+    L.Header = ToBlock[W];
+    L.Irreducible = Irreducible;
+    Loops.push_back(L);
+    LoopChildren.emplace_back();
+    LoopOwnBlocks.emplace_back();
+    uint32_t LoopId = L.Id;
+    LoopOwnBlocks[LoopId].push_back(ToBlock[W]);
+    if (HeaderLoop[W] >= 0) {
+      // W already headed an inner loop (e.g. a self loop plus an outer
+      // body sharing the header); nest it.
+      Loops[HeaderLoop[W]].Parent = static_cast<int>(LoopId);
+      LoopChildren[LoopId].push_back(HeaderLoop[W]);
+    }
+    HeaderLoop[W] = static_cast<int>(LoopId);
+
+    for (uint32_t X : NodePool) {
+      Uf.unite(X, W);
+      if (HeaderLoop[X] >= 0) {
+        Loops[HeaderLoop[X]].Parent = static_cast<int>(LoopId);
+        LoopChildren[LoopId].push_back(static_cast<uint32_t>(HeaderLoop[X]));
+      } else {
+        LoopOwnBlocks[LoopId].push_back(ToBlock[X]);
+      }
+    }
+  }
+
+  // --- Step 4: derive depths, full block sets and innermost mapping. ---
+  for (Loop &L : Loops) {
+    unsigned Depth = 1;
+    for (int P = L.Parent; P >= 0; P = Loops[P].Parent)
+      ++Depth;
+    L.Depth = Depth;
+  }
+
+  // Full block set = own blocks plus children's full sets. Loops were
+  // created inner-first (bottom-up over headers), so children have
+  // smaller ids... not guaranteed: children are created before parents,
+  // hence child id < parent id. Propagate in id order.
+  for (size_t LId = 0; LId != Loops.size(); ++LId) {
+    Loops[LId].Blocks = LoopOwnBlocks[LId];
+    for (uint32_t Child : LoopChildren[LId]) {
+      assert(Child < LId && "children must be created before parents");
+      Loops[LId].Blocks.insert(Loops[LId].Blocks.end(),
+                               Loops[Child].Blocks.begin(),
+                               Loops[Child].Blocks.end());
+    }
+    std::sort(Loops[LId].Blocks.begin(), Loops[LId].Blocks.end());
+  }
+
+  // Innermost loop per block: own blocks map to the loop itself; blocks
+  // of children keep the child mapping (children processed first).
+  for (size_t LId = 0; LId != Loops.size(); ++LId)
+    for (uint32_t Block : LoopOwnBlocks[LId])
+      BlockLoop[Block] = static_cast<int>(LId);
+
+  // --- Step 5: line ranges from member instructions. ---
+  for (Loop &L : Loops) {
+    uint32_t Lo = std::numeric_limits<uint32_t>::max(), Hi = 0;
+    for (uint32_t Block : L.Blocks)
+      for (const ir::Instr &I : F.Blocks[Block]->Instrs) {
+        Lo = std::min(Lo, I.Line);
+        Hi = std::max(Hi, I.Line);
+      }
+    L.LineBegin = Lo == std::numeric_limits<uint32_t>::max() ? 0 : Lo;
+    L.LineEnd = Hi;
+  }
+}

@@ -1,0 +1,66 @@
+//===- analysis/LoopNest.h - Havlak loop-nesting analysis ------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop discovery on the binary CFG via Havlak's interval analysis
+/// ("Nesting of reducible and irreducible loops", TOPLAS 1997) — the
+/// same algorithm family hpcstruct applies to binaries, which the paper
+/// cites for identifying loop boundaries (Sec. 4, "code-centric
+/// attribution"). Handles irreducible regions as well as reducible
+/// natural loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_ANALYSIS_LOOPNEST_H
+#define STRUCTSLIM_ANALYSIS_LOOPNEST_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace structslim {
+namespace ir {
+struct Function;
+} // namespace ir
+
+namespace analysis {
+
+/// One discovered loop within a function.
+struct Loop {
+  uint32_t Id = 0;       ///< Function-local loop id.
+  uint32_t Header = 0;   ///< Header block id.
+  int Parent = -1;       ///< Enclosing loop id, -1 for top level.
+  unsigned Depth = 1;    ///< Nesting depth (outermost = 1).
+  bool Irreducible = false;
+  std::vector<uint32_t> Blocks; ///< All member blocks, nested included.
+  uint32_t LineBegin = 0; ///< Smallest source line of member instrs.
+  uint32_t LineEnd = 0;   ///< Largest source line of member instrs.
+
+  /// Renders the paper's "559-570" style loop name.
+  std::string name() const {
+    return std::to_string(LineBegin) + "-" + std::to_string(LineEnd);
+  }
+};
+
+/// Loop nesting forest of one function.
+class LoopNest {
+public:
+  explicit LoopNest(const ir::Function &F);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  /// Innermost loop containing \p Block, or -1.
+  int innermostLoopFor(uint32_t Block) const { return BlockLoop[Block]; }
+
+private:
+  std::vector<Loop> Loops;
+  std::vector<int> BlockLoop;
+};
+
+} // namespace analysis
+} // namespace structslim
+
+#endif // STRUCTSLIM_ANALYSIS_LOOPNEST_H

@@ -1,0 +1,62 @@
+//===- baseline/AslopCounting.cpp -----------------------------*- C++ -*-===//
+
+#include "baseline/AslopCounting.h"
+
+using namespace structslim;
+using namespace structslim::baseline;
+
+AslopProfiler::AslopProfiler(const ir::Program &P, uint32_t Token,
+                             const ir::StructLayout &Layout) {
+  for (const auto &F : P.functions())
+    for (const auto &BB : F->Blocks)
+      for (const ir::Instr &I : BB->Instrs) {
+        if (!ir::isMemoryOp(I.Op) || I.Token != Token)
+          continue;
+        if (I.Disp < 0 || static_cast<uint64_t>(I.Disp) >= Layout.getSize())
+          continue;
+        if (const ir::FieldDesc *Field =
+                Layout.fieldContaining(static_cast<uint32_t>(I.Disp)))
+          BlockFields[{F->Id, BB->Id}].insert(Field->Offset);
+      }
+}
+
+void AslopProfiler::onAccess(uint32_t, uint64_t, uint64_t, uint8_t, bool,
+                             const cache::AccessResult &) {
+  // ASLOP does not instrument individual accesses.
+}
+
+void AslopProfiler::onBlockEnter(uint32_t, uint32_t FuncId,
+                                 uint32_t BlockId) {
+  ++BlockEntries;
+  auto Key = std::pair(FuncId, BlockId);
+  if (BlockFields.count(Key))
+    ++BlockCounts[Key];
+}
+
+double AslopProfiler::affinity(uint32_t OffsetA, uint32_t OffsetB) const {
+  uint64_t Both = 0, Either = 0;
+  for (const auto &[Key, Fields] : BlockFields) {
+    auto CountIt = BlockCounts.find(Key);
+    if (CountIt == BlockCounts.end())
+      continue;
+    bool HasA = Fields.count(OffsetA) != 0;
+    bool HasB = Fields.count(OffsetB) != 0;
+    if (HasA && HasB)
+      Both += CountIt->second;
+    if (HasA || HasB)
+      Either += CountIt->second;
+  }
+  return Either == 0 ? 0.0 : static_cast<double>(Both) / Either;
+}
+
+std::map<uint32_t, uint64_t> AslopProfiler::fieldCounts() const {
+  std::map<uint32_t, uint64_t> Counts;
+  for (const auto &[Key, Fields] : BlockFields) {
+    auto CountIt = BlockCounts.find(Key);
+    if (CountIt == BlockCounts.end())
+      continue;
+    for (uint32_t Offset : Fields)
+      Counts[Offset] += CountIt->second;
+  }
+  return Counts;
+}

@@ -1,0 +1,60 @@
+//===- baseline/BurstySampling.cpp ----------------------------*- C++ -*-===//
+
+#include "baseline/BurstySampling.h"
+
+using namespace structslim;
+using namespace structslim::baseline;
+
+BurstySamplingProfiler::BurstySamplingProfiler(
+    const analysis::CodeMap &CodeMap, const mem::DataObjectTable &Objects,
+    std::map<std::string, uint64_t> StructSizes, uint64_t BurstLength,
+    uint64_t BurstPeriod)
+    : CodeMap(CodeMap), Objects(Objects),
+      StructSizes(std::move(StructSizes)), BurstLength(BurstLength),
+      BurstPeriod(BurstPeriod) {}
+
+void BurstySamplingProfiler::onAccess(uint32_t, uint64_t Ip,
+                                      uint64_t EffAddr, uint8_t, bool,
+                                      const cache::AccessResult &) {
+  uint64_t Position = AccessesObserved++ % BurstPeriod;
+  if (Position >= BurstLength)
+    return; // Outside the burst window: only the counter ran.
+
+  ++AccessesRecorded;
+  const mem::DataObject *Object = Objects.lookup(EffAddr);
+  if (!Object)
+    return;
+  auto SizeIt = StructSizes.find(Object->Name);
+  if (SizeIt == StructSizes.end())
+    return;
+  const analysis::CodeSite &Site = CodeMap.lookup(Ip);
+  int32_t LoopId = Site.Valid ? Site.LoopId : -1;
+  uint32_t Offset =
+      static_cast<uint32_t>((EffAddr - Object->Start) % SizeIt->second);
+  ObjectTrace &Trace = Traces[Object->Name];
+  ++Trace.PerLoop[LoopId][Offset];
+  ++Trace.Totals[Offset];
+}
+
+double BurstySamplingProfiler::affinity(const std::string &Name,
+                                        uint32_t OffsetA,
+                                        uint32_t OffsetB) const {
+  auto It = Traces.find(Name);
+  if (It == Traces.end())
+    return 0.0;
+  const ObjectTrace &Trace = It->second;
+  auto TotalA = Trace.Totals.find(OffsetA);
+  auto TotalB = Trace.Totals.find(OffsetB);
+  if (TotalA == Trace.Totals.end() || TotalB == Trace.Totals.end())
+    return 0.0;
+  uint64_t Common = 0;
+  for (const auto &[LoopId, PerOffset] : Trace.PerLoop) {
+    auto A = PerOffset.find(OffsetA);
+    auto B = PerOffset.find(OffsetB);
+    if (A == PerOffset.end() || B == PerOffset.end())
+      continue;
+    Common += A->second + B->second;
+  }
+  uint64_t Total = TotalA->second + TotalB->second;
+  return Total == 0 ? 0.0 : static_cast<double>(Common) / Total;
+}

@@ -1,0 +1,72 @@
+//===- baseline/BurstySampling.h - Bursty-sampling baseline ----*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bursty-sampling profiler (Zhong & Chang, ISMM 2008): the
+/// instrumentation monitors *windows* of consecutive accesses — a burst
+/// of W accesses every P accesses — instead of isolated samples. Within
+/// a burst every access is recorded, so strides and field co-access are
+/// exact; between bursts only the period counter runs. The paper cites
+/// 3-5x overhead for this technique [27] because the instrumentation
+/// dispatch still executes on every access, which this implementation
+/// reproduces: onAccess is invoked for the full trace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_BASELINE_BURSTYSAMPLING_H
+#define STRUCTSLIM_BASELINE_BURSTYSAMPLING_H
+
+#include "analysis/CodeMap.h"
+#include "mem/DataObjectTable.h"
+#include "runtime/TraceSink.h"
+
+#include <map>
+#include <string>
+
+namespace structslim {
+namespace baseline {
+
+/// Burst-window field profiler.
+class BurstySamplingProfiler : public runtime::TraceSink {
+public:
+  BurstySamplingProfiler(const analysis::CodeMap &CodeMap,
+                         const mem::DataObjectTable &Objects,
+                         std::map<std::string, uint64_t> StructSizes,
+                         uint64_t BurstLength = 1000,
+                         uint64_t BurstPeriod = 100000);
+
+  void onAccess(uint32_t ThreadId, uint64_t Ip, uint64_t EffAddr,
+                uint8_t Size, bool IsWrite,
+                const cache::AccessResult &Result) override;
+
+  /// Frequency affinity from burst windows (Eq. 7 shape with counts).
+  double affinity(const std::string &Name, uint32_t OffsetA,
+                  uint32_t OffsetB) const;
+
+  uint64_t getAccessesObserved() const { return AccessesObserved; }
+  uint64_t getAccessesRecorded() const { return AccessesRecorded; }
+
+private:
+  const analysis::CodeMap &CodeMap;
+  const mem::DataObjectTable &Objects;
+  std::map<std::string, uint64_t> StructSizes;
+  uint64_t BurstLength;
+  uint64_t BurstPeriod;
+
+  uint64_t AccessesObserved = 0;
+  uint64_t AccessesRecorded = 0;
+
+  struct ObjectTrace {
+    std::map<int32_t, std::map<uint32_t, uint64_t>> PerLoop;
+    std::map<uint32_t, uint64_t> Totals;
+  };
+  std::map<std::string, ObjectTrace> Traces;
+};
+
+} // namespace baseline
+} // namespace structslim
+
+#endif // STRUCTSLIM_BASELINE_BURSTYSAMPLING_H

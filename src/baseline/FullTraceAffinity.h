@@ -1,0 +1,80 @@
+//===- baseline/FullTraceAffinity.h - Chilimbi-style baseline --*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The full-instrumentation, frequency-based field-affinity profiler
+/// the paper contrasts with (Chilimbi et al., "Cache-conscious
+/// structure definition"): every memory access is intercepted,
+/// attributed to its data object and loop, and counted per field.
+/// Affinities use access *frequencies*, not latencies. The per-access
+/// work (object lookup + loop lookup + hash update on every single
+/// access) is what makes instrumentation-based profilers orders of
+/// magnitude slower than StructSlim's sampling.
+///
+/// Unlike StructSlim this baseline is given the structure sizes (real
+/// instrumentation tools get them from the compiler), so its offsets
+/// are exact; the comparison isolates measurement *overhead* and
+/// latency- vs frequency-weighting, not layout inference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_BASELINE_FULLTRACEAFFINITY_H
+#define STRUCTSLIM_BASELINE_FULLTRACEAFFINITY_H
+
+#include "analysis/CodeMap.h"
+#include "mem/DataObjectTable.h"
+#include "runtime/TraceSink.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace structslim {
+namespace baseline {
+
+/// Frequency-based whole-program field-affinity profiler.
+class FullTraceAffinityProfiler : public runtime::TraceSink {
+public:
+  /// \p StructSizes maps object names to their element (struct) sizes,
+  /// supplied by the "compiler".
+  FullTraceAffinityProfiler(const analysis::CodeMap &CodeMap,
+                            const mem::DataObjectTable &Objects,
+                            std::map<std::string, uint64_t> StructSizes);
+
+  void onAccess(uint32_t ThreadId, uint64_t Ip, uint64_t EffAddr,
+                uint8_t Size, bool IsWrite,
+                const cache::AccessResult &Result) override;
+
+  /// Frequency-based affinity between the fields at \p OffsetA and
+  /// \p OffsetB of object \p Name (Eq. 7 shape with counts in place of
+  /// latencies). Returns 0 when either field was never seen.
+  double affinity(const std::string &Name, uint32_t OffsetA,
+                  uint32_t OffsetB) const;
+
+  /// Access count per (offset) of \p Name.
+  std::map<uint32_t, uint64_t> fieldCounts(const std::string &Name) const;
+
+  uint64_t getAccessesObserved() const { return AccessesObserved; }
+
+private:
+  struct ObjectTrace {
+    uint64_t StructSize = 0;
+    /// loop id -> offset -> access count.
+    std::map<int32_t, std::map<uint32_t, uint64_t>> PerLoop;
+    std::map<uint32_t, uint64_t> Totals;
+  };
+
+  const analysis::CodeMap &CodeMap;
+  const mem::DataObjectTable &Objects;
+  std::map<std::string, uint64_t> StructSizes;
+  std::map<std::string, ObjectTrace> Traces;
+  uint64_t AccessesObserved = 0;
+};
+
+} // namespace baseline
+} // namespace structslim
+
+#endif // STRUCTSLIM_BASELINE_FULLTRACEAFFINITY_H

@@ -1,0 +1,93 @@
+//===- baseline/ReuseDistance.cpp -----------------------------*- C++ -*-===//
+
+#include "baseline/ReuseDistance.h"
+
+#include "support/Error.h"
+
+#include <bit>
+
+using namespace structslim;
+using namespace structslim::baseline;
+
+ReuseDistanceProfiler::ReuseDistanceProfiler(
+    const mem::DataObjectTable &Objects,
+    std::map<std::string, uint64_t> StructSizes, uint64_t MaxAccesses,
+    unsigned LineSize)
+    : Objects(Objects), StructSizes(std::move(StructSizes)),
+      LineSize(LineSize), MaxAccesses(MaxAccesses) {
+  Fenwick.assign(MaxAccesses + 1, 0);
+}
+
+void ReuseDistanceProfiler::fenwickAdd(uint64_t Index, int64_t Delta) {
+  for (; Index <= MaxAccesses; Index += Index & (~Index + 1))
+    Fenwick[Index] += static_cast<int32_t>(Delta);
+}
+
+uint64_t ReuseDistanceProfiler::fenwickSum(uint64_t Index) const {
+  int64_t Sum = 0;
+  for (; Index != 0; Index -= Index & (~Index + 1))
+    Sum += Fenwick[Index];
+  return static_cast<uint64_t>(Sum);
+}
+
+void ReuseDistanceProfiler::onAccess(uint32_t, uint64_t, uint64_t EffAddr,
+                                     uint8_t, bool,
+                                     const cache::AccessResult &) {
+  if (++Clock > MaxAccesses)
+    fatalError("reuse-distance profiler exceeded its trace capacity");
+
+  uint64_t Line = EffAddr / LineSize;
+  auto [It, Cold] = LastAccess.try_emplace(Line, Clock);
+  uint64_t Distance = 0;
+  bool HaveDistance = false;
+  if (!Cold) {
+    uint64_t Previous = It->second;
+    // Distinct lines touched strictly between the two accesses: each
+    // line's latest access holds a 1 in the tree.
+    Distance = fenwickSum(Clock - 1) - fenwickSum(Previous);
+    HaveDistance = true;
+    fenwickAdd(Previous, -1);
+    It->second = Clock;
+  }
+  fenwickAdd(Clock, +1);
+
+  if (!HaveDistance)
+    return; // Cold miss: no reuse signature contribution.
+
+  const mem::DataObject *Object = Objects.lookup(EffAddr);
+  if (!Object)
+    return;
+  auto SizeIt = StructSizes.find(Object->Name);
+  if (SizeIt == StructSizes.end())
+    return;
+  uint32_t Offset =
+      static_cast<uint32_t>((EffAddr - Object->Start) % SizeIt->second);
+  unsigned Bucket =
+      Distance == 0 ? 0 : std::bit_width(Distance); // log2 + 1, capped
+  if (Bucket >= NumBuckets)
+    Bucket = NumBuckets - 1;
+  ++Histograms[Key{Object->Name, Offset}][Bucket];
+}
+
+std::array<uint64_t, ReuseDistanceProfiler::NumBuckets>
+ReuseDistanceProfiler::histogram(const std::string &Name,
+                                 uint32_t Offset) const {
+  auto It = Histograms.find(Key{Name, Offset});
+  if (It == Histograms.end())
+    return {};
+  return It->second;
+}
+
+double ReuseDistanceProfiler::meanDistance(const std::string &Name,
+                                           uint32_t Offset) const {
+  auto Hist = histogram(Name, Offset);
+  double Weighted = 0.0;
+  uint64_t Count = 0;
+  for (unsigned B = 0; B != NumBuckets; ++B) {
+    // Bucket center: 0 for bucket 0, else ~1.5 * 2^(b-1).
+    double Center = B == 0 ? 0.0 : 1.5 * static_cast<double>(1ull << (B - 1));
+    Weighted += Center * static_cast<double>(Hist[B]);
+    Count += Hist[B];
+  }
+  return Count == 0 ? 0.0 : Weighted / static_cast<double>(Count);
+}

@@ -1,0 +1,92 @@
+//===- cache/Cache.h - Set-associative cache model --------------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set-associative, LRU, allocate-on-miss cache. Instances model the
+/// private L1/L2 and the shared L3 of the paper's Xeon E5-4650L testbed
+/// (32 KB L1d, 256 KB L2 private; 20 MB L3 shared). Hit/miss counters
+/// double as the hardware event counters the paper reads for Table 4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_CACHE_CACHE_H
+#define STRUCTSLIM_CACHE_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace structslim {
+namespace cache {
+
+/// Geometry and timing of one cache level.
+struct CacheConfig {
+  std::string Name = "cache";
+  uint64_t SizeBytes = 32 * 1024;
+  unsigned Assoc = 8;
+  unsigned LineSize = 64;
+  unsigned HitLatency = 4; ///< Cycles when this level serves the access.
+};
+
+/// One cache level. Addresses are pre-shifted line addresses.
+class SetAssocCache {
+public:
+  explicit SetAssocCache(const CacheConfig &Config);
+
+  /// Looks up \p LineAddr; on miss, installs it (evicting LRU).
+  /// Returns true on hit. Counts the access.
+  bool access(uint64_t LineAddr);
+
+  /// Installs \p LineAddr without counting a demand access (prefetch
+  /// fill). No-op when already present (refreshes LRU).
+  void installPrefetch(uint64_t LineAddr);
+
+  /// Lookup without side effects.
+  bool contains(uint64_t LineAddr) const;
+
+  const CacheConfig &getConfig() const { return Config; }
+  uint64_t getHits() const { return Hits; }
+  uint64_t getMisses() const { return Misses; }
+  uint64_t getAccesses() const { return Hits + Misses; }
+  uint64_t getPrefetchFills() const { return PrefetchFills; }
+  double getMissRatio() const {
+    uint64_t Total = getAccesses();
+    return Total == 0 ? 0.0 : static_cast<double>(Misses) / Total;
+  }
+
+  void resetCounters() { Hits = Misses = PrefetchFills = 0; }
+
+private:
+  struct Way {
+    uint64_t Tag = 0;
+    bool Valid = false;
+  };
+
+  // Sets are indexed by modulo so non-power-of-two geometries (like a
+  // 20 MB 16-way L3) work; tags store the full line address.
+  size_t setIndex(uint64_t LineAddr) const {
+    return static_cast<size_t>(LineAddr % NumSets);
+  }
+  uint64_t tagOf(uint64_t LineAddr) const { return LineAddr; }
+
+  /// Returns way index on hit, -1 on miss. Updates LRU order on hit.
+  int lookupAndTouch(uint64_t LineAddr);
+  void install(uint64_t LineAddr);
+
+  CacheConfig Config;
+  uint64_t NumSets;
+  // Ways within a set are kept in LRU order: index 0 is MRU. Assoc is
+  // small (<= 16), so move-to-front in a flat array beats list nodes.
+  std::vector<Way> Ways; // NumSets * Assoc
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t PrefetchFills = 0;
+};
+
+} // namespace cache
+} // namespace structslim
+
+#endif // STRUCTSLIM_CACHE_CACHE_H

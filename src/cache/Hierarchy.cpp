@@ -1,0 +1,126 @@
+//===- cache/Hierarchy.cpp ------------------------------------*- C++ -*-===//
+
+#include "cache/Hierarchy.h"
+
+#include <algorithm>
+
+using namespace structslim;
+using namespace structslim::cache;
+
+const char *structslim::cache::memLevelName(MemLevel Level) {
+  switch (Level) {
+  case MemLevel::L1:
+    return "L1";
+  case MemLevel::L2:
+    return "L2";
+  case MemLevel::L3:
+    return "L3";
+  case MemLevel::Dram:
+    return "DRAM";
+  }
+  return "?";
+}
+
+unsigned StridePrefetcher::observe(uint64_t Ip, uint64_t Addr,
+                                   unsigned LineSize, unsigned Degree,
+                                   uint64_t *Out) {
+  Entry &E = Table[(Ip * 0x9e3779b97f4a7c15ULL) >> 56 & (NumEntries - 1)];
+  if (!E.Valid || E.Ip != Ip) {
+    E = {Ip, Addr, 0, 0, true};
+    return 0;
+  }
+  int64_t Stride = static_cast<int64_t>(Addr) -
+                   static_cast<int64_t>(E.LastAddr);
+  if (Stride != 0 && Stride == E.Stride)
+    E.Confidence = std::min(E.Confidence + 1, 4u);
+  else
+    E.Confidence = 0;
+  E.Stride = Stride;
+  E.LastAddr = Addr;
+  if (E.Confidence < 2 || Stride == 0)
+    return 0;
+
+  unsigned Count = 0;
+  for (unsigned D = 1; D <= Degree; ++D) {
+    uint64_t Target = Addr + static_cast<uint64_t>(Stride) * D;
+    Out[Count++] = Target / LineSize;
+  }
+  Issued += Count;
+  return Count;
+}
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &Config,
+                                 SetAssocCache *SharedL3)
+    : Config(Config), L1(Config.L1), L2(Config.L2), Dtlb(Config.Tlb) {
+  if (SharedL3) {
+    L3Ptr = SharedL3;
+  } else {
+    OwnedL3 = std::make_unique<SetAssocCache>(Config.L3);
+    L3Ptr = OwnedL3.get();
+  }
+}
+
+MemLevel MemoryHierarchy::accessLine(uint64_t LineAddr, unsigned &Latency) {
+  if (L1.access(LineAddr)) {
+    Latency = Config.L1.HitLatency;
+    return MemLevel::L1;
+  }
+  if (L2.access(LineAddr)) {
+    Latency = Config.L2.HitLatency;
+    return MemLevel::L2;
+  }
+  if (L3Ptr->access(LineAddr)) {
+    Latency = Config.L3.HitLatency;
+    return MemLevel::L3;
+  }
+  Latency = Config.DramLatency;
+  return MemLevel::Dram;
+}
+
+AccessResult MemoryHierarchy::access(uint64_t Addr, unsigned Size,
+                                     bool IsWrite, uint64_t Ip) {
+  (void)IsWrite; // Write-allocate with identical timing; PEBS-LL only
+                 // samples loads, but the model treats both uniformly.
+  unsigned LineSize = Config.L1.LineSize;
+  uint64_t FirstLine = Addr / LineSize;
+  uint64_t LastLine = (Addr + Size - 1) / LineSize;
+
+  AccessResult Result;
+  if (Config.EnableTlb && !Dtlb.access(Addr)) {
+    Result.TlbMiss = true;
+    Result.Latency += Config.Tlb.WalkLatency;
+  }
+  unsigned LineLatency = 0;
+  Result.Served = accessLine(FirstLine, LineLatency);
+  Result.Latency += LineLatency;
+  if (LastLine != FirstLine) {
+    unsigned Latency2 = 0;
+    MemLevel Served2 = accessLine(LastLine, Latency2);
+    if (Latency2 > LineLatency) {
+      // The slower line dominates the line component of the latency.
+      Result.Latency += Latency2 - LineLatency;
+      Result.Served = Served2;
+    }
+  }
+
+  if (Config.EnablePrefetcher) {
+    uint64_t Candidates[8];
+    unsigned Degree = std::min(Config.PrefetchDegree, 8u);
+    unsigned Count = Prefetcher.observe(Ip, Addr, LineSize, Degree,
+                                        Candidates);
+    // Prefetches fill L2 (and L3 on the way), not L1, matching the
+    // mid-level prefetchers on the paper's hardware.
+    for (unsigned I = 0; I != Count; ++I) {
+      L3Ptr->installPrefetch(Candidates[I]);
+      L2.installPrefetch(Candidates[I]);
+    }
+  }
+  return Result;
+}
+
+void MemoryHierarchy::resetCounters() {
+  L1.resetCounters();
+  L2.resetCounters();
+  L3Ptr->resetCounters();
+  Dtlb.resetCounters();
+}

@@ -1,0 +1,35 @@
+//===- cache/Tlb.cpp ------------------------------------------*- C++ -*-===//
+
+#include "cache/Tlb.h"
+
+#include "support/Error.h"
+
+using namespace structslim;
+using namespace structslim::cache;
+
+Tlb::Tlb(const TlbConfig &Config) : Config(Config) {
+  if (Config.Assoc == 0 || Config.Entries % Config.Assoc != 0)
+    fatalError("TLB entries must be a multiple of associativity");
+  NumSets = Config.Entries / Config.Assoc;
+  Entries.assign(Config.Entries, Entry{});
+}
+
+bool Tlb::access(uint64_t Addr) {
+  uint64_t Page = Addr >> Config.PageBits;
+  size_t Base = static_cast<size_t>(Page % NumSets) * Config.Assoc;
+  for (unsigned W = 0; W != Config.Assoc; ++W) {
+    Entry &Candidate = Entries[Base + W];
+    if (!Candidate.Valid || Candidate.Page != Page)
+      continue;
+    for (unsigned Shift = W; Shift > 0; --Shift)
+      Entries[Base + Shift] = Entries[Base + Shift - 1];
+    Entries[Base] = {Page, true};
+    ++Hits;
+    return true;
+  }
+  ++Misses;
+  for (unsigned Shift = Config.Assoc - 1; Shift > 0; --Shift)
+    Entries[Base + Shift] = Entries[Base + Shift - 1];
+  Entries[Base] = {Page, true};
+  return false;
+}

@@ -1,0 +1,77 @@
+//===- core/Advice.h - Structure-splitting advice ---------------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns an ObjectAnalysis into actionable splitting advice:
+///  - a SplitPlan (the machine-consumable partition of field offsets
+///    into new structures — the form a compiler pass such as ROSE
+///    would consume, per the paper's conclusion),
+///  - new StructLayout definitions (the Fig. 7-13 style output),
+///  - the affinity graph in Graphviz dot form, with one subgraph
+///    cluster per suggested structure (paper Sec. 5.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_CORE_ADVICE_H
+#define STRUCTSLIM_CORE_ADVICE_H
+
+#include "core/Analyzer.h"
+#include "ir/StructLayout.h"
+
+#include <string>
+#include <vector>
+
+namespace structslim {
+namespace core {
+
+/// Machine-consumable splitting decision for one structure.
+struct SplitPlan {
+  std::string ObjectName;
+  uint64_t OriginalSize = 0;
+  /// Each entry is one new structure, listing the *original* byte
+  /// offsets of the fields it keeps, in ascending order. Hottest
+  /// cluster first; a final cluster collects fields the profiler never
+  /// observed (cold fields), when the original layout is known.
+  std::vector<std::vector<uint32_t>> ClusterOffsets;
+
+  bool isSplit() const { return ClusterOffsets.size() > 1; }
+};
+
+/// Builds the plan from an analysis. When \p Original is non-null,
+/// fields absent from the profile are appended as one cold cluster
+/// (like field R of ART's f1_neuron, which sampling never observed).
+SplitPlan makeSplitPlan(const ObjectAnalysis &Analysis,
+                        const ir::StructLayout *Original = nullptr);
+
+/// Field *reordering* advice: a single-structure plan that keeps every
+/// field in one struct but re-packs them cluster by cluster, hottest
+/// first, so co-accessed fields share cache lines. The fallback the
+/// paper's related work applies when splitting is unsafe (escaping
+/// pointers, ABI constraints); apply it through
+/// transform::FieldMap(Original, Plan) like a split plan.
+SplitPlan makeReorderPlan(const ObjectAnalysis &Analysis,
+                          const ir::StructLayout &Original);
+
+/// Materializes one StructLayout per cluster. Field names and sizes
+/// come from \p Original when available, otherwise from the observed
+/// access widths ("off<N>" names).
+std::vector<ir::StructLayout>
+renderSplitLayouts(const SplitPlan &Plan, const ObjectAnalysis &Analysis,
+                   const ir::StructLayout *Original = nullptr);
+
+/// C-like advice text (the Fig. 7-13 presentation).
+std::string renderAdviceText(const SplitPlan &Plan,
+                             const ObjectAnalysis &Analysis,
+                             const ir::StructLayout *Original = nullptr);
+
+/// Graphviz rendering of the affinity graph: nodes are fields, edge
+/// labels are A_ij, subgraph clusters are the suggested structures.
+std::string affinityGraphDot(const ObjectAnalysis &Analysis);
+
+} // namespace core
+} // namespace structslim
+
+#endif // STRUCTSLIM_CORE_ADVICE_H

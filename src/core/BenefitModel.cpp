@@ -1,0 +1,73 @@
+//===- core/BenefitModel.cpp ----------------------------------*- C++ -*-===//
+
+#include "core/BenefitModel.h"
+
+#include <algorithm>
+
+using namespace structslim;
+using namespace structslim::core;
+
+BenefitEstimate
+structslim::core::estimateSplitBenefit(const ObjectAnalysis &Analysis,
+                                       const SplitPlan &Plan,
+                                       double MemoryShare) {
+  BenefitEstimate Out;
+  uint64_t S = Plan.OriginalSize ? Plan.OriginalSize : Analysis.StructSize;
+  if (S == 0 || !Plan.isSplit())
+    return Out;
+
+  // Cluster sizes: sum of member field widths, 8-byte floor per field
+  // when the observed width is unknown.
+  auto FieldWidth = [&](uint32_t Offset) -> uint64_t {
+    const FieldStat *F = Analysis.fieldAtOffset(Offset);
+    return F && F->Size ? F->Size : 8;
+  };
+  for (const std::vector<uint32_t> &Cluster : Plan.ClusterOffsets) {
+    uint64_t Size = 0;
+    for (uint32_t Offset : Cluster)
+      Size += FieldWidth(Offset);
+    Out.ClusterSizes.push_back(std::max<uint64_t>(Size, 1));
+  }
+
+  // Map each analyzed field to its cluster's new size.
+  auto ClusterSizeOf = [&](uint32_t Offset) -> uint64_t {
+    for (size_t C = 0; C != Plan.ClusterOffsets.size(); ++C)
+      for (uint32_t Member : Plan.ClusterOffsets[C]) {
+        // Canonical plan offsets may be field starts that *contain*
+        // the observed offset; accept containment via width.
+        if (Offset >= Member && Offset < Member + FieldWidth(Member))
+          return Out.ClusterSizes[C];
+      }
+    return S; // Unplanned field: assume unchanged.
+  };
+
+  // Predicted latency per field: L1-hit portion unchanged; the
+  // beyond-L1 portion scales with the cluster's share of the original
+  // footprint (miss frequency is proportional to bytes swept).
+  double OldLatency = 0, NewLatency = 0;
+  for (const FieldStat &F : Analysis.Fields) {
+    uint64_t Total = 0;
+    for (uint64_t L : F.LevelSamples)
+      Total += L;
+    double MissFraction =
+        Total == 0
+            ? 1.0
+            : 1.0 - static_cast<double>(F.LevelSamples[0]) / Total;
+    double Scale = std::min<double>(
+        1.0, static_cast<double>(ClusterSizeOf(F.Offset)) / S);
+    double Lat = static_cast<double>(F.LatencySum);
+    OldLatency += Lat;
+    NewLatency += Lat * (1.0 - MissFraction) + Lat * MissFraction * Scale;
+  }
+  if (OldLatency <= 0)
+    return Out;
+
+  Out.ObjectLatencyReduction = 1.0 - NewLatency / OldLatency;
+  // Amdahl over sampled latency: the object's share of program latency
+  // shrinks by the reduction; the rest is untouched.
+  double Affected = Analysis.HotShare * MemoryShare;
+  double Denominator =
+      1.0 - Affected * Out.ObjectLatencyReduction;
+  Out.PredictedSpeedup = Denominator > 0 ? 1.0 / Denominator : 1.0;
+  return Out;
+}

@@ -1,0 +1,138 @@
+//===- core/Regrouping.cpp ------------------------------------*- C++ -*-===//
+
+#include "core/Regrouping.h"
+
+#include "support/MathUtil.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+using namespace structslim;
+using namespace structslim::core;
+
+namespace {
+
+/// Per-object per-loop latency plus totals, for the monitored subset.
+struct ObjectLoopLatency {
+  std::vector<uint32_t> Objects; ///< Profile object indices, hot first.
+  std::map<uint32_t, std::map<int32_t, uint64_t>> PerLoop;
+  std::map<uint32_t, uint64_t> Total;
+  std::map<uint32_t, uint64_t> Stride;
+};
+
+ObjectLoopLatency collect(const profile::Profile &Merged,
+                          const AnalysisConfig &Config) {
+  ObjectLoopLatency Out;
+  if (Merged.TotalLatency == 0)
+    return Out;
+  for (uint32_t I = 0; I != Merged.Objects.size(); ++I) {
+    double Share = static_cast<double>(Merged.Objects[I].LatencySum) /
+                   Merged.TotalLatency;
+    if (Share >= Config.MinObjectShare)
+      Out.Objects.push_back(I);
+  }
+  std::stable_sort(Out.Objects.begin(), Out.Objects.end(),
+                   [&](uint32_t A, uint32_t B) {
+                     return Merged.Objects[A].LatencySum >
+                            Merged.Objects[B].LatencySum;
+                   });
+  for (const profile::StreamRecord &S : Merged.Streams) {
+    if (std::find(Out.Objects.begin(), Out.Objects.end(), S.ObjectIndex) ==
+        Out.Objects.end())
+      continue;
+    Out.PerLoop[S.ObjectIndex][S.LoopId] += S.LatencySum;
+    Out.Total[S.ObjectIndex] += S.LatencySum;
+    if (S.UniqueAddrCount >= Config.MinUniqueAddrs && S.StrideGcd != 0 &&
+        S.StrideGcd > S.AccessSize)
+      Out.Stride[S.ObjectIndex] =
+          gcd64(Out.Stride[S.ObjectIndex], S.StrideGcd);
+  }
+  return Out;
+}
+
+double pairAffinity(const ObjectLoopLatency &Data, uint32_t A, uint32_t B) {
+  auto ItA = Data.PerLoop.find(A);
+  auto ItB = Data.PerLoop.find(B);
+  if (ItA == Data.PerLoop.end() || ItB == Data.PerLoop.end())
+    return 0.0;
+  uint64_t Common = 0;
+  for (const auto &[Loop, LatencyA] : ItA->second) {
+    auto ItLoopB = ItB->second.find(Loop);
+    if (ItLoopB == ItB->second.end())
+      continue;
+    Common += LatencyA + ItLoopB->second;
+  }
+  uint64_t Total = Data.Total.at(A) + Data.Total.at(B);
+  return Total == 0 ? 0.0 : static_cast<double>(Common) / Total;
+}
+
+} // namespace
+
+std::vector<ArrayAffinity>
+structslim::core::analyzeArrayAffinity(const profile::Profile &Merged,
+                                       const AnalysisConfig &Config) {
+  ObjectLoopLatency Data = collect(Merged, Config);
+  std::vector<ArrayAffinity> Out;
+  for (size_t I = 0; I != Data.Objects.size(); ++I)
+    for (size_t J = I + 1; J != Data.Objects.size(); ++J) {
+      ArrayAffinity Pair;
+      Pair.A = Merged.Objects[Data.Objects[I]].Name;
+      Pair.B = Merged.Objects[Data.Objects[J]].Name;
+      Pair.Affinity = pairAffinity(Data, Data.Objects[I], Data.Objects[J]);
+      Out.push_back(std::move(Pair));
+    }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const ArrayAffinity &A, const ArrayAffinity &B) {
+                     return A.Affinity > B.Affinity;
+                   });
+  return Out;
+}
+
+RegroupAdvice
+structslim::core::adviseRegrouping(const profile::Profile &Merged,
+                                   const AnalysisConfig &Config) {
+  ObjectLoopLatency Data = collect(Merged, Config);
+  size_t N = Data.Objects.size();
+
+  // Union-find over the monitored objects.
+  std::vector<uint32_t> Parent(N);
+  std::iota(Parent.begin(), Parent.end(), 0u);
+  auto Find = [&](uint32_t X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  };
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = I + 1; J != N; ++J)
+      if (pairAffinity(Data, Data.Objects[I], Data.Objects[J]) >=
+          Config.AffinityThreshold)
+        Parent[Find(static_cast<uint32_t>(I))] =
+            Find(static_cast<uint32_t>(J));
+
+  std::map<uint32_t, RegroupAdvice::Group> Groups;
+  for (size_t I = 0; I != N; ++I) {
+    uint32_t ObjectIndex = Data.Objects[I];
+    RegroupAdvice::Group &G = Groups[Find(static_cast<uint32_t>(I))];
+    G.Arrays.push_back(Merged.Objects[ObjectIndex].Name);
+    G.LatencySum += Data.Total.count(ObjectIndex)
+                        ? Data.Total.at(ObjectIndex)
+                        : 0;
+    auto StrideIt = Data.Stride.find(ObjectIndex);
+    G.Strides.push_back(StrideIt == Data.Stride.end() ? 0
+                                                      : StrideIt->second);
+  }
+
+  RegroupAdvice Advice;
+  for (auto &[Root, Group] : Groups)
+    if (Group.Arrays.size() >= 2)
+      Advice.Groups.push_back(std::move(Group));
+  std::stable_sort(Advice.Groups.begin(), Advice.Groups.end(),
+                   [](const RegroupAdvice::Group &A,
+                      const RegroupAdvice::Group &B) {
+                     return A.LatencySum > B.LatencySum;
+                   });
+  return Advice;
+}

@@ -1,0 +1,65 @@
+//===- core/Regrouping.h - Array-regrouping analysis -----------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The extension the paper's conclusion announces as future work
+/// ("array regrouping and data reorganization", in the spirit of the
+/// authors' ArrayTool): Eq. 7 lifted from fields of one structure to
+/// whole data objects. Arrays whose accesses concentrate in common
+/// loops have high affinity and are candidates for *regrouping* —
+/// interleaving them into one array of structures, the inverse of
+/// structure splitting. The same profile feeds both analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_CORE_REGROUPING_H
+#define STRUCTSLIM_CORE_REGROUPING_H
+
+#include "core/Analyzer.h"
+#include "profile/Profile.h"
+
+#include <string>
+#include <vector>
+
+namespace structslim {
+namespace core {
+
+/// Affinity between two data objects (Eq. 7 with objects as nodes).
+struct ArrayAffinity {
+  std::string A;
+  std::string B;
+  double Affinity = 0;
+};
+
+/// One suggested regrouping: arrays to interleave into a single
+/// array-of-structures, hottest group first.
+struct RegroupAdvice {
+  struct Group {
+    std::vector<std::string> Arrays;
+    uint64_t LatencySum = 0;
+    /// Per-array inferred element stride (from the GCD analysis);
+    /// regrouping is layout-sound when all members stride compatibly.
+    std::vector<uint64_t> Strides;
+  };
+  std::vector<Group> Groups; ///< Only groups with >= 2 arrays.
+};
+
+/// Whole-object affinity analysis over a merged profile. Only objects
+/// above \p Config.MinObjectShare of total latency participate.
+std::vector<ArrayAffinity>
+analyzeArrayAffinity(const profile::Profile &Merged,
+                     const AnalysisConfig &Config = AnalysisConfig());
+
+/// Clusters objects whose pairwise affinity clears
+/// \p Config.AffinityThreshold and reports multi-array groups.
+RegroupAdvice
+adviseRegrouping(const profile::Profile &Merged,
+                 const AnalysisConfig &Config = AnalysisConfig());
+
+} // namespace core
+} // namespace structslim
+
+#endif // STRUCTSLIM_CORE_REGROUPING_H

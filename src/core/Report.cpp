@@ -1,0 +1,156 @@
+//===- core/Report.cpp ----------------------------------------*- C++ -*-===//
+
+#include "core/Report.h"
+
+#include "support/Format.h"
+#include "support/TablePrinter.h"
+
+#include <sstream>
+
+using namespace structslim;
+using namespace structslim::core;
+
+/// Parses the allocation-path IPs out of an object key
+/// ("name@ip>ip>..."); returns an empty vector for static objects.
+static std::vector<uint64_t> allocPathFromKey(const std::string &Key) {
+  std::vector<uint64_t> Path;
+  size_t At = Key.find('@');
+  if (At == std::string::npos)
+    return Path;
+  std::string Rest = Key.substr(At + 1);
+  size_t Pos = 0;
+  while (Pos < Rest.size()) {
+    size_t Next = Rest.find('>', Pos);
+    std::string Part = Rest.substr(
+        Pos, Next == std::string::npos ? std::string::npos : Next - Pos);
+    if (!Part.empty())
+      Path.push_back(std::stoull(Part));
+    if (Next == std::string::npos)
+      break;
+    Pos = Next + 1;
+  }
+  return Path;
+}
+
+std::string
+structslim::core::renderHotObjects(const AnalysisResult &Result,
+                                   const analysis::CodeMap *CodeMap) {
+  TablePrinter Table;
+  std::vector<std::string> Header = {"Data object", "Samples", "Latency",
+                                     "l_d", "Inferred size"};
+  if (CodeMap)
+    Header.push_back("Allocated at");
+  Table.setHeader(Header);
+  for (const ObjectAnalysis &O : Result.Objects) {
+    std::vector<std::string> Row = {
+        O.Name, std::to_string(O.SampleCount), std::to_string(O.LatencySum),
+        formatPercent(O.HotShare),
+        O.StructSize ? std::to_string(O.StructSize) + " B" : "-"};
+    if (O.StructSize && O.SizeConfidence > 0)
+      Row.back() += " (conf " + formatPercent(O.SizeConfidence) + ")";
+    if (CodeMap) {
+      std::vector<std::string> Sites;
+      for (uint64_t Ip : allocPathFromKey(O.Key)) {
+        const analysis::CodeSite &Site = CodeMap->lookup(Ip);
+        Sites.push_back(Site.Valid
+                            ? CodeMap->getFunctionName(Site.FuncId) + ":L" +
+                                  std::to_string(Site.Line)
+                            : formatHex(Ip));
+      }
+      Row.push_back(Sites.empty() ? "(static)" : join(Sites, " > "));
+    }
+    Table.addRow(Row);
+  }
+  return Table.toString();
+}
+
+std::string structslim::core::renderFieldTable(const ObjectAnalysis &Analysis) {
+  TablePrinter Table;
+  Table.setHeader({"Field", "Offset", "Latency %", "Samples"});
+  for (const FieldStat &F : Analysis.Fields)
+    Table.addRow({F.Name, std::to_string(F.Offset),
+                  formatPercent(F.LatencyShare),
+                  std::to_string(F.SampleCount)});
+  return Table.toString();
+}
+
+std::string
+structslim::core::renderFieldLevelTable(const ObjectAnalysis &Analysis) {
+  TablePrinter Table;
+  Table.setHeader({"Field", "L1", "L2", "L3", "DRAM", "Samples"});
+  for (const FieldStat &F : Analysis.Fields) {
+    uint64_t Total = 0;
+    for (uint64_t L : F.LevelSamples)
+      Total += L;
+    auto Cell = [&](size_t Level) {
+      return Total == 0
+                 ? std::string("-")
+                 : formatPercent(static_cast<double>(F.LevelSamples[Level]) /
+                                 static_cast<double>(Total));
+    };
+    Table.addRow({F.Name, Cell(0), Cell(1), Cell(2), Cell(3),
+                  std::to_string(F.SampleCount)});
+  }
+  return Table.toString();
+}
+
+std::string structslim::core::renderLoopTable(const ObjectAnalysis &Analysis) {
+  TablePrinter Table;
+  Table.setHeader({"Loop (lines)", "Latency %", "Accessed fields"});
+  for (const LoopStat &L : Analysis.Loops) {
+    std::vector<std::string> Names;
+    for (uint32_t Offset : L.Offsets) {
+      const FieldStat *F = Analysis.fieldAtOffset(Offset);
+      Names.push_back(F ? F->Name : "off" + std::to_string(Offset));
+    }
+    Table.addRow(
+        {L.LoopName, formatPercent(L.LatencyShare), join(Names, ", ")});
+  }
+  return Table.toString();
+}
+
+std::string
+structslim::core::renderHotContexts(const profile::Profile &Merged,
+                                    const analysis::CodeMap *CodeMap,
+                                    size_t TopN) {
+  const profile::CallContextTree &Cct = Merged.Contexts;
+  auto Describe = [&](uint64_t Ip) {
+    if (CodeMap) {
+      const analysis::CodeSite &Site = CodeMap->lookup(Ip);
+      if (Site.Valid)
+        return CodeMap->getFunctionName(Site.FuncId) + ":L" +
+               std::to_string(Site.Line);
+    }
+    return formatHex(Ip);
+  };
+
+  TablePrinter Table;
+  Table.setHeader({"Calling context", "Latency", "Samples"});
+  for (uint32_t NodeId : Cct.hottest(TopN)) {
+    std::vector<std::string> Parts;
+    for (uint64_t Ip : Cct.path(NodeId))
+      Parts.push_back(Describe(Ip));
+    Table.addRow({join(Parts, " > "),
+                  std::to_string(Cct.node(NodeId).LatencySum),
+                  std::to_string(Cct.node(NodeId).SampleCount)});
+  }
+  std::ostringstream OS;
+  Table.print(OS);
+  return OS.str();
+}
+
+std::string
+structslim::core::renderAffinityMatrix(const ObjectAnalysis &Analysis) {
+  TablePrinter Table;
+  std::vector<std::string> Header = {""};
+  for (const FieldStat &F : Analysis.Fields)
+    Header.push_back(F.Name);
+  Table.setHeader(Header);
+  for (size_t I = 0; I != Analysis.Fields.size(); ++I) {
+    std::vector<std::string> Row = {Analysis.Fields[I].Name};
+    for (size_t J = 0; J != Analysis.Fields.size(); ++J)
+      Row.push_back(formatDouble(Analysis.Affinity[I][J], 2));
+    Table.addRow(Row);
+  }
+  return Table.toString();
+}

@@ -1,0 +1,53 @@
+//===- core/Report.h - Paper-style report rendering ------------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the analyzer output in the shapes the paper's evaluation
+/// reports: the hot-object ranking (l_d), the per-field latency table
+/// (Table 5), and the per-loop latency/field table (Table 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_CORE_REPORT_H
+#define STRUCTSLIM_CORE_REPORT_H
+
+#include "core/Analyzer.h"
+
+#include <string>
+
+namespace structslim {
+namespace core {
+
+/// Hot data objects ranked by l_d (Eq. 1). When \p CodeMap is given,
+/// heap objects additionally show their allocation call path resolved
+/// to function:line (the data-centric "full calling context" view).
+std::string renderHotObjects(const AnalysisResult &Result,
+                             const analysis::CodeMap *CodeMap = nullptr);
+
+/// Table 5 shape: per-field share of the object's access latency.
+std::string renderFieldTable(const ObjectAnalysis &Analysis);
+
+/// Per-field data-source decomposition: share of samples served by
+/// each memory level (the PEBS-LL data-source field) plus TLB misses.
+std::string renderFieldLevelTable(const ObjectAnalysis &Analysis);
+
+/// Table 6 shape: per-loop latency share and accessed fields.
+std::string renderLoopTable(const ObjectAnalysis &Analysis);
+
+/// The affinity matrix, row per field.
+std::string renderAffinityMatrix(const ObjectAnalysis &Analysis);
+
+/// The hottest sampled calling contexts (HPCToolkit-style view over
+/// the profile's CCT). \p CodeMap, when given, resolves IPs to
+/// function:line; otherwise raw IPs print.
+std::string renderHotContexts(const profile::Profile &Merged,
+                              const analysis::CodeMap *CodeMap,
+                              size_t TopN = 10);
+
+} // namespace core
+} // namespace structslim
+
+#endif // STRUCTSLIM_CORE_REPORT_H

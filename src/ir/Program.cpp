@@ -1,0 +1,178 @@
+//===- ir/Program.cpp -----------------------------------------*- C++ -*-===//
+
+#include "ir/Program.h"
+
+#include "support/Error.h"
+
+#include <sstream>
+
+using namespace structslim;
+using namespace structslim::ir;
+
+const char *structslim::ir::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::ConstI:
+    return "const";
+  case Opcode::Move:
+    return "move";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::AddI:
+    return "addi";
+  case Opcode::MulI:
+    return "muli";
+  case Opcode::AndI:
+    return "andi";
+  case Opcode::CmpLt:
+    return "cmplt";
+  case Opcode::CmpLe:
+    return "cmple";
+  case Opcode::CmpEq:
+    return "cmpeq";
+  case Opcode::CmpNe:
+    return "cmpne";
+  case Opcode::Work:
+    return "work";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Alloc:
+    return "alloc";
+  case Opcode::Free:
+    return "free";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Br:
+    return "br";
+  case Opcode::CondBr:
+    return "condbr";
+  case Opcode::Ret:
+    return "ret";
+  }
+  unreachable("unknown opcode");
+}
+
+Function &Program::addFunction(const std::string &Name, uint32_t NumParams) {
+  auto F = std::make_unique<Function>();
+  F->Name = Name;
+  F->Id = static_cast<uint32_t>(Functions.size());
+  F->NumParams = NumParams;
+  F->NumRegs = NumParams;
+  Functions.push_back(std::move(F));
+  return *Functions.back();
+}
+
+Function *Program::findFunction(const std::string &Name) {
+  for (auto &F : Functions)
+    if (F->Name == Name)
+      return F.get();
+  return nullptr;
+}
+
+uint32_t Program::makeToken(const std::string &Name) {
+  Tokens.push_back(Name);
+  return static_cast<uint32_t>(Tokens.size() - 1);
+}
+
+size_t Program::countInstructions() const {
+  size_t Count = 0;
+  for (const auto &F : Functions)
+    for (const auto &BB : F->Blocks)
+      Count += BB->Instrs.size();
+  return Count;
+}
+
+static void printInstr(std::ostringstream &OS, const Program &P,
+                       const Instr &I) {
+  auto Rg = [](Reg R) {
+    return R == NoReg ? std::string("_") : "r" + std::to_string(R);
+  };
+  OS << "    [" << I.Ip << " L" << I.Line << "] " << opcodeName(I.Op);
+  switch (I.Op) {
+  case Opcode::ConstI:
+    OS << " " << Rg(I.Dst) << ", " << I.Imm;
+    break;
+  case Opcode::Move:
+    OS << " " << Rg(I.Dst) << ", " << Rg(I.A);
+    break;
+  case Opcode::AddI:
+  case Opcode::MulI:
+  case Opcode::AndI:
+    OS << " " << Rg(I.Dst) << ", " << Rg(I.A) << ", " << I.Imm;
+    break;
+  case Opcode::Load:
+    OS << " " << Rg(I.Dst) << ", [" << Rg(I.A) << " + " << Rg(I.B) << "*"
+       << I.Scale << " + " << I.Disp << "] sz" << unsigned(I.Size);
+    break;
+  case Opcode::Store:
+    OS << " [" << Rg(I.A) << " + " << Rg(I.B) << "*" << I.Scale << " + "
+       << I.Disp << "] sz" << unsigned(I.Size) << ", " << Rg(I.C);
+    break;
+  case Opcode::Alloc:
+    OS << " " << Rg(I.Dst) << ", bytes=" << Rg(I.A) << " \"" << I.Sym << "\"";
+    break;
+  case Opcode::Free:
+    OS << " " << Rg(I.A);
+    break;
+  case Opcode::Call:
+    OS << " " << Rg(I.Dst) << ", @" << P.getFunction(I.Callee).Name << "(";
+    for (size_t N = 0; N != I.Args.size(); ++N)
+      OS << (N ? ", " : "") << Rg(I.Args[N]);
+    OS << ")";
+    break;
+  case Opcode::Br:
+  case Opcode::CondBr:
+    OS << " " << Rg(I.A);
+    break;
+  case Opcode::Ret:
+    OS << " " << Rg(I.A);
+    break;
+  default:
+    OS << " " << Rg(I.Dst) << ", " << Rg(I.A) << ", " << Rg(I.B);
+    break;
+  }
+  if (I.Token != 0)
+    OS << " !tok:" << P.getTokenName(I.Token);
+  OS << "\n";
+}
+
+std::string Program::toString() const {
+  std::ostringstream OS;
+  for (const auto &F : Functions) {
+    OS << "func @" << F->Name << " params=" << F->NumParams
+       << " regs=" << F->NumRegs << (F->Id == EntryId ? " [entry]" : "")
+       << " {\n";
+    for (const auto &BB : F->Blocks) {
+      OS << "  bb" << BB->Id << ":";
+      if (!BB->Succs.empty()) {
+        OS << "  -> ";
+        for (size_t N = 0; N != BB->Succs.size(); ++N)
+          OS << (N ? ", " : "") << "bb" << BB->Succs[N];
+      }
+      OS << "\n";
+      for (const Instr &I : BB->Instrs)
+        printInstr(OS, *this, I);
+    }
+    OS << "}\n";
+  }
+  return OS.str();
+}

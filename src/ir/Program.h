@@ -1,0 +1,183 @@
+//===- ir/Program.h - Binary-level program model ---------------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small binary-level IR: functions made of basic blocks made of
+/// register-machine instructions with x86-like addressing
+/// (base + index * scale + displacement). The interpreter in runtime/
+/// executes this IR over a simulated address space, producing the
+/// instruction/address stream a real PMU would observe. Every
+/// instruction carries a unique instruction pointer (IP) and a source
+/// line, mirroring the text section + DWARF line table StructSlim
+/// consumes from real binaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_IR_PROGRAM_H
+#define STRUCTSLIM_IR_PROGRAM_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace structslim {
+namespace ir {
+
+/// Virtual register index, local to a function frame.
+using Reg = uint32_t;
+
+/// Sentinel meaning "no register operand".
+inline constexpr Reg NoReg = ~0u;
+
+/// Instruction opcodes. The set is deliberately small: enough to
+/// express the evaluated workloads (array sweeps, pointer chasing,
+/// integer arithmetic, allocation) while keeping the interpreter fast.
+enum class Opcode : uint8_t {
+  ConstI, ///< Dst = Imm
+  Move,   ///< Dst = A
+  Add,    ///< Dst = A + B
+  Sub,    ///< Dst = A - B
+  Mul,    ///< Dst = A * B
+  Div,    ///< Dst = A / B   (signed; B must be nonzero)
+  Rem,    ///< Dst = A % B   (signed; B must be nonzero)
+  And,    ///< Dst = A & B
+  Or,     ///< Dst = A | B
+  Xor,    ///< Dst = A ^ B
+  Shl,    ///< Dst = A << (B & 63)
+  Shr,    ///< Dst = A >> (B & 63)  (logical)
+  AddI,   ///< Dst = A + Imm
+  MulI,   ///< Dst = A * Imm
+  AndI,   ///< Dst = A & Imm
+  CmpLt,  ///< Dst = (A < B)  (signed)
+  CmpLe,  ///< Dst = (A <= B) (signed)
+  CmpEq,  ///< Dst = (A == B)
+  CmpNe,  ///< Dst = (A != B)
+  Work,   ///< Consumes Imm simulated cycles (models compute latency,
+          ///< e.g. FP pipelines, without interpreter cost)
+  Load,   ///< Dst = mem[A + B*Scale + Disp], Size bytes, zero-extended
+  Store,  ///< mem[A + B*Scale + Disp] = C, Size bytes
+  Alloc,  ///< Dst = allocate A bytes; named by Sym
+  Free,   ///< free(A)
+  Call,   ///< Dst = Callee(Args...); Dst may be NoReg
+  Br,     ///< jump to successor 0
+  CondBr, ///< if A != 0 jump to successor 0 else successor 1
+  Ret,    ///< return A (NoReg for void)
+};
+
+/// Returns a printable mnemonic.
+const char *opcodeName(Opcode Op);
+
+/// True for Load/Store.
+inline bool isMemoryOp(Opcode Op) {
+  return Op == Opcode::Load || Op == Opcode::Store;
+}
+
+/// True for Br/CondBr/Ret.
+inline bool isTerminator(Opcode Op) {
+  return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret;
+}
+
+/// One instruction. Memory operands use the x86-like effective address
+/// A + B * Scale + Disp (register B may be NoReg). Token optionally
+/// ties a memory or alloc instruction to a workload-declared data
+/// object so the split transform can rewrite it; the profiler never
+/// reads tokens.
+struct Instr {
+  Opcode Op = Opcode::ConstI;
+  Reg Dst = NoReg;
+  Reg A = NoReg;
+  Reg B = NoReg;
+  Reg C = NoReg;
+  int64_t Imm = 0;
+  int64_t Disp = 0;
+  uint32_t Scale = 1;
+  uint8_t Size = 8;
+  uint32_t Line = 0;
+  uint64_t Ip = 0;
+  uint32_t Callee = ~0u;
+  uint32_t Token = 0; ///< 0 means "no token".
+  std::vector<Reg> Args;
+  std::string Sym; ///< Alloc: data-object name.
+};
+
+/// A basic block: straight-line instructions ending in one terminator.
+struct BasicBlock {
+  uint32_t Id = 0;
+  std::vector<Instr> Instrs;
+  std::vector<uint32_t> Succs;
+};
+
+/// A function: blocks plus the register-file size. Parameters arrive in
+/// registers 0 .. NumParams-1.
+struct Function {
+  std::string Name;
+  uint32_t Id = 0;
+  uint32_t NumParams = 0;
+  uint32_t NumRegs = 0;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+
+  BasicBlock &entry() { return *Blocks.front(); }
+  const BasicBlock &entry() const { return *Blocks.front(); }
+};
+
+/// A whole program: functions, an entry point, a token table and a
+/// monotonically growing IP counter (the simulated text section).
+class Program {
+public:
+  static constexpr uint64_t TextBase = 0x400000;
+
+  Program() { Tokens.push_back("<none>"); }
+
+  Function &addFunction(const std::string &Name, uint32_t NumParams);
+  Function &getFunction(uint32_t Id) { return *Functions[Id]; }
+  const Function &getFunction(uint32_t Id) const { return *Functions[Id]; }
+  Function *findFunction(const std::string &Name);
+  size_t getNumFunctions() const { return Functions.size(); }
+
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Functions;
+  }
+  std::vector<std::unique_ptr<Function>> &functions() { return Functions; }
+
+  void setEntry(uint32_t FunctionId) { EntryId = FunctionId; }
+  uint32_t getEntry() const { return EntryId; }
+
+  /// Registers a data-object token name; returns its id (>= 1).
+  uint32_t makeToken(const std::string &Name);
+  const std::string &getTokenName(uint32_t Token) const {
+    return Tokens[Token];
+  }
+  size_t getNumTokens() const { return Tokens.size(); }
+
+  /// Hands out the next unique instruction pointer.
+  uint64_t nextIp() { return NextIp++; }
+  uint64_t getIpEnd() const { return NextIp; }
+
+  /// Advances the IP counter to at least \p End (used when cloning a
+  /// program whose instructions keep their original IPs).
+  void reserveIps(uint64_t End) {
+    if (End > NextIp)
+      NextIp = End;
+  }
+
+  /// Total instruction count across all functions.
+  size_t countInstructions() const;
+
+  /// Renders a human-readable listing.
+  std::string toString() const;
+
+private:
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<std::string> Tokens;
+  uint32_t EntryId = 0;
+  uint64_t NextIp = TextBase;
+};
+
+} // namespace ir
+} // namespace structslim
+
+#endif // STRUCTSLIM_IR_PROGRAM_H

@@ -1,0 +1,273 @@
+//===- ir/ProgramBuilder.cpp ----------------------------------*- C++ -*-===//
+
+#include "ir/ProgramBuilder.h"
+
+#include <cassert>
+
+using namespace structslim;
+using namespace structslim::ir;
+
+ProgramBuilder::ProgramBuilder(Program &P, Function &F) : P(P), F(F) {
+  if (F.Blocks.empty())
+    CurBB = newBlock();
+}
+
+uint32_t ProgramBuilder::newBlock() {
+  auto BB = std::make_unique<BasicBlock>();
+  BB->Id = static_cast<uint32_t>(F.Blocks.size());
+  F.Blocks.push_back(std::move(BB));
+  return F.Blocks.back()->Id;
+}
+
+void ProgramBuilder::switchTo(uint32_t Id) {
+  assert(Id < F.Blocks.size() && "no such block");
+  CurBB = Id;
+}
+
+Reg ProgramBuilder::newReg() { return F.NumRegs++; }
+
+Instr &ProgramBuilder::emit(Instr I) {
+  assert((cur().Instrs.empty() ||
+          !isTerminator(cur().Instrs.back().Op)) &&
+         "emitting past a terminator");
+  I.Ip = P.nextIp();
+  I.Line = CurLine;
+  cur().Instrs.push_back(std::move(I));
+  return cur().Instrs.back();
+}
+
+Reg ProgramBuilder::constI(int64_t Value) {
+  Instr I;
+  I.Op = Opcode::ConstI;
+  I.Dst = newReg();
+  I.Imm = Value;
+  return emit(std::move(I)).Dst;
+}
+
+Reg ProgramBuilder::move(Reg Src) {
+  Instr I;
+  I.Op = Opcode::Move;
+  I.Dst = newReg();
+  I.A = Src;
+  return emit(std::move(I)).Dst;
+}
+
+Reg ProgramBuilder::binop(Opcode Op, Reg A, Reg B) {
+  Instr I;
+  I.Op = Op;
+  I.Dst = newReg();
+  I.A = A;
+  I.B = B;
+  return emit(std::move(I)).Dst;
+}
+
+void ProgramBuilder::moveInto(Reg Dst, Reg Src) {
+  Instr I;
+  I.Op = Opcode::Move;
+  I.Dst = Dst;
+  I.A = Src;
+  emit(std::move(I));
+}
+
+void ProgramBuilder::work(int64_t Cycles) {
+  assert(Cycles >= 0 && "negative work");
+  Instr I;
+  I.Op = Opcode::Work;
+  I.Imm = Cycles;
+  emit(std::move(I));
+}
+
+void ProgramBuilder::accumulate(Reg Acc, Reg Value) {
+  Instr I;
+  I.Op = Opcode::Add;
+  I.Dst = Acc;
+  I.A = Acc;
+  I.B = Value;
+  emit(std::move(I));
+}
+
+Reg ProgramBuilder::addI(Reg A, int64_t Imm) {
+  Instr I;
+  I.Op = Opcode::AddI;
+  I.Dst = newReg();
+  I.A = A;
+  I.Imm = Imm;
+  return emit(std::move(I)).Dst;
+}
+
+Reg ProgramBuilder::mulI(Reg A, int64_t Imm) {
+  Instr I;
+  I.Op = Opcode::MulI;
+  I.Dst = newReg();
+  I.A = A;
+  I.Imm = Imm;
+  return emit(std::move(I)).Dst;
+}
+
+Reg ProgramBuilder::andI(Reg A, int64_t Imm) {
+  Instr I;
+  I.Op = Opcode::AndI;
+  I.Dst = newReg();
+  I.A = A;
+  I.Imm = Imm;
+  return emit(std::move(I)).Dst;
+}
+
+Reg ProgramBuilder::load(Reg Base, Reg Index, uint32_t Scale, int64_t Disp,
+                         uint8_t Size, uint32_t Token) {
+  Instr I;
+  I.Op = Opcode::Load;
+  I.Dst = newReg();
+  I.A = Base;
+  I.B = Index;
+  I.Scale = Scale;
+  I.Disp = Disp;
+  I.Size = Size;
+  I.Token = Token;
+  return emit(std::move(I)).Dst;
+}
+
+void ProgramBuilder::store(Reg Value, Reg Base, Reg Index, uint32_t Scale,
+                           int64_t Disp, uint8_t Size, uint32_t Token) {
+  Instr I;
+  I.Op = Opcode::Store;
+  I.A = Base;
+  I.B = Index;
+  I.C = Value;
+  I.Scale = Scale;
+  I.Disp = Disp;
+  I.Size = Size;
+  I.Token = Token;
+  emit(std::move(I));
+}
+
+Reg ProgramBuilder::alloc(Reg SizeReg, const std::string &Name,
+                          uint32_t Token) {
+  Instr I;
+  I.Op = Opcode::Alloc;
+  I.Dst = newReg();
+  I.A = SizeReg;
+  I.Sym = Name;
+  I.Token = Token;
+  return emit(std::move(I)).Dst;
+}
+
+void ProgramBuilder::free(Reg Addr) {
+  Instr I;
+  I.Op = Opcode::Free;
+  I.A = Addr;
+  emit(std::move(I));
+}
+
+Reg ProgramBuilder::call(Function &Callee, const std::vector<Reg> &Args,
+                         bool WantResult) {
+  assert(Args.size() == Callee.NumParams && "argument count mismatch");
+  Instr I;
+  I.Op = Opcode::Call;
+  I.Dst = WantResult ? newReg() : NoReg;
+  I.Callee = Callee.Id;
+  I.Args = Args;
+  return emit(std::move(I)).Dst;
+}
+
+void ProgramBuilder::br(uint32_t Target) {
+  Instr I;
+  I.Op = Opcode::Br;
+  emit(std::move(I));
+  cur().Succs = {Target};
+}
+
+void ProgramBuilder::condBr(Reg Cond, uint32_t TrueBB, uint32_t FalseBB) {
+  Instr I;
+  I.Op = Opcode::CondBr;
+  I.A = Cond;
+  emit(std::move(I));
+  cur().Succs = {TrueBB, FalseBB};
+}
+
+void ProgramBuilder::ret(Reg Value) {
+  Instr I;
+  I.Op = Opcode::Ret;
+  I.A = Value;
+  emit(std::move(I));
+  cur().Succs.clear();
+}
+
+void ProgramBuilder::forLoop(Reg Begin, Reg End, int64_t Step,
+                             const std::function<void(Reg Iv)> &Body) {
+  // Canonical rotated loop: preheader -> header(test) -> body -> latch
+  // (increment, back edge) -> header; header also exits.
+  Reg Iv = move(Begin);
+  uint32_t Header = newBlock();
+  uint32_t BodyBB = newBlock();
+  uint32_t Exit = newBlock();
+  br(Header);
+
+  switchTo(Header);
+  Reg Cond = cmpLt(Iv, End);
+  condBr(Cond, BodyBB, Exit);
+
+  switchTo(BodyBB);
+  Body(Iv);
+  // The body may have created new blocks; the increment belongs to
+  // whichever block emission ended in (the natural latch).
+  Instr Inc;
+  Inc.Op = Opcode::AddI;
+  Inc.Dst = Iv;
+  Inc.A = Iv;
+  Inc.Imm = Step;
+  emit(std::move(Inc));
+  br(Header);
+
+  switchTo(Exit);
+}
+
+void ProgramBuilder::forLoopI(int64_t Begin, int64_t End, int64_t Step,
+                              const std::function<void(Reg Iv)> &Body) {
+  Reg B = constI(Begin);
+  Reg E = constI(End);
+  forLoop(B, E, Step, Body);
+}
+
+void ProgramBuilder::whileLoop(const std::function<Reg()> &MakeCond,
+                               const std::function<void()> &Body) {
+  uint32_t Header = newBlock();
+  uint32_t BodyBB = newBlock();
+  uint32_t Exit = newBlock();
+  br(Header);
+
+  switchTo(Header);
+  Reg Cond = MakeCond();
+  condBr(Cond, BodyBB, Exit);
+
+  switchTo(BodyBB);
+  Body();
+  br(Header);
+
+  switchTo(Exit);
+}
+
+void ProgramBuilder::ifThen(Reg Cond, const std::function<void()> &Then) {
+  uint32_t ThenBB = newBlock();
+  uint32_t Join = newBlock();
+  condBr(Cond, ThenBB, Join);
+  switchTo(ThenBB);
+  Then();
+  br(Join);
+  switchTo(Join);
+}
+
+void ProgramBuilder::ifThenElse(Reg Cond, const std::function<void()> &Then,
+                                const std::function<void()> &Else) {
+  uint32_t ThenBB = newBlock();
+  uint32_t ElseBB = newBlock();
+  uint32_t Join = newBlock();
+  condBr(Cond, ThenBB, ElseBB);
+  switchTo(ThenBB);
+  Then();
+  br(Join);
+  switchTo(ElseBB);
+  Else();
+  br(Join);
+  switchTo(Join);
+}

@@ -1,0 +1,140 @@
+//===- ir/ProgramBuilder.h - Convenience IR construction -------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builder API used by the workload models to construct IR programs:
+/// instruction emission with automatic IP/line assignment plus
+/// structured-control-flow helpers (counted loops and while loops) that
+/// generate the canonical header/body/exit block shapes a compiler
+/// would emit, so the loop-nesting analysis has realistic input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_IR_PROGRAMBUILDER_H
+#define STRUCTSLIM_IR_PROGRAMBUILDER_H
+
+#include "ir/Program.h"
+
+#include <functional>
+
+namespace structslim {
+namespace ir {
+
+/// Emits instructions into one function of a Program.
+class ProgramBuilder {
+public:
+  ProgramBuilder(Program &P, Function &F);
+
+  Program &getProgram() { return P; }
+  Function &getFunction() { return F; }
+
+  /// Sets the source line attached to subsequently emitted instructions.
+  void setLine(uint32_t Line) { CurLine = Line; }
+  uint32_t getLine() const { return CurLine; }
+
+  /// Creates a new empty basic block (does not switch to it).
+  uint32_t newBlock();
+
+  /// Redirects emission to block \p Id.
+  void switchTo(uint32_t Id);
+
+  /// Current insertion block id.
+  uint32_t currentBlock() const { return CurBB; }
+
+  /// Allocates a fresh virtual register.
+  Reg newReg();
+
+  // Value producers -------------------------------------------------------
+  Reg constI(int64_t Value);
+  Reg move(Reg Src);
+  Reg binop(Opcode Op, Reg A, Reg B);
+  Reg add(Reg A, Reg B) { return binop(Opcode::Add, A, B); }
+  Reg sub(Reg A, Reg B) { return binop(Opcode::Sub, A, B); }
+  Reg mul(Reg A, Reg B) { return binop(Opcode::Mul, A, B); }
+  Reg div(Reg A, Reg B) { return binop(Opcode::Div, A, B); }
+  Reg rem(Reg A, Reg B) { return binop(Opcode::Rem, A, B); }
+  Reg bxor(Reg A, Reg B) { return binop(Opcode::Xor, A, B); }
+  Reg band(Reg A, Reg B) { return binop(Opcode::And, A, B); }
+  Reg shl(Reg A, Reg B) { return binop(Opcode::Shl, A, B); }
+  Reg shr(Reg A, Reg B) { return binop(Opcode::Shr, A, B); }
+  Reg addI(Reg A, int64_t Imm);
+  Reg mulI(Reg A, int64_t Imm);
+  Reg andI(Reg A, int64_t Imm);
+  /// Emits Acc = Acc + Value (in-place accumulation across iterations).
+  void accumulate(Reg Acc, Reg Value);
+
+  /// Emits Dst = Src into an existing register (loop-carried values).
+  void moveInto(Reg Dst, Reg Src);
+
+  /// Emits a Work instruction consuming \p Cycles simulated cycles —
+  /// stands in for computation (FP math) the IR does not express.
+  void work(int64_t Cycles);
+
+  Reg cmpLt(Reg A, Reg B) { return binop(Opcode::CmpLt, A, B); }
+  Reg cmpLe(Reg A, Reg B) { return binop(Opcode::CmpLe, A, B); }
+  Reg cmpEq(Reg A, Reg B) { return binop(Opcode::CmpEq, A, B); }
+  Reg cmpNe(Reg A, Reg B) { return binop(Opcode::CmpNe, A, B); }
+
+  // Memory -----------------------------------------------------------------
+  /// Load of \p Size bytes from Base + Index*Scale + Disp. Pass NoReg as
+  /// \p Index for plain Base + Disp addressing. \p Token optionally names
+  /// the data object for the split transform.
+  Reg load(Reg Base, Reg Index, uint32_t Scale, int64_t Disp, uint8_t Size,
+           uint32_t Token = 0);
+
+  /// Store of register \p Value, same addressing as load().
+  void store(Reg Value, Reg Base, Reg Index, uint32_t Scale, int64_t Disp,
+             uint8_t Size, uint32_t Token = 0);
+
+  /// Allocates \p SizeReg bytes under data-object name \p Name.
+  Reg alloc(Reg SizeReg, const std::string &Name, uint32_t Token = 0);
+  void free(Reg Addr);
+
+  // Control flow -----------------------------------------------------------
+  Reg call(Function &Callee, const std::vector<Reg> &Args,
+           bool WantResult = true);
+  void br(uint32_t Target);
+  void condBr(Reg Cond, uint32_t TrueBB, uint32_t FalseBB);
+  void ret(Reg Value = NoReg);
+
+  // Structured helpers -----------------------------------------------------
+  /// Emits a counted loop `for (iv = Begin; iv < End; iv += Step)`.
+  /// \p Body receives the induction-variable register. Emission resumes
+  /// in the exit block on return.
+  void forLoop(Reg Begin, Reg End, int64_t Step,
+               const std::function<void(Reg Iv)> &Body);
+
+  /// Convenience overload with immediate bounds.
+  void forLoopI(int64_t Begin, int64_t End, int64_t Step,
+                const std::function<void(Reg Iv)> &Body);
+
+  /// Emits `while (cond)` where \p MakeCond emits condition computation
+  /// into the loop header and returns the condition register; \p Body
+  /// emits the loop body. Emission resumes in the exit block.
+  void whileLoop(const std::function<Reg()> &MakeCond,
+                 const std::function<void()> &Body);
+
+  /// Emits `if (cond) then ...` (no else). Emission resumes after.
+  void ifThen(Reg Cond, const std::function<void()> &Then);
+
+  /// Emits `if (cond) then ... else ...`. Emission resumes after.
+  void ifThenElse(Reg Cond, const std::function<void()> &Then,
+                  const std::function<void()> &Else);
+
+private:
+  Instr &emit(Instr I);
+  BasicBlock &cur() { return *F.Blocks[CurBB]; }
+
+  Program &P;
+  Function &F;
+  uint32_t CurBB = 0;
+  uint32_t CurLine = 0;
+};
+
+} // namespace ir
+} // namespace structslim
+
+#endif // STRUCTSLIM_IR_PROGRAMBUILDER_H

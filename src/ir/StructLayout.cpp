@@ -1,0 +1,72 @@
+//===- ir/StructLayout.cpp ------------------------------------*- C++ -*-===//
+
+#include "ir/StructLayout.h"
+
+#include <cassert>
+
+using namespace structslim;
+using namespace structslim::ir;
+
+static uint32_t alignTo(uint32_t Value, uint32_t Align) {
+  assert(Align != 0 && (Align & (Align - 1)) == 0 && "bad alignment");
+  return (Value + Align - 1) & ~(Align - 1);
+}
+
+uint32_t StructLayout::addField(const std::string &FieldName, uint32_t Size,
+                                uint32_t Align) {
+  assert(Size != 0 && "zero-sized field");
+  if (Align == 0)
+    Align = Size <= 8 ? Size : 8;
+  uint32_t Offset = alignTo(this->Size, Align);
+  Fields.push_back({FieldName, Size, Offset});
+  this->Size = Offset + Size;
+  if (Align > MaxAlign)
+    MaxAlign = Align;
+  return Offset;
+}
+
+uint32_t StructLayout::finalize() {
+  Size = alignTo(Size, MaxAlign);
+  return Size;
+}
+
+const FieldDesc *StructLayout::fieldContaining(uint32_t Offset) const {
+  for (const FieldDesc &F : Fields)
+    if (Offset >= F.Offset && Offset < F.Offset + F.Size)
+      return &F;
+  return nullptr;
+}
+
+const FieldDesc *StructLayout::fieldNamed(const std::string &FieldName) const {
+  for (const FieldDesc &F : Fields)
+    if (F.Name == FieldName)
+      return &F;
+  return nullptr;
+}
+
+std::string StructLayout::toString() const {
+  std::string Out = "struct " + Name + " {";
+  for (const FieldDesc &F : Fields) {
+    Out += " ";
+    switch (F.Size) {
+    case 1:
+      Out += "char";
+      break;
+    case 2:
+      Out += "short";
+      break;
+    case 4:
+      Out += "int";
+      break;
+    case 8:
+      Out += "long";
+      break;
+    default:
+      Out += "char[" + std::to_string(F.Size) + "]";
+      break;
+    }
+    Out += " " + F.Name + ";";
+  }
+  Out += " };";
+  return Out;
+}

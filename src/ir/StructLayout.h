@@ -1,0 +1,77 @@
+//===- ir/StructLayout.h - Aggregate type layout ---------------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Describes the memory layout of an aggregate (struct) type: named
+/// fields with sizes and byte offsets. Workload models use layouts to
+/// place fields; the StructSlim analyzer uses them only to map inferred
+/// offsets back to field names when rendering reports (the inference
+/// itself works purely on addresses, as in the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_IR_STRUCTLAYOUT_H
+#define STRUCTSLIM_IR_STRUCTLAYOUT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace structslim {
+namespace ir {
+
+/// One field of a struct layout.
+struct FieldDesc {
+  std::string Name;
+  uint32_t Size = 0;
+  uint32_t Offset = 0;
+};
+
+/// A C-like struct layout with natural alignment rules.
+class StructLayout {
+public:
+  StructLayout() = default;
+  explicit StructLayout(std::string Name) : Name(std::move(Name)) {}
+
+  /// Appends a field of \p Size bytes aligned to \p Align (defaults to
+  /// the field size, as C compilers do for scalar fields). Returns the
+  /// assigned byte offset.
+  uint32_t addField(const std::string &FieldName, uint32_t Size,
+                    uint32_t Align = 0);
+
+  /// Pads the total size up to the maximum field alignment so arrays of
+  /// this struct keep every element aligned. Returns the final size.
+  uint32_t finalize();
+
+  const std::string &getName() const { return Name; }
+  uint32_t getSize() const { return Size; }
+  bool empty() const { return Fields.empty(); }
+  size_t getNumFields() const { return Fields.size(); }
+  const std::vector<FieldDesc> &fields() const { return Fields; }
+  const FieldDesc &getField(size_t Index) const { return Fields[Index]; }
+
+  /// Returns the field whose [Offset, Offset+Size) range contains
+  /// \p Offset, or nullptr when the offset lands in padding or past the
+  /// end.
+  const FieldDesc *fieldContaining(uint32_t Offset) const;
+
+  /// Returns the field named \p FieldName, or nullptr.
+  const FieldDesc *fieldNamed(const std::string &FieldName) const;
+
+  /// Renders a C-like definition, e.g. for the Fig. 7-13 style output.
+  std::string toString() const;
+
+private:
+  std::string Name;
+  std::vector<FieldDesc> Fields;
+  uint32_t Size = 0;
+  uint32_t MaxAlign = 1;
+};
+
+} // namespace ir
+} // namespace structslim
+
+#endif // STRUCTSLIM_IR_STRUCTLAYOUT_H

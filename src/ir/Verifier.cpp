@@ -1,0 +1,125 @@
+//===- ir/Verifier.cpp ----------------------------------------*- C++ -*-===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Program.h"
+
+#include <sstream>
+
+using namespace structslim;
+using namespace structslim::ir;
+
+namespace {
+
+/// Accumulates context for error messages.
+class VerifierImpl {
+public:
+  explicit VerifierImpl(const Program &P) : P(P) {}
+
+  std::string run() {
+    if (P.getNumFunctions() == 0)
+      return "program has no functions";
+    if (P.getEntry() >= P.getNumFunctions())
+      return "entry function id out of range";
+    for (const auto &F : P.functions())
+      if (std::string Err = checkFunction(*F); !Err.empty())
+        return Err;
+    return "";
+  }
+
+private:
+  std::string fail(const Function &F, const BasicBlock &BB,
+                   const std::string &Message) {
+    std::ostringstream OS;
+    OS << "function '" << F.Name << "' bb" << BB.Id << ": " << Message;
+    return OS.str();
+  }
+
+  std::string checkFunction(const Function &F) {
+    if (F.Blocks.empty())
+      return "function '" + F.Name + "' has no blocks";
+    for (const auto &BB : F.Blocks) {
+      if (std::string Err = checkBlock(F, *BB); !Err.empty())
+        return Err;
+    }
+    return "";
+  }
+
+  std::string checkBlock(const Function &F, const BasicBlock &BB) {
+    if (BB.Instrs.empty())
+      return fail(F, BB, "empty block");
+    for (size_t I = 0; I + 1 < BB.Instrs.size(); ++I)
+      if (isTerminator(BB.Instrs[I].Op))
+        return fail(F, BB, "terminator before end of block");
+    const Instr &Term = BB.Instrs.back();
+    if (!isTerminator(Term.Op))
+      return fail(F, BB, "block does not end in a terminator");
+
+    size_t WantSuccs = 0;
+    if (Term.Op == Opcode::Br)
+      WantSuccs = 1;
+    else if (Term.Op == Opcode::CondBr)
+      WantSuccs = 2;
+    if (BB.Succs.size() != WantSuccs)
+      return fail(F, BB, "successor count does not match terminator");
+    for (uint32_t S : BB.Succs)
+      if (S >= F.Blocks.size())
+        return fail(F, BB, "successor out of range");
+
+    for (const Instr &I : BB.Instrs)
+      if (std::string Err = checkInstr(F, BB, I); !Err.empty())
+        return Err;
+    return "";
+  }
+
+  std::string checkReg(const Function &F, const BasicBlock &BB, Reg R,
+                       const char *Which) {
+    if (R != NoReg && R >= F.NumRegs)
+      return fail(F, BB, std::string("register operand '") + Which +
+                             "' out of range");
+    return "";
+  }
+
+  std::string checkInstr(const Function &F, const BasicBlock &BB,
+                         const Instr &I) {
+    for (auto [R, Name] : {std::pair(I.Dst, "dst"), std::pair(I.A, "a"),
+                           std::pair(I.B, "b"), std::pair(I.C, "c")})
+      if (std::string Err = checkReg(F, BB, R, Name); !Err.empty())
+        return Err;
+
+    if (isMemoryOp(I.Op)) {
+      if (I.Size != 1 && I.Size != 2 && I.Size != 4 && I.Size != 8)
+        return fail(F, BB, "memory operand size must be 1/2/4/8");
+      if (I.A == NoReg)
+        return fail(F, BB, "memory op without a base register");
+      if (I.Op == Opcode::Store && I.C == NoReg)
+        return fail(F, BB, "store without a value register");
+      if (I.Token >= P.getNumTokens())
+        return fail(F, BB, "token id out of range");
+    }
+
+    if (I.Op == Opcode::Call) {
+      if (I.Callee >= P.getNumFunctions())
+        return fail(F, BB, "call to unknown function");
+      const Function &Callee = P.getFunction(I.Callee);
+      if (I.Args.size() != Callee.NumParams)
+        return fail(F, BB, "call argument count mismatch for '" +
+                               Callee.Name + "'");
+      for (Reg R : I.Args)
+        if (std::string Err = checkReg(F, BB, R, "arg"); !Err.empty())
+          return Err;
+    }
+
+    if (I.Op == Opcode::Alloc && I.Sym.empty())
+      return fail(F, BB, "alloc without a data-object name");
+    return "";
+  }
+
+  const Program &P;
+};
+
+} // namespace
+
+std::string structslim::ir::verify(const Program &P) {
+  return VerifierImpl(P).run();
+}

@@ -1,0 +1,32 @@
+//===- ir/Verifier.h - IR well-formedness checks ---------------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural verification of Programs before interpretation: block
+/// termination, successor arity, register bounds, call signatures and
+/// memory-operand sanity. Returns a diagnostic string instead of
+/// aborting so tests can assert on specific failures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_IR_VERIFIER_H
+#define STRUCTSLIM_IR_VERIFIER_H
+
+#include <string>
+
+namespace structslim {
+namespace ir {
+
+class Program;
+
+/// Verifies \p P. Returns an empty string when well-formed, otherwise
+/// the first problem found.
+std::string verify(const Program &P);
+
+} // namespace ir
+} // namespace structslim
+
+#endif // STRUCTSLIM_IR_VERIFIER_H

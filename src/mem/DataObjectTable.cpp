@@ -1,0 +1,83 @@
+//===- mem/DataObjectTable.cpp --------------------------------*- C++ -*-===//
+
+#include "mem/DataObjectTable.h"
+
+#include "support/Error.h"
+
+using namespace structslim;
+using namespace structslim::mem;
+
+std::string DataObject::key() const {
+  if (Kind == ObjectKind::Static)
+    return Name;
+  std::string Key = Name;
+  Key += "@";
+  for (size_t I = 0; I != AllocPath.size(); ++I) {
+    if (I != 0)
+      Key += ">";
+    Key += std::to_string(AllocPath[I]);
+  }
+  return Key;
+}
+
+uint32_t DataObjectTable::addObject(DataObject Object) {
+  Object.Id = static_cast<uint32_t>(Objects.size());
+  // Overlap with a live object indicates a broken allocator; fail loud.
+  auto It = LiveByStart.upper_bound(Object.Start);
+  if (It != LiveByStart.begin()) {
+    const DataObject &Prev = Objects[std::prev(It)->second];
+    if (Object.Start < Prev.Start + Prev.Size)
+      fatalError("data object '" + Object.Name +
+                 "' overlaps live object '" + Prev.Name + "'");
+  }
+  if (It != LiveByStart.end()) {
+    const DataObject &Next = Objects[It->second];
+    if (Object.Start + Object.Size > Next.Start)
+      fatalError("data object '" + Object.Name +
+                 "' overlaps live object '" + Next.Name + "'");
+  }
+  LiveByStart[Object.Start] = Object.Id;
+  Objects.push_back(std::move(Object));
+  return Objects.back().Id;
+}
+
+uint32_t DataObjectTable::addStatic(const std::string &Name, uint64_t Start,
+                                    uint64_t Size) {
+  DataObject Object;
+  Object.Name = Name;
+  Object.Kind = ObjectKind::Static;
+  Object.Start = Start;
+  Object.Size = Size;
+  return addObject(std::move(Object));
+}
+
+uint32_t DataObjectTable::addHeap(const std::string &Name, uint64_t Start,
+                                  uint64_t Size,
+                                  std::vector<uint64_t> AllocPath) {
+  DataObject Object;
+  Object.Name = Name;
+  Object.Kind = ObjectKind::Heap;
+  Object.Start = Start;
+  Object.Size = Size;
+  Object.AllocPath = std::move(AllocPath);
+  return addObject(std::move(Object));
+}
+
+bool DataObjectTable::release(uint64_t Start) {
+  auto It = LiveByStart.find(Start);
+  if (It == LiveByStart.end())
+    return false;
+  Objects[It->second].Live = false;
+  LiveByStart.erase(It);
+  return true;
+}
+
+const DataObject *DataObjectTable::lookup(uint64_t Addr) const {
+  auto It = LiveByStart.upper_bound(Addr);
+  if (It == LiveByStart.begin())
+    return nullptr;
+  const DataObject &Candidate = Objects[std::prev(It)->second];
+  if (Addr >= Candidate.Start + Candidate.Size)
+    return nullptr;
+  return &Candidate;
+}

@@ -1,0 +1,58 @@
+//===- mem/SimMemory.h - Paged simulated address space ---------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sparse 64-bit byte-addressable memory backed by 4 KiB pages. The
+/// interpreter stores real values here so pointer-chasing workloads
+/// (TSP, Health, CLOMP) produce genuine data-dependent address streams,
+/// exactly what the sampled PMU observes on hardware.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_MEM_SIMMEMORY_H
+#define STRUCTSLIM_MEM_SIMMEMORY_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace structslim {
+namespace mem {
+
+/// Sparse paged memory. Unwritten bytes read as zero.
+class SimMemory {
+public:
+  static constexpr uint64_t PageBits = 12;
+  static constexpr uint64_t PageSize = 1ull << PageBits;
+
+  /// Reads \p Size (1/2/4/8) bytes at \p Addr, little-endian,
+  /// zero-extended.
+  uint64_t read(uint64_t Addr, unsigned Size) const;
+
+  /// Writes the low \p Size bytes of \p Value at \p Addr.
+  void write(uint64_t Addr, unsigned Size, uint64_t Value);
+
+  /// Number of pages materialized so far (footprint metric).
+  size_t getNumPages() const { return Pages.size(); }
+
+private:
+  using Page = std::array<uint8_t, PageSize>;
+
+  const Page *findPage(uint64_t PageIndex) const {
+    auto It = Pages.find(PageIndex);
+    return It == Pages.end() ? nullptr : It->second.get();
+  }
+
+  Page &getOrCreatePage(uint64_t PageIndex);
+
+  std::unordered_map<uint64_t, std::unique_ptr<Page>> Pages;
+};
+
+} // namespace mem
+} // namespace structslim
+
+#endif // STRUCTSLIM_MEM_SIMMEMORY_H

@@ -1,0 +1,48 @@
+//===- mem/TrackingAllocator.cpp ------------------------------*- C++ -*-===//
+
+#include "mem/TrackingAllocator.h"
+
+#include <cassert>
+
+using namespace structslim;
+using namespace structslim::mem;
+
+static uint64_t roundUp(uint64_t Value, uint64_t Align) {
+  return (Value + Align - 1) & ~(Align - 1);
+}
+
+uint64_t TrackingAllocator::allocate(uint64_t Size) {
+  assert(Size != 0 && "zero-byte allocation");
+  Size = roundUp(Size, Alignment);
+
+  // Best-fit among freed blocks: the first entry with size >= Size.
+  auto It = FreeBySize.lower_bound(Size);
+  uint64_t Addr;
+  if (It != FreeBySize.end()) {
+    Addr = It->second;
+    uint64_t BlockSize = It->first;
+    FreeBySize.erase(It);
+    // Return the tail to the free pool when it is big enough to matter.
+    if (BlockSize - Size >= Alignment)
+      FreeBySize.insert({BlockSize - Size, Addr + Size});
+    else
+      Size = BlockSize;
+  } else {
+    Addr = Brk;
+    Brk += Size;
+  }
+
+  LiveBlocks[Addr] = Size;
+  BytesLive += Size;
+  return Addr;
+}
+
+bool TrackingAllocator::deallocate(uint64_t Addr) {
+  auto It = LiveBlocks.find(Addr);
+  if (It == LiveBlocks.end())
+    return false;
+  BytesLive -= It->second;
+  FreeBySize.insert({It->second, Addr});
+  LiveBlocks.erase(It);
+  return true;
+}

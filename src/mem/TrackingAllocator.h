@@ -1,0 +1,58 @@
+//===- mem/TrackingAllocator.h - Interposed heap allocator -----*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated program heap. Mirrors the malloc the profiled program
+/// would use: 16-byte aligned blocks, first-fit reuse of freed blocks,
+/// and a header-free layout (headers are tracked on the side so field
+/// offsets stay exactly as the workload laid them out). The profiler
+/// "interposes" on it by registering each block with the
+/// DataObjectTable, the role libmonitor plays in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_MEM_TRACKINGALLOCATOR_H
+#define STRUCTSLIM_MEM_TRACKINGALLOCATOR_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace structslim {
+namespace mem {
+
+/// First-fit heap over a dedicated region of the simulated address
+/// space.
+class TrackingAllocator {
+public:
+  static constexpr uint64_t HeapBase = 0x7f0000000000ull;
+  static constexpr uint64_t Alignment = 16;
+
+  /// Allocates \p Size bytes (rounded up to the alignment). Never
+  /// returns 0.
+  uint64_t allocate(uint64_t Size);
+
+  /// Frees the block starting at \p Addr. Returns false for addresses
+  /// that were never allocated (or double frees).
+  bool deallocate(uint64_t Addr);
+
+  /// Total bytes currently allocated.
+  uint64_t getBytesLive() const { return BytesLive; }
+
+  /// High-water mark of the bump pointer (footprint metric).
+  uint64_t getBytesReserved() const { return Brk - HeapBase; }
+
+private:
+  uint64_t Brk = HeapBase;
+  uint64_t BytesLive = 0;
+  std::map<uint64_t, uint64_t> LiveBlocks; ///< start -> size
+  std::multimap<uint64_t, uint64_t> FreeBySize; ///< size -> start
+};
+
+} // namespace mem
+} // namespace structslim
+
+#endif // STRUCTSLIM_MEM_TRACKINGALLOCATOR_H

@@ -1,0 +1,39 @@
+//===- pmu/AddressSampling.cpp --------------------------------*- C++ -*-===//
+
+#include "pmu/AddressSampling.h"
+
+using namespace structslim;
+using namespace structslim::pmu;
+
+SampleSink::~SampleSink() = default;
+
+PmuModel::PmuModel(const SamplingConfig &Config, uint32_t ThreadId)
+    : Config(Config), ThreadId(ThreadId),
+      Jitter(Config.Seed * 0x9e3779b97f4a7c15ULL + ThreadId + 1) {
+  Countdown = nextCountdown();
+}
+
+uint64_t PmuModel::nextCountdown() {
+  if (!Config.RandomizePeriod || Config.Period < 4)
+    return Config.Period;
+  // +/- 25% jitter around the nominal period, as hardware randomization
+  // does, so strided code cannot alias with the sampling period.
+  uint64_t Quarter = Config.Period / 4;
+  return Config.Period - Quarter + Jitter.nextBelow(2 * Quarter + 1);
+}
+
+void PmuModel::deliver(uint64_t Ip, uint64_t EffAddr, uint8_t AccessSize,
+                       bool IsWrite, const cache::AccessResult &Result) {
+  AddressSample Sample;
+  Sample.ThreadId = ThreadId;
+  Sample.Ip = Ip;
+  Sample.EffAddr = EffAddr;
+  Sample.AccessSize = AccessSize;
+  Sample.Latency = Result.Latency;
+  Sample.Served = Result.Served;
+  Sample.IsWrite = IsWrite;
+  Sample.TlbMiss = Result.TlbMiss;
+  ++SamplesDelivered;
+  Sink->onSample(Sample);
+  Countdown = nextCountdown();
+}

@@ -1,0 +1,114 @@
+//===- pmu/AddressSampling.h - PEBS-LL/IBS address sampling ----*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Models the performance-monitoring-unit address sampling StructSlim
+/// is built on (paper Sec. 2, Table 1). The PMU periodically selects a
+/// memory access and records the three pieces of information the paper
+/// enumerates: (1) the instruction pointer, (2) the effective address,
+/// and (3) the memory events it caused — here, the serving cache level
+/// and the access latency (the PEBS-LL / IBS capability; plain PEBS and
+/// MRK lack latency, which is why StructSlim requires PEBS-LL or IBS).
+///
+/// Two flavors are modeled:
+///  - PebsLoadLatency: samples loads only, like Intel PEBS-LL;
+///  - IbsOp:           samples loads and stores, like AMD IBS.
+///
+/// Real PEBS randomizes the distance between samples; the model applies
+/// the same jitter so periodic access patterns cannot alias with the
+/// sampling period.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_PMU_ADDRESSSAMPLING_H
+#define STRUCTSLIM_PMU_ADDRESSSAMPLING_H
+
+#include "cache/Hierarchy.h"
+#include "support/Random.h"
+
+#include <cstdint>
+
+namespace structslim {
+namespace pmu {
+
+/// One address sample as delivered by the PMU interrupt handler.
+struct AddressSample {
+  uint32_t ThreadId = 0;
+  uint64_t Ip = 0;
+  uint64_t EffAddr = 0;
+  uint32_t Latency = 0;
+  uint8_t AccessSize = 0; ///< Bytes touched by the sampled instruction.
+  cache::MemLevel Served = cache::MemLevel::L1;
+  bool IsWrite = false;
+  bool TlbMiss = false; ///< Reported by PEBS/IBS alongside cache events.
+};
+
+/// Which sampling hardware to model.
+enum class PmuFlavor : uint8_t {
+  PebsLoadLatency, ///< Intel PEBS with load latency: loads only.
+  IbsOp,           ///< AMD instruction-based sampling: loads + stores.
+};
+
+/// Sampling parameters. The paper samples one in 10,000 accesses.
+struct SamplingConfig {
+  uint64_t Period = 10000;
+  PmuFlavor Flavor = PmuFlavor::PebsLoadLatency;
+  bool RandomizePeriod = true;
+  uint64_t Seed = 0x5eed;
+};
+
+/// Receives samples from the PMU "interrupt handler".
+class SampleSink {
+public:
+  virtual ~SampleSink();
+  virtual void onSample(const AddressSample &Sample) = 0;
+};
+
+/// The per-core PMU. The runtime calls onAccess() for every memory
+/// access a core performs; the PMU delivers every N-th one (with
+/// jitter) to the sink.
+class PmuModel {
+public:
+  PmuModel(const SamplingConfig &Config, uint32_t ThreadId);
+
+  /// Arms the PMU with \p Sink; a null sink disables sampling (the
+  /// "profiler detached" configuration used to measure overhead).
+  void setSink(SampleSink *Sink) { this->Sink = Sink; }
+
+  /// Observes one memory access; delivers a sample when the period
+  /// counter expires. Hot path: one decrement + branch when not
+  /// sampling.
+  void onAccess(uint64_t Ip, uint64_t EffAddr, uint8_t AccessSize,
+                bool IsWrite, const cache::AccessResult &Result) {
+    if (!Sink)
+      return;
+    if (Config.Flavor == PmuFlavor::PebsLoadLatency && IsWrite)
+      return; // PEBS-LL monitors loads only.
+    if (--Countdown != 0)
+      return;
+    deliver(Ip, EffAddr, AccessSize, IsWrite, Result);
+  }
+
+  uint64_t getSamplesDelivered() const { return SamplesDelivered; }
+  const SamplingConfig &getConfig() const { return Config; }
+
+private:
+  void deliver(uint64_t Ip, uint64_t EffAddr, uint8_t AccessSize,
+               bool IsWrite, const cache::AccessResult &Result);
+  uint64_t nextCountdown();
+
+  SamplingConfig Config;
+  uint32_t ThreadId;
+  SampleSink *Sink = nullptr;
+  Rng Jitter;
+  uint64_t Countdown;
+  uint64_t SamplesDelivered = 0;
+};
+
+} // namespace pmu
+} // namespace structslim
+
+#endif // STRUCTSLIM_PMU_ADDRESSSAMPLING_H

@@ -1,0 +1,44 @@
+//===- profile/MergeTree.cpp ----------------------------------*- C++ -*-===//
+
+#include "profile/MergeTree.h"
+
+#include <thread>
+
+using namespace structslim;
+using namespace structslim::profile;
+
+Profile structslim::profile::mergeProfiles(std::vector<Profile> Profiles,
+                                           unsigned WorkerThreads) {
+  if (Profiles.empty())
+    return Profile();
+
+  // Reduce pairwise: after each level, half as many profiles remain.
+  while (Profiles.size() > 1) {
+    size_t Pairs = Profiles.size() / 2;
+    auto MergeRange = [&](size_t Begin, size_t End) {
+      for (size_t I = Begin; I != End; ++I)
+        Profiles[I].merge(Profiles[Profiles.size() - 1 - I]);
+    };
+
+    if (WorkerThreads > 1 && Pairs > 1) {
+      size_t NumWorkers = std::min<size_t>(WorkerThreads, Pairs);
+      std::vector<std::thread> Workers;
+      size_t Chunk = (Pairs + NumWorkers - 1) / NumWorkers;
+      for (size_t W = 0; W != NumWorkers; ++W) {
+        size_t Begin = W * Chunk;
+        size_t End = std::min(Begin + Chunk, Pairs);
+        if (Begin >= End)
+          break;
+        Workers.emplace_back(MergeRange, Begin, End);
+      }
+      for (std::thread &T : Workers)
+        T.join();
+    } else {
+      MergeRange(0, Pairs);
+    }
+
+    // Keep the merged front half plus the middle leftover (odd counts).
+    Profiles.resize(Profiles.size() - Pairs);
+  }
+  return std::move(Profiles.front());
+}

@@ -1,0 +1,34 @@
+//===- profile/MergeTree.h - Parallel reduction-tree merge -----*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Merges per-thread profiles with a reduction tree (paper Sec. 5.2,
+/// citing Tallent et al.'s scalable call-path merging): profiles are
+/// combined pairwise level by level, and independent pairs within a
+/// level merge on worker threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_PROFILE_MERGETREE_H
+#define STRUCTSLIM_PROFILE_MERGETREE_H
+
+#include "profile/Profile.h"
+
+#include <vector>
+
+namespace structslim {
+namespace profile {
+
+/// Merges all \p Profiles into one. \p WorkerThreads > 1 merges
+/// independent pairs concurrently; 1 runs the same tree serially.
+/// Consumes the input vector.
+Profile mergeProfiles(std::vector<Profile> Profiles,
+                      unsigned WorkerThreads = 1);
+
+} // namespace profile
+} // namespace structslim
+
+#endif // STRUCTSLIM_PROFILE_MERGETREE_H

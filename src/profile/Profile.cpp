@@ -1,0 +1,109 @@
+//===- profile/Profile.cpp ------------------------------------*- C++ -*-===//
+
+#include "profile/Profile.h"
+
+#include "support/MathUtil.h"
+
+#include <cassert>
+
+using namespace structslim;
+using namespace structslim::profile;
+
+uint32_t Profile::getOrCreateObject(const std::string &Key) {
+  auto [It, Inserted] = ObjectIndexByKey.try_emplace(
+      Key, static_cast<uint32_t>(Objects.size()));
+  if (Inserted) {
+    ObjectAgg Agg;
+    Agg.Key = Key;
+    Objects.push_back(std::move(Agg));
+  }
+  return It->second;
+}
+
+StreamRecord &Profile::getOrCreateStream(uint64_t Ip, uint32_t ObjectIndex) {
+  auto [It, Inserted] = StreamIndexByKey.try_emplace(
+      StreamKey{Ip, ObjectIndex}, static_cast<uint32_t>(Streams.size()));
+  if (Inserted) {
+    StreamRecord Record;
+    Record.Ip = Ip;
+    Record.ObjectIndex = ObjectIndex;
+    Streams.push_back(Record);
+  }
+  return Streams[It->second];
+}
+
+const ObjectAgg *Profile::findObject(const std::string &Key) const {
+  auto It = ObjectIndexByKey.find(Key);
+  return It == ObjectIndexByKey.end() ? nullptr : &Objects[It->second];
+}
+
+void Profile::merge(const Profile &Other) {
+  TotalSamples += Other.TotalSamples;
+  TotalLatency += Other.TotalLatency;
+  UnattributedLatency += Other.UnattributedLatency;
+  Instructions += Other.Instructions;
+  MemoryAccesses += Other.MemoryAccesses;
+  Cycles += Other.Cycles; // Aggregate work across threads.
+  if (SamplePeriod == 0)
+    SamplePeriod = Other.SamplePeriod;
+  Contexts.merge(Other.Contexts);
+
+  // Map the other profile's object indices into ours.
+  std::vector<uint32_t> Remap(Other.Objects.size());
+  for (size_t I = 0; I != Other.Objects.size(); ++I) {
+    const ObjectAgg &Theirs = Other.Objects[I];
+    uint32_t Index = getOrCreateObject(Theirs.Key);
+    Remap[I] = Index;
+    ObjectAgg &Ours = Objects[Index];
+    if (Ours.Name.empty()) {
+      Ours.Name = Theirs.Name;
+      Ours.Start = Theirs.Start;
+      Ours.Size = Theirs.Size;
+    }
+    Ours.SampleCount += Theirs.SampleCount;
+    Ours.LatencySum += Theirs.LatencySum;
+  }
+
+  for (const StreamRecord &Theirs : Other.Streams) {
+    StreamRecord &Ours = getOrCreateStream(Theirs.Ip, Remap[Theirs.ObjectIndex]);
+    bool Fresh = Ours.SampleCount == 0;
+    if (Fresh) {
+      uint32_t Object = Ours.ObjectIndex;
+      Ours = Theirs;
+      Ours.ObjectIndex = Object;
+      continue;
+    }
+    assert(Ours.Ip == Theirs.Ip && "stream key mismatch");
+    Ours.SampleCount += Theirs.SampleCount;
+    Ours.LatencySum += Theirs.LatencySum;
+    Ours.UniqueAddrCount += Theirs.UniqueAddrCount;
+    if (Ours.AccessSize < Theirs.AccessSize)
+      Ours.AccessSize = Theirs.AccessSize;
+    for (size_t L = 0; L != Ours.LevelSamples.size(); ++L)
+      Ours.LevelSamples[L] += Theirs.LevelSamples[L];
+    Ours.TlbMissSamples += Theirs.TlbMissSamples;
+    // Strides combine by GCD (Sec. 4.4 adapts Eq. 5 across profiles).
+    Ours.StrideGcd = gcd64(Ours.StrideGcd, Theirs.StrideGcd);
+    // Two samples of the same stream on the same object instance also
+    // differ by a stride multiple, so their representative addresses
+    // sharpen the GCD further.
+    if (Ours.ObjectStart == Theirs.ObjectStart && Ours.RepAddr &&
+        Theirs.RepAddr) {
+      uint64_t Diff = Ours.RepAddr > Theirs.RepAddr
+                          ? Ours.RepAddr - Theirs.RepAddr
+                          : Theirs.RepAddr - Ours.RepAddr;
+      if (Diff != 0)
+        Ours.StrideGcd = gcd64(Ours.StrideGcd, Diff);
+    }
+  }
+}
+
+void Profile::reindex() {
+  ObjectIndexByKey.clear();
+  StreamIndexByKey.clear();
+  for (size_t I = 0; I != Objects.size(); ++I)
+    ObjectIndexByKey[Objects[I].Key] = static_cast<uint32_t>(I);
+  for (size_t I = 0; I != Streams.size(); ++I)
+    StreamIndexByKey[StreamKey{Streams[I].Ip, Streams[I].ObjectIndex}] =
+        static_cast<uint32_t>(I);
+}

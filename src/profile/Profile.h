@@ -1,0 +1,133 @@
+//===- profile/Profile.h - Per-thread execution profiles -------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profile each monitored thread writes and the offline analyzer
+/// consumes. A profile holds
+///   - per-data-object latency aggregates (for the hot-data metric l_d,
+///     paper Eq. 1),
+///   - per-stream records: one per (instruction, data object) pair
+///     observed inside a loop (paper Sec. 4.2.1), carrying the running
+///     GCD of adjacent sampled-address differences (Eqs. 2-3), the
+///     unique-address count, a representative address for the offset
+///     computation (Eq. 6), and latency sums split by serving level.
+///
+/// Profiles from different threads merge by object key and by
+/// (IP, object key): latencies add, strides combine by GCD — exactly
+/// the per-profile aggregation Sec. 4.4 describes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_PROFILE_PROFILE_H
+#define STRUCTSLIM_PROFILE_PROFILE_H
+
+#include "profile/Cct.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace structslim {
+namespace profile {
+
+/// Latency and sample aggregates for one data object (keyed by the
+/// cross-thread identity: symbol name or name + allocation path).
+struct ObjectAgg {
+  std::string Key;
+  std::string Name;
+  uint64_t Start = 0; ///< Base address when profiled.
+  uint64_t Size = 0;  ///< Allocated size in bytes.
+  uint64_t SampleCount = 0;
+  uint64_t LatencySum = 0;
+};
+
+/// One stream: a memory instruction referencing one data object inside
+/// a loop.
+struct StreamRecord {
+  uint64_t Ip = 0;
+  uint32_t ObjectIndex = 0; ///< Index into Profile::Objects.
+  int32_t LoopId = -1;      ///< Global loop id from the CodeMap.
+  uint32_t Line = 0;
+  uint8_t AccessSize = 0;   ///< Widest access seen (bytes).
+  uint64_t SampleCount = 0;
+  uint64_t LatencySum = 0;
+  uint64_t UniqueAddrCount = 0;
+  /// GCD of address differences between consecutively sampled unique
+  /// addresses (0 until two unique addresses were seen).
+  uint64_t StrideGcd = 0;
+  uint64_t RepAddr = 0;     ///< First sampled address (for Eq. 6).
+  uint64_t LastAddr = 0;    ///< Most recent unique address.
+  uint64_t ObjectStart = 0; ///< Object base, for the offset computation.
+  std::array<uint64_t, 4> LevelSamples{}; ///< Indexed by cache::MemLevel.
+  uint64_t TlbMissSamples = 0;
+};
+
+/// A complete per-thread (or merged) profile.
+class Profile {
+public:
+  // --- Metadata ---------------------------------------------------------
+  uint32_t ThreadId = 0;
+  uint64_t SamplePeriod = 0;
+  uint64_t TotalSamples = 0;
+  uint64_t TotalLatency = 0;       ///< Over all samples (Eq. 1 denominator).
+  uint64_t UnattributedLatency = 0; ///< Samples outside any data object.
+  uint64_t Instructions = 0;       ///< Executed instruction count.
+  uint64_t MemoryAccesses = 0;
+  uint64_t Cycles = 0;             ///< Simulated execution cycles.
+
+  // --- Content ----------------------------------------------------------
+  std::vector<ObjectAgg> Objects;
+  std::vector<StreamRecord> Streams;
+  /// Full-calling-context attribution of sampled latency (HPCToolkit
+  /// style); leaves are sampled instructions.
+  CallContextTree Contexts;
+
+  /// Returns the index for object \p Key, creating the aggregate on
+  /// first use.
+  uint32_t getOrCreateObject(const std::string &Key);
+
+  /// Returns the stream record for (\p Ip, \p ObjectIndex), creating it
+  /// on first use.
+  StreamRecord &getOrCreateStream(uint64_t Ip, uint32_t ObjectIndex);
+
+  /// Finds an object aggregate by key; nullptr when absent.
+  const ObjectAgg *findObject(const std::string &Key) const;
+
+  /// Merges \p Other into this profile (paper Sec. 4.4): object
+  /// aggregates add; streams match on (IP, object key); stream strides
+  /// combine by GCD, including the cross-profile difference of
+  /// representative addresses when both profiles saw the same object
+  /// instance.
+  void merge(const Profile &Other);
+
+  /// Re-establishes the lookup indices after bulk loading (used by the
+  /// deserializer).
+  void reindex();
+
+private:
+  struct StreamKey {
+    uint64_t Ip;
+    uint32_t Object;
+    bool operator==(const StreamKey &O) const {
+      return Ip == O.Ip && Object == O.Object;
+    }
+  };
+  struct StreamKeyHash {
+    size_t operator()(const StreamKey &K) const {
+      return static_cast<size_t>(K.Ip * 0x9e3779b97f4a7c15ULL) ^ K.Object;
+    }
+  };
+
+  std::unordered_map<std::string, uint32_t> ObjectIndexByKey;
+  std::unordered_map<StreamKey, uint32_t, StreamKeyHash> StreamIndexByKey;
+};
+
+} // namespace profile
+} // namespace structslim
+
+#endif // STRUCTSLIM_PROFILE_PROFILE_H

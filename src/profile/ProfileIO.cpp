@@ -1,0 +1,128 @@
+//===- profile/ProfileIO.cpp ----------------------------------*- C++ -*-===//
+
+#include "profile/ProfileIO.h"
+
+#include "profile/Profile.h"
+
+#include <sstream>
+
+using namespace structslim;
+using namespace structslim::profile;
+
+static constexpr const char *Magic = "structslim-profile v1";
+
+// Whitespace-delimited fields cannot hold empty strings; "-" stands in
+// for an empty name/key on disk.
+static std::string encodeName(const std::string &Name) {
+  return Name.empty() ? "-" : Name;
+}
+static std::string decodeName(const std::string &Name) {
+  return Name == "-" ? "" : Name;
+}
+
+void structslim::profile::writeProfile(const Profile &P, std::ostream &OS) {
+  OS << Magic << "\n";
+  OS << "meta " << P.ThreadId << " " << P.SamplePeriod << " "
+     << P.TotalSamples << " " << P.TotalLatency << " "
+     << P.UnattributedLatency << " " << P.Instructions << " "
+     << P.MemoryAccesses << " " << P.Cycles << "\n";
+  for (const ObjectAgg &O : P.Objects)
+    OS << "object " << encodeName(O.Key) << " " << encodeName(O.Name)
+       << " " << O.Start << " " << O.Size << " " << O.SampleCount << " "
+       << O.LatencySum << "\n";
+  for (const StreamRecord &S : P.Streams) {
+    OS << "stream " << S.Ip << " " << S.ObjectIndex << " " << S.LoopId << " "
+       << S.Line << " " << unsigned(S.AccessSize) << " " << S.SampleCount
+       << " " << S.LatencySum << " " << S.UniqueAddrCount << " "
+       << S.StrideGcd << " " << S.RepAddr << " " << S.LastAddr << " "
+       << S.ObjectStart;
+    for (uint64_t L : S.LevelSamples)
+      OS << " " << L;
+    OS << " " << S.TlbMissSamples;
+    OS << "\n";
+  }
+  P.Contexts.write(OS);
+}
+
+std::string structslim::profile::profileToString(const Profile &P) {
+  std::ostringstream OS;
+  writeProfile(P, OS);
+  return OS.str();
+}
+
+static std::optional<Profile> failParse(std::string *Error,
+                                        const std::string &Message) {
+  if (Error)
+    *Error = Message;
+  return std::nullopt;
+}
+
+std::optional<Profile>
+structslim::profile::readProfile(std::istream &IS, std::string *Error) {
+  std::string Line;
+  if (!std::getline(IS, Line) || Line != Magic)
+    return failParse(Error, "missing profile magic header");
+
+  Profile P;
+  bool SawMeta = false;
+  while (std::getline(IS, Line)) {
+    if (Line.empty())
+      continue;
+    std::istringstream LS(Line);
+    std::string Kind;
+    LS >> Kind;
+    if (Kind == "meta") {
+      LS >> P.ThreadId >> P.SamplePeriod >> P.TotalSamples >>
+          P.TotalLatency >> P.UnattributedLatency >> P.Instructions >>
+          P.MemoryAccesses >> P.Cycles;
+      if (!LS)
+        return failParse(Error, "malformed meta line");
+      SawMeta = true;
+    } else if (Kind == "object") {
+      ObjectAgg O;
+      LS >> O.Key >> O.Name >> O.Start >> O.Size >> O.SampleCount >>
+          O.LatencySum;
+      if (!LS)
+        return failParse(Error, "malformed object line");
+      O.Key = decodeName(O.Key);
+      O.Name = decodeName(O.Name);
+      P.Objects.push_back(std::move(O));
+    } else if (Kind == "stream") {
+      StreamRecord S;
+      unsigned AccessSize = 0;
+      LS >> S.Ip >> S.ObjectIndex >> S.LoopId >> S.Line >> AccessSize >>
+          S.SampleCount >> S.LatencySum >> S.UniqueAddrCount >>
+          S.StrideGcd >> S.RepAddr >> S.LastAddr >> S.ObjectStart;
+      for (uint64_t &L : S.LevelSamples)
+        LS >> L;
+      LS >> S.TlbMissSamples;
+      if (!LS)
+        return failParse(Error, "malformed stream line");
+      S.AccessSize = static_cast<uint8_t>(AccessSize);
+      if (S.ObjectIndex >= P.Objects.size())
+        return failParse(Error, "stream references unknown object");
+      P.Streams.push_back(std::move(S));
+    } else if (Kind == "cctnode") {
+      uint32_t Parent = 0;
+      uint64_t Ip = 0, Latency = 0, Samples = 0;
+      LS >> Parent >> Ip >> Latency >> Samples;
+      if (!LS)
+        return failParse(Error, "malformed cctnode line");
+      if (!P.Contexts.addSerializedNode(Parent, Ip, Latency, Samples))
+        return failParse(Error, "cctnode references unknown parent");
+    } else {
+      return failParse(Error, "unknown record kind '" + Kind + "'");
+    }
+  }
+  if (!SawMeta)
+    return failParse(Error, "profile has no meta record");
+  P.reindex();
+  return P;
+}
+
+std::optional<Profile>
+structslim::profile::profileFromString(const std::string &Text,
+                                       std::string *Error) {
+  std::istringstream IS(Text);
+  return readProfile(IS, Error);
+}

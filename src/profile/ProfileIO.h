@@ -1,0 +1,45 @@
+//===- profile/ProfileIO.h - Profile (de)serialization ---------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text serialization for profiles. The online profiler writes one
+/// profile file per thread (paper Sec. 5.1); the offline analyzer reads
+/// them back and merges. A line-oriented format keeps the files
+/// diffable in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_PROFILE_PROFILEIO_H
+#define STRUCTSLIM_PROFILE_PROFILEIO_H
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+namespace structslim {
+namespace profile {
+
+class Profile;
+
+/// Writes \p P to \p OS.
+void writeProfile(const Profile &P, std::ostream &OS);
+
+/// Serializes to a string.
+std::string profileToString(const Profile &P);
+
+/// Parses a profile; std::nullopt on malformed input (the error is
+/// described in \p Error when non-null).
+std::optional<Profile> readProfile(std::istream &IS,
+                                   std::string *Error = nullptr);
+
+/// Parses from a string.
+std::optional<Profile> profileFromString(const std::string &Text,
+                                         std::string *Error = nullptr);
+
+} // namespace profile
+} // namespace structslim
+
+#endif // STRUCTSLIM_PROFILE_PROFILEIO_H

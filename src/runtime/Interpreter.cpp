@@ -1,0 +1,237 @@
+//===- runtime/Interpreter.cpp --------------------------------*- C++ -*-===//
+
+#include "runtime/Interpreter.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace structslim;
+using namespace structslim::runtime;
+using structslim::ir::Instr;
+using structslim::ir::NoReg;
+using structslim::ir::Opcode;
+
+TraceSink::~TraceSink() = default;
+
+void TraceSink::onBlockEnter(uint32_t, uint32_t, uint32_t) {}
+
+Interpreter::Interpreter(const ir::Program &P, Machine &M,
+                         cache::MemoryHierarchy &Hierarchy,
+                         pmu::PmuModel *Pmu, uint32_t ThreadId)
+    : P(P), M(M), Hierarchy(Hierarchy), Pmu(Pmu), ThreadId(ThreadId) {}
+
+void Interpreter::pushFrame(const ir::Function &F,
+                            const std::vector<uint64_t> &Args,
+                            ir::Reg ReturnDst) {
+  assert(Args.size() == F.NumParams && "argument count mismatch");
+  Frame Fr;
+  Fr.F = &F;
+  Fr.BB = &F.entry();
+  Fr.InstrIndex = 0;
+  Fr.ReturnDst = ReturnDst;
+  Fr.Regs.assign(F.NumRegs, 0);
+  for (size_t I = 0; I != Args.size(); ++I)
+    Fr.Regs[I] = Args[I];
+  Frames.push_back(std::move(Fr));
+  if (Tracer)
+    Tracer->onBlockEnter(ThreadId, F.Id, F.entry().Id);
+}
+
+void Interpreter::start(uint32_t FunctionId,
+                        const std::vector<uint64_t> &Args) {
+  assert(Frames.empty() && "interpreter already running");
+  Started = true;
+  pushFrame(P.getFunction(FunctionId), Args, NoReg);
+}
+
+void Interpreter::enterBlock(const ir::BasicBlock &BB) {
+  Frame &Fr = Frames.back();
+  Fr.BB = &BB;
+  Fr.InstrIndex = 0;
+  if (Tracer)
+    Tracer->onBlockEnter(ThreadId, Fr.F->Id, BB.Id);
+}
+
+void Interpreter::doMemoryOp(const Instr &I) {
+  Frame &Fr = Frames.back();
+  uint64_t Ea = Fr.Regs[I.A] + I.Disp;
+  if (I.B != NoReg)
+    Ea += Fr.Regs[I.B] * I.Scale;
+
+  bool IsWrite = I.Op == Opcode::Store;
+  cache::AccessResult Result = Hierarchy.access(Ea, I.Size, IsWrite, I.Ip);
+  ++Stats.MemoryAccesses;
+  Stats.Cycles += Result.Latency;
+
+  if (Pmu)
+    Pmu->onAccess(I.Ip, Ea, I.Size, IsWrite, Result);
+  if (Tracer)
+    Tracer->onAccess(ThreadId, I.Ip, Ea, I.Size, IsWrite, Result);
+
+  if (IsWrite)
+    M.Memory.write(Ea, I.Size, Fr.Regs[I.C]);
+  else
+    Fr.Regs[I.Dst] = M.Memory.read(Ea, I.Size);
+}
+
+void Interpreter::executeOne(const Instr &I) {
+  Frame &Fr = Frames.back();
+  auto &Regs = Fr.Regs;
+  switch (I.Op) {
+  case Opcode::ConstI:
+    Regs[I.Dst] = static_cast<uint64_t>(I.Imm);
+    break;
+  case Opcode::Move:
+    Regs[I.Dst] = Regs[I.A];
+    break;
+  case Opcode::Add:
+    Regs[I.Dst] = Regs[I.A] + Regs[I.B];
+    break;
+  case Opcode::Sub:
+    Regs[I.Dst] = Regs[I.A] - Regs[I.B];
+    break;
+  case Opcode::Mul:
+    Regs[I.Dst] = Regs[I.A] * Regs[I.B];
+    break;
+  case Opcode::Div: {
+    int64_t D = static_cast<int64_t>(Regs[I.B]);
+    if (D == 0)
+      fatalError("division by zero at ip " + std::to_string(I.Ip));
+    Regs[I.Dst] =
+        static_cast<uint64_t>(static_cast<int64_t>(Regs[I.A]) / D);
+    break;
+  }
+  case Opcode::Rem: {
+    int64_t D = static_cast<int64_t>(Regs[I.B]);
+    if (D == 0)
+      fatalError("remainder by zero at ip " + std::to_string(I.Ip));
+    Regs[I.Dst] =
+        static_cast<uint64_t>(static_cast<int64_t>(Regs[I.A]) % D);
+    break;
+  }
+  case Opcode::And:
+    Regs[I.Dst] = Regs[I.A] & Regs[I.B];
+    break;
+  case Opcode::Or:
+    Regs[I.Dst] = Regs[I.A] | Regs[I.B];
+    break;
+  case Opcode::Xor:
+    Regs[I.Dst] = Regs[I.A] ^ Regs[I.B];
+    break;
+  case Opcode::Shl:
+    Regs[I.Dst] = Regs[I.A] << (Regs[I.B] & 63);
+    break;
+  case Opcode::Shr:
+    Regs[I.Dst] = Regs[I.A] >> (Regs[I.B] & 63);
+    break;
+  case Opcode::AddI:
+    Regs[I.Dst] = Regs[I.A] + static_cast<uint64_t>(I.Imm);
+    break;
+  case Opcode::MulI:
+    Regs[I.Dst] = Regs[I.A] * static_cast<uint64_t>(I.Imm);
+    break;
+  case Opcode::AndI:
+    Regs[I.Dst] = Regs[I.A] & static_cast<uint64_t>(I.Imm);
+    break;
+  case Opcode::CmpLt:
+    Regs[I.Dst] = static_cast<int64_t>(Regs[I.A]) <
+                  static_cast<int64_t>(Regs[I.B]);
+    break;
+  case Opcode::CmpLe:
+    Regs[I.Dst] = static_cast<int64_t>(Regs[I.A]) <=
+                  static_cast<int64_t>(Regs[I.B]);
+    break;
+  case Opcode::CmpEq:
+    Regs[I.Dst] = Regs[I.A] == Regs[I.B];
+    break;
+  case Opcode::CmpNe:
+    Regs[I.Dst] = Regs[I.A] != Regs[I.B];
+    break;
+  case Opcode::Work:
+    Stats.Cycles += static_cast<uint64_t>(I.Imm);
+    break;
+  case Opcode::Load:
+  case Opcode::Store:
+    doMemoryOp(I);
+    break;
+  case Opcode::Alloc: {
+    uint64_t Size = Regs[I.A];
+    uint64_t Addr = M.Allocator.allocate(Size);
+    CallPath.push_back(I.Ip);
+    M.Objects.addHeap(I.Sym, Addr, Size, CallPath);
+    CallPath.pop_back();
+    Regs[I.Dst] = Addr;
+    break;
+  }
+  case Opcode::Free: {
+    uint64_t Addr = Regs[I.A];
+    if (!M.Allocator.deallocate(Addr))
+      fatalError("invalid free at ip " + std::to_string(I.Ip));
+    M.Objects.release(Addr);
+    break;
+  }
+  case Opcode::Call: {
+    std::vector<uint64_t> Args;
+    Args.reserve(I.Args.size());
+    for (ir::Reg R : I.Args)
+      Args.push_back(Regs[R]);
+    ++Fr.InstrIndex; // Resume after the call once the callee returns.
+    CallPath.push_back(I.Ip);
+    pushFrame(P.getFunction(I.Callee), Args, I.Dst);
+    Advanced = true;
+    break;
+  }
+  case Opcode::Br:
+    enterBlock(*Fr.F->Blocks[Fr.BB->Succs[0]]);
+    Advanced = true;
+    break;
+  case Opcode::CondBr:
+    enterBlock(*Fr.F->Blocks[Fr.BB->Succs[Regs[I.A] != 0 ? 0 : 1]]);
+    Advanced = true;
+    break;
+  case Opcode::Ret: {
+    uint64_t Value = I.A == NoReg ? 0 : Regs[I.A];
+    ir::Reg Dst = Fr.ReturnDst;
+    Frames.pop_back();
+    if (!CallPath.empty() && !Frames.empty())
+      CallPath.pop_back();
+    if (Frames.empty())
+      Result = Value;
+    else if (Dst != NoReg)
+      Frames.back().Regs[Dst] = Value;
+    Advanced = true;
+    break;
+  }
+  }
+}
+
+bool Interpreter::step(uint64_t MaxInstructions) {
+  assert(Started && "step() before start()");
+  uint64_t Budget = MaxInstructions;
+  while (Budget != 0 && !Frames.empty()) {
+    Frame &Fr = Frames.back();
+    assert(Fr.InstrIndex < Fr.BB->Instrs.size() &&
+           "fell off the end of a block without a terminator");
+    const Instr &I = Fr.BB->Instrs[Fr.InstrIndex];
+    Advanced = false;
+    ++Stats.Instructions;
+    ++Stats.Cycles;
+    --Budget;
+    executeOne(I);
+    if (!Advanced)
+      ++Frames.back().InstrIndex;
+  }
+  return !Frames.empty();
+}
+
+uint64_t Interpreter::run(uint32_t FunctionId,
+                          const std::vector<uint64_t> &Args,
+                          uint64_t InstructionBudget) {
+  start(FunctionId, Args);
+  while (step(1 << 20)) {
+    if (Stats.Instructions > InstructionBudget)
+      fatalError("instruction budget exhausted; runaway program?");
+  }
+  return Result;
+}

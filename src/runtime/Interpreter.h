@@ -1,0 +1,114 @@
+//===- runtime/Interpreter.h - IR execution engine --------------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes one logical thread of an IR program over the shared Machine
+/// state, driving the cache hierarchy on every memory access and
+/// feeding the PMU model (and, optionally, an instrumentation
+/// TraceSink). Supports incremental stepping so the ThreadedRuntime can
+/// interleave threads deterministically.
+///
+/// Cost model: every instruction retires in 1 cycle plus, for memory
+/// operations, the hierarchy latency of the access. This is the
+/// simulated-time basis for all speedup measurements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_RUNTIME_INTERPRETER_H
+#define STRUCTSLIM_RUNTIME_INTERPRETER_H
+
+#include "cache/Hierarchy.h"
+#include "ir/Program.h"
+#include "pmu/AddressSampling.h"
+#include "runtime/Machine.h"
+#include "runtime/ProfileBuilder.h"
+#include "runtime/TraceSink.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace structslim {
+namespace runtime {
+
+/// Execution counters for one thread.
+struct RunStats {
+  uint64_t Instructions = 0;
+  uint64_t MemoryAccesses = 0;
+  uint64_t Cycles = 0;
+};
+
+/// One logical thread executing a Program.
+class Interpreter : public CallPathProvider {
+public:
+  /// \p Pmu may be null (no sampling hardware armed).
+  Interpreter(const ir::Program &P, Machine &M,
+              cache::MemoryHierarchy &Hierarchy, pmu::PmuModel *Pmu,
+              uint32_t ThreadId);
+
+  /// Attaches an instrumentation sink seeing every access (baselines).
+  void setTracer(TraceSink *Tracer) { this->Tracer = Tracer; }
+
+  /// Begins execution of \p FunctionId with \p Args.
+  void start(uint32_t FunctionId, const std::vector<uint64_t> &Args);
+
+  /// Executes at most \p MaxInstructions more instructions. Returns
+  /// false once the top-level function has returned.
+  bool step(uint64_t MaxInstructions);
+
+  /// Runs \p FunctionId to completion and returns its result
+  /// (0 for void). Aborts after \p InstructionBudget instructions to
+  /// catch runaway programs.
+  uint64_t run(uint32_t FunctionId, const std::vector<uint64_t> &Args,
+               uint64_t InstructionBudget = 1ull << 33);
+
+  bool isDone() const { return Frames.empty() && Started; }
+  uint64_t getResult() const { return Result; }
+  const RunStats &getStats() const { return Stats; }
+  uint32_t getThreadId() const { return ThreadId; }
+
+  /// Call-site IPs of the active frames, outermost first (the stack
+  /// walk a PMU interrupt handler performs).
+  const std::vector<uint64_t> &currentCallPath() const override {
+    return CallPath;
+  }
+
+private:
+  struct Frame {
+    const ir::Function *F = nullptr;
+    const ir::BasicBlock *BB = nullptr;
+    size_t InstrIndex = 0;
+    ir::Reg ReturnDst = ir::NoReg;
+    std::vector<uint64_t> Regs;
+  };
+
+  void executeOne(const ir::Instr &I);
+  void doMemoryOp(const ir::Instr &I);
+  void enterBlock(const ir::BasicBlock &BB);
+  void pushFrame(const ir::Function &F, const std::vector<uint64_t> &Args,
+                 ir::Reg ReturnDst);
+
+  uint64_t reg(ir::Reg R) const { return Frames.back().Regs[R]; }
+  void setReg(ir::Reg R, uint64_t V) { Frames.back().Regs[R] = V; }
+
+  const ir::Program &P;
+  Machine &M;
+  cache::MemoryHierarchy &Hierarchy;
+  pmu::PmuModel *Pmu;
+  TraceSink *Tracer = nullptr;
+  uint32_t ThreadId;
+
+  std::vector<Frame> Frames;
+  std::vector<uint64_t> CallPath; ///< Call-site IPs, outermost first.
+  RunStats Stats;
+  uint64_t Result = 0;
+  bool Started = false;
+  bool Advanced = false; ///< Set by control flow within executeOne.
+};
+
+} // namespace runtime
+} // namespace structslim
+
+#endif // STRUCTSLIM_RUNTIME_INTERPRETER_H

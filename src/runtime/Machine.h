@@ -1,0 +1,53 @@
+//===- runtime/Machine.h - Shared process state ----------------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-wide simulated state shared by all logical threads: the
+/// byte-addressable memory, the interposed heap allocator, the
+/// data-object table, and a bump region for static (symbol-table)
+/// objects. Each thread keeps its own private caches and PMU; they all
+/// reference one Machine, as OS threads share one address space.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_RUNTIME_MACHINE_H
+#define STRUCTSLIM_RUNTIME_MACHINE_H
+
+#include "mem/DataObjectTable.h"
+#include "mem/SimMemory.h"
+#include "mem/TrackingAllocator.h"
+
+#include <string>
+
+namespace structslim {
+namespace runtime {
+
+/// Shared address space + object tracking for one simulated process.
+class Machine {
+public:
+  static constexpr uint64_t StaticBase = 0x600000000000ull;
+
+  mem::SimMemory Memory;
+  mem::TrackingAllocator Allocator;
+  mem::DataObjectTable Objects;
+
+  /// Reserves \p Size bytes in the static data segment under \p Name
+  /// and registers the symbol. Returns the base address.
+  uint64_t defineStatic(const std::string &Name, uint64_t Size) {
+    uint64_t Addr = StaticBrk;
+    StaticBrk += (Size + 15) & ~15ull;
+    Objects.addStatic(Name, Addr, Size);
+    return Addr;
+  }
+
+private:
+  uint64_t StaticBrk = StaticBase;
+};
+
+} // namespace runtime
+} // namespace structslim
+
+#endif // STRUCTSLIM_RUNTIME_MACHINE_H

@@ -1,0 +1,115 @@
+//===- runtime/ThreadedRuntime.cpp ----------------------------*- C++ -*-===//
+
+#include "runtime/ThreadedRuntime.h"
+
+#include "runtime/ProfileBuilder.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace structslim;
+using namespace structslim::runtime;
+
+ThreadedRuntime::ThreadedRuntime(RunConfig Config)
+    : Config(std::move(Config)) {
+  SharedL3 = std::make_unique<cache::SetAssocCache>(this->Config.Hierarchy.L3);
+}
+
+ThreadedRuntime::~ThreadedRuntime() = default;
+
+void ThreadedRuntime::runPhase(const ir::Program &P,
+                               const analysis::CodeMap *CodeMap,
+                               const std::vector<ThreadSpec> &Threads,
+                               TraceSink *Tracer) {
+  if (Threads.empty())
+    return;
+  if (Config.AttachProfiler && !CodeMap)
+    fatalError("profiler attached but no code map supplied");
+
+  struct ThreadState {
+    std::unique_ptr<cache::MemoryHierarchy> Hierarchy;
+    std::unique_ptr<pmu::PmuModel> Pmu;
+    std::unique_ptr<ProfileBuilder> Builder;
+    std::unique_ptr<Interpreter> Interp;
+    bool Alive = true;
+  };
+
+  std::vector<ThreadState> States;
+  States.reserve(Threads.size());
+  for (const ThreadSpec &Spec : Threads) {
+    ThreadState S;
+    uint32_t Tid = NextThreadId++;
+    S.Hierarchy = std::make_unique<cache::MemoryHierarchy>(Config.Hierarchy,
+                                                           SharedL3.get());
+    S.Pmu = std::make_unique<pmu::PmuModel>(Config.Sampling, Tid);
+    if (Config.AttachProfiler) {
+      S.Builder = std::make_unique<ProfileBuilder>(*CodeMap, M.Objects, Tid,
+                                                   Config.Sampling.Period);
+      S.Pmu->setSink(S.Builder.get());
+    }
+    S.Interp = std::make_unique<Interpreter>(P, M, *S.Hierarchy,
+                                             S.Pmu.get(), Tid);
+    if (S.Builder)
+      S.Builder->setCallPathProvider(S.Interp.get());
+    if (Tracer)
+      S.Interp->setTracer(Tracer);
+    S.Interp->start(Spec.FunctionId, Spec.Args);
+    States.push_back(std::move(S));
+  }
+
+  auto Begin = std::chrono::steady_clock::now();
+  size_t AliveCount = States.size();
+  while (AliveCount != 0) {
+    for (ThreadState &S : States) {
+      if (!S.Alive)
+        continue;
+      if (!S.Interp->step(Config.Quantum)) {
+        S.Alive = false;
+        --AliveCount;
+      }
+      if (S.Interp->getStats().Instructions > Config.InstructionBudget)
+        fatalError("thread exceeded its instruction budget");
+    }
+  }
+  auto End = std::chrono::steady_clock::now();
+  Accum.WallSeconds +=
+      std::chrono::duration<double>(End - Begin).count();
+
+  // Fold this phase's results into the accumulated run result.
+  uint64_t PhaseMaxCycles = 0;
+  for (ThreadState &S : States) {
+    RunStats Stats = S.Interp->getStats();
+    // Charge the simulated sampling-interrupt cost to the thread that
+    // took the samples.
+    uint64_t Samples = S.Pmu->getSamplesDelivered();
+    Stats.Cycles += Samples * Config.SampleHandlerCycles;
+
+    Accum.TotalCycles += Stats.Cycles;
+    Accum.Instructions += Stats.Instructions;
+    Accum.MemoryAccesses += Stats.MemoryAccesses;
+    Accum.Samples += Samples;
+    PhaseMaxCycles = std::max(PhaseMaxCycles, Stats.Cycles);
+    Accum.ReturnValues.push_back(S.Interp->getResult());
+
+    Accum.Accesses[0] += S.Hierarchy->l1().getAccesses();
+    Accum.Misses[0] += S.Hierarchy->l1().getMisses();
+    Accum.Accesses[1] += S.Hierarchy->l2().getAccesses();
+    Accum.Misses[1] += S.Hierarchy->l2().getMisses();
+
+    if (S.Builder) {
+      profile::Profile Prof = S.Builder->take();
+      Prof.Instructions = Stats.Instructions;
+      Prof.MemoryAccesses = Stats.MemoryAccesses;
+      Prof.Cycles = Stats.Cycles;
+      Accum.Profiles.push_back(std::move(Prof));
+    }
+  }
+  Accum.ElapsedCycles += PhaseMaxCycles;
+}
+
+RunResult ThreadedRuntime::finish() {
+  Accum.Accesses[2] = SharedL3->getAccesses();
+  Accum.Misses[2] = SharedL3->getMisses();
+  return std::move(Accum);
+}

@@ -1,0 +1,46 @@
+//===- runtime/TraceSink.h - Instrumentation port ---------------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "binary instrumentation" port: unlike the PMU, a TraceSink sees
+/// every memory access and every basic-block entry. The baseline
+/// profilers the paper compares against (full-trace affinity, reuse
+/// distance, bursty sampling, ASLOP-style block counting) attach here —
+/// which is precisely why they are orders of magnitude slower than
+/// address sampling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_RUNTIME_TRACESINK_H
+#define STRUCTSLIM_RUNTIME_TRACESINK_H
+
+#include "cache/Hierarchy.h"
+
+#include <cstdint>
+
+namespace structslim {
+namespace runtime {
+
+/// Receives the full dynamic instruction/access stream.
+class TraceSink {
+public:
+  virtual ~TraceSink();
+
+  /// Called for every executed memory access.
+  virtual void onAccess(uint32_t ThreadId, uint64_t Ip, uint64_t EffAddr,
+                        uint8_t Size, bool IsWrite,
+                        const cache::AccessResult &Result) = 0;
+
+  /// Called on every basic-block entry (for block-counting baselines).
+  /// Default: ignore.
+  virtual void onBlockEnter(uint32_t ThreadId, uint32_t FuncId,
+                            uint32_t BlockId);
+};
+
+} // namespace runtime
+} // namespace structslim
+
+#endif // STRUCTSLIM_RUNTIME_TRACESINK_H

@@ -1,0 +1,54 @@
+//===- support/DotWriter.cpp ----------------------------------*- C++ -*-===//
+
+#include "support/DotWriter.h"
+
+#include "support/Format.h"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+
+using namespace structslim;
+
+void DotWriter::addNode(const std::string &Id, const std::string &Label,
+                        int Cluster) {
+  Nodes.push_back({Id, Label, Cluster});
+}
+
+void DotWriter::addEdge(const std::string &From, const std::string &To,
+                        double Weight) {
+  Edges.push_back({From, To, Weight});
+}
+
+void DotWriter::print(std::ostream &OS) const {
+  OS << "graph \"" << Name << "\" {\n";
+  OS << "  node [shape=ellipse];\n";
+
+  std::map<int, std::vector<const Node *>> ByCluster;
+  for (const Node &N : Nodes)
+    ByCluster[N.Cluster].push_back(&N);
+
+  for (const auto &[Cluster, Members] : ByCluster) {
+    if (Cluster >= 0) {
+      OS << "  subgraph cluster_" << Cluster << " {\n";
+      OS << "    label=\"struct " << Cluster << "\";\n";
+      for (const Node *N : Members)
+        OS << "    \"" << N->Id << "\" [label=\"" << N->Label << "\"];\n";
+      OS << "  }\n";
+      continue;
+    }
+    for (const Node *N : Members)
+      OS << "  \"" << N->Id << "\" [label=\"" << N->Label << "\"];\n";
+  }
+
+  for (const Edge &E : Edges)
+    OS << "  \"" << E.From << "\" -- \"" << E.To << "\" [label=\""
+       << formatDouble(E.Weight, 2) << "\"];\n";
+  OS << "}\n";
+}
+
+std::string DotWriter::toString() const {
+  std::ostringstream OS;
+  print(OS);
+  return OS.str();
+}

@@ -1,0 +1,59 @@
+//===- support/DotWriter.h - Graphviz dot emission -------------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal Graphviz writer. StructSlim's splitting advice is rendered as
+/// an undirected weighted graph whose nodes are structure-field offsets
+/// and whose edges carry field affinities (paper Sec. 5.2, Fig. 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_SUPPORT_DOTWRITER_H
+#define STRUCTSLIM_SUPPORT_DOTWRITER_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace structslim {
+
+/// Builds an undirected dot graph with optional subgraph clusters.
+class DotWriter {
+public:
+  explicit DotWriter(std::string GraphName) : Name(std::move(GraphName)) {}
+
+  /// Adds a node; \p Cluster groups nodes into a dot subgraph
+  /// (cluster index -1 keeps the node at top level).
+  void addNode(const std::string &Id, const std::string &Label,
+               int Cluster = -1);
+
+  /// Adds an undirected weighted edge.
+  void addEdge(const std::string &From, const std::string &To, double Weight);
+
+  /// Renders the graph.
+  void print(std::ostream &OS) const;
+  std::string toString() const;
+
+private:
+  struct Node {
+    std::string Id;
+    std::string Label;
+    int Cluster;
+  };
+  struct Edge {
+    std::string From;
+    std::string To;
+    double Weight;
+  };
+
+  std::string Name;
+  std::vector<Node> Nodes;
+  std::vector<Edge> Edges;
+};
+
+} // namespace structslim
+
+#endif // STRUCTSLIM_SUPPORT_DOTWRITER_H

@@ -1,0 +1,18 @@
+//===- support/Error.cpp --------------------------------------*- C++ -*-===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace structslim;
+
+void structslim::fatalError(const std::string &Message) {
+  std::fprintf(stderr, "structslim fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+void structslim::unreachable(const char *Message) {
+  std::fprintf(stderr, "structslim unreachable: %s\n", Message);
+  std::abort();
+}

@@ -1,0 +1,29 @@
+//===- support/Error.h - Fatal error reporting ----------------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for reporting programmatic errors. The StructSlim libraries do
+/// not use exceptions; invariant violations abort with a diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_SUPPORT_ERROR_H
+#define STRUCTSLIM_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace structslim {
+
+/// Prints \p Message to stderr and aborts. Used for violated invariants
+/// that must be diagnosed even in release builds.
+[[noreturn]] void fatalError(const std::string &Message);
+
+/// Marks a point in the control flow that must never be reached.
+[[noreturn]] void unreachable(const char *Message);
+
+} // namespace structslim
+
+#endif // STRUCTSLIM_SUPPORT_ERROR_H

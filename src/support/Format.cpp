@@ -1,0 +1,39 @@
+//===- support/Format.cpp -------------------------------------*- C++ -*-===//
+
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace structslim;
+
+std::string structslim::formatDouble(double Value, unsigned Precision) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Precision, Value);
+  return Buffer;
+}
+
+std::string structslim::formatPercent(double Fraction, unsigned Precision) {
+  return formatDouble(Fraction * 100.0, Precision) + "%";
+}
+
+std::string structslim::formatTimes(double Value, unsigned Precision) {
+  return formatDouble(Value, Precision) + "x";
+}
+
+std::string structslim::formatHex(uint64_t Addr) {
+  char Buffer[32];
+  std::snprintf(Buffer, sizeof(Buffer), "0x%llx",
+                static_cast<unsigned long long>(Addr));
+  return Buffer;
+}
+
+std::string structslim::join(const std::vector<std::string> &Parts,
+                             const std::string &Separator) {
+  std::string Result;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I != 0)
+      Result += Separator;
+    Result += Parts[I];
+  }
+  return Result;
+}

@@ -1,0 +1,40 @@
+//===- support/Format.h - Small string formatting helpers -----*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formatting utilities shared by report rendering and the bench
+/// harnesses: fixed-precision doubles, percentages, and hex addresses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_SUPPORT_FORMAT_H
+#define STRUCTSLIM_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace structslim {
+
+/// Formats \p Value with \p Precision digits after the decimal point.
+std::string formatDouble(double Value, unsigned Precision = 2);
+
+/// Formats \p Fraction (0..1) as a percentage string such as "73.3%".
+std::string formatPercent(double Fraction, unsigned Precision = 1);
+
+/// Formats \p Value as "1.37x" style multiplier text.
+std::string formatTimes(double Value, unsigned Precision = 2);
+
+/// Formats \p Addr as 0x-prefixed hexadecimal.
+std::string formatHex(uint64_t Addr);
+
+/// Joins \p Parts with \p Separator.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Separator);
+
+} // namespace structslim
+
+#endif // STRUCTSLIM_SUPPORT_FORMAT_H

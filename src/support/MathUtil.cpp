@@ -1,0 +1,38 @@
+//===- support/MathUtil.cpp -----------------------------------*- C++ -*-===//
+
+#include "support/MathUtil.h"
+
+#include <cmath>
+#include <limits>
+
+using namespace structslim;
+
+std::vector<uint64_t> structslim::primesUpTo(uint64_t Limit) {
+  std::vector<uint64_t> Primes;
+  if (Limit < 2)
+    return Primes;
+  std::vector<bool> Composite(Limit + 1, false);
+  for (uint64_t P = 2; P <= Limit; ++P) {
+    if (Composite[P])
+      continue;
+    Primes.push_back(P);
+    for (uint64_t M = P * P; M <= Limit; M += P)
+      Composite[M] = true;
+  }
+  return Primes;
+}
+
+double structslim::logBinomial(uint64_t N, uint64_t K) {
+  if (K > N)
+    return -std::numeric_limits<double>::infinity();
+  return std::lgamma(static_cast<double>(N) + 1.0) -
+         std::lgamma(static_cast<double>(K) + 1.0) -
+         std::lgamma(static_cast<double>(N - K) + 1.0);
+}
+
+double structslim::binomialRatio(uint64_t N, uint64_t D, uint64_t K) {
+  uint64_t Reduced = N / D;
+  if (K > Reduced)
+    return 0.0;
+  return std::exp(logBinomial(Reduced, K) - logBinomial(N, K));
+}

@@ -1,0 +1,38 @@
+//===- support/MathUtil.h - Math helpers for stride analysis --*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Number-theoretic helpers backing the GCD stride algorithm (paper
+/// Eqs. 2-5) and its accuracy model (Eq. 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_SUPPORT_MATHUTIL_H
+#define STRUCTSLIM_SUPPORT_MATHUTIL_H
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace structslim {
+
+/// GCD over unsigned 64-bit values; gcd(0, x) == x.
+inline uint64_t gcd64(uint64_t A, uint64_t B) { return std::gcd(A, B); }
+
+/// Returns all primes <= \p Limit (simple sieve; Limit is small in the
+/// accuracy model, at most a few million).
+std::vector<uint64_t> primesUpTo(uint64_t Limit);
+
+/// log(C(N, K)) computed via lgamma; returns -inf when K > N.
+double logBinomial(uint64_t N, uint64_t K);
+
+/// C(N/D, K) / C(N, K) computed in log space to avoid overflow; the
+/// division N/D truncates, matching the sampling model of Eq. 4.
+double binomialRatio(uint64_t N, uint64_t D, uint64_t K);
+
+} // namespace structslim
+
+#endif // STRUCTSLIM_SUPPORT_MATHUTIL_H

@@ -1,0 +1,32 @@
+//===- support/Stats.h - Simple summary statistics ------------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mean / geometric mean / stddev helpers used when summarizing bench
+/// rows (the paper reports per-benchmark averages over three runs and
+/// an average speedup row).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_SUPPORT_STATS_H
+#define STRUCTSLIM_SUPPORT_STATS_H
+
+#include <vector>
+
+namespace structslim {
+
+/// Arithmetic mean; 0 for an empty input.
+double mean(const std::vector<double> &Values);
+
+/// Geometric mean; 0 for an empty input. All values must be positive.
+double geomean(const std::vector<double> &Values);
+
+/// Sample standard deviation; 0 for fewer than two values.
+double stddev(const std::vector<double> &Values);
+
+} // namespace structslim
+
+#endif // STRUCTSLIM_SUPPORT_STATS_H

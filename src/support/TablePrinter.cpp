@@ -1,0 +1,63 @@
+//===- support/TablePrinter.cpp -------------------------------*- C++ -*-===//
+
+#include "support/TablePrinter.h"
+
+#include <cassert>
+#include <ostream>
+#include <sstream>
+
+using namespace structslim;
+
+void TablePrinter::setHeader(std::vector<std::string> Columns) {
+  Header = std::move(Columns);
+}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() <= Header.size() && "row wider than header");
+  Cells.resize(Header.size());
+  Rows.push_back(std::move(Cells));
+}
+
+void TablePrinter::print(std::ostream &OS) const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t I = 0; I != Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I != Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    OS << "|";
+    for (size_t I = 0; I != Row.size(); ++I) {
+      OS << " " << Row[I];
+      for (size_t Pad = Row[I].size(); Pad < Widths[I]; ++Pad)
+        OS << ' ';
+      OS << " |";
+    }
+    OS << "\n";
+  };
+
+  auto PrintRule = [&]() {
+    OS << "+";
+    for (size_t W : Widths) {
+      for (size_t I = 0; I != W + 2; ++I)
+        OS << '-';
+      OS << "+";
+    }
+    OS << "\n";
+  };
+
+  PrintRule();
+  PrintRow(Header);
+  PrintRule();
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+  PrintRule();
+}
+
+std::string TablePrinter::toString() const {
+  std::ostringstream OS;
+  print(OS);
+  return OS.str();
+}

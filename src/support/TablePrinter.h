@@ -1,0 +1,45 @@
+//===- support/TablePrinter.h - Aligned text tables ------------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders rows of strings as an aligned ASCII table. The bench
+/// harnesses use this to print the same rows the paper's tables report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_SUPPORT_TABLEPRINTER_H
+#define STRUCTSLIM_SUPPORT_TABLEPRINTER_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace structslim {
+
+/// Collects header + data rows and renders them column-aligned.
+class TablePrinter {
+public:
+  /// Sets the header row; column count is inferred from it.
+  void setHeader(std::vector<std::string> Columns);
+
+  /// Appends a data row. Rows shorter than the header are padded with
+  /// empty cells; longer rows are a programming error.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table to \p OS.
+  void print(std::ostream &OS) const;
+
+  /// Renders the table to a string (mainly for tests).
+  std::string toString() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace structslim
+
+#endif // STRUCTSLIM_SUPPORT_TABLEPRINTER_H

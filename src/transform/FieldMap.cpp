@@ -1,0 +1,52 @@
+//===- transform/FieldMap.cpp ---------------------------------*- C++ -*-===//
+
+#include "transform/FieldMap.h"
+
+#include "support/Error.h"
+
+using namespace structslim;
+using namespace structslim::transform;
+
+FieldMap::FieldMap(const ir::StructLayout &Original) {
+  GroupLayouts.push_back(Original);
+  for (const ir::FieldDesc &F : Original.fields())
+    Locations[F.Name] = FieldLoc{0, F.Offset, F.Size};
+}
+
+FieldMap::FieldMap(const ir::StructLayout &Original,
+                   const core::SplitPlan &Plan) {
+  if (Plan.ClusterOffsets.empty())
+    fatalError("split plan has no clusters");
+  for (size_t G = 0; G != Plan.ClusterOffsets.size(); ++G) {
+    ir::StructLayout L(Original.getName() + "_" + std::to_string(G));
+    for (uint32_t Offset : Plan.ClusterOffsets[G]) {
+      const ir::FieldDesc *F = Original.fieldContaining(Offset);
+      if (!F)
+        fatalError("split plan offset " + std::to_string(Offset) +
+                   " does not match a field of " + Original.getName());
+      uint32_t NewOffset = L.addField(F->Name, F->Size);
+      Locations[F->Name] =
+          FieldLoc{static_cast<unsigned>(G), NewOffset, F->Size};
+    }
+    L.finalize();
+    GroupLayouts.push_back(std::move(L));
+  }
+  // Every original field must have a home.
+  for (const ir::FieldDesc &F : Original.fields())
+    if (!Locations.count(F.Name))
+      fatalError("split plan drops field '" + F.Name + "'");
+}
+
+FieldLoc FieldMap::locate(const std::string &Name) const {
+  auto It = Locations.find(Name);
+  if (It == Locations.end())
+    fatalError("unknown field '" + Name + "'");
+  return It->second;
+}
+
+uint64_t FieldMap::getBytesPerElement() const {
+  uint64_t Sum = 0;
+  for (const ir::StructLayout &L : GroupLayouts)
+    Sum += L.getSize();
+  return Sum;
+}

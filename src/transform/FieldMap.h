@@ -1,0 +1,84 @@
+//===- transform/FieldMap.h - Layout-parameterized field access -*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps logical struct fields to concrete storage after a (possible)
+/// split. A FieldMap describes either the original array-of-structures
+/// layout (one allocation group holding every field) or the split
+/// layout derived from a SplitPlan (one group per suggested structure).
+/// Workload builders emit allocation and access code through the map,
+/// which is exactly the source-level transformation the paper performs
+/// by hand after reading StructSlim's advice — here it is driven
+/// mechanically by the plan.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_TRANSFORM_FIELDMAP_H
+#define STRUCTSLIM_TRANSFORM_FIELDMAP_H
+
+#include "core/Advice.h"
+#include "ir/StructLayout.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace structslim {
+namespace transform {
+
+/// Where one logical field lives after layout assignment.
+struct FieldLoc {
+  unsigned Group = 0;  ///< Which allocation group (parallel array).
+  uint32_t Offset = 0; ///< Byte offset within the group's element.
+  uint32_t Size = 0;   ///< Field size in bytes.
+};
+
+/// Field-name -> storage mapping for one logical structure.
+class FieldMap {
+public:
+  /// Identity map: everything in one group with the original offsets.
+  explicit FieldMap(const ir::StructLayout &Original);
+
+  /// Split map from StructSlim's advice: group g holds the fields of
+  /// Plan.ClusterOffsets[g], re-packed densely. Every field of
+  /// \p Original must be covered by the plan (makeSplitPlan guarantees
+  /// this when built with the original layout).
+  FieldMap(const ir::StructLayout &Original, const core::SplitPlan &Plan);
+
+  unsigned getNumGroups() const {
+    return static_cast<unsigned>(GroupLayouts.size());
+  }
+
+  /// Element size of group \p Group (the new struct's size).
+  uint32_t getGroupSize(unsigned Group) const {
+    return GroupLayouts[Group].getSize();
+  }
+
+  /// The layout of group \p Group.
+  const ir::StructLayout &getGroupLayout(unsigned Group) const {
+    return GroupLayouts[Group];
+  }
+
+  /// Storage location of field \p Name. Aborts on unknown fields.
+  FieldLoc locate(const std::string &Name) const;
+
+  /// Name suffix for group \p Group's allocation ("" for group 0).
+  std::string groupSuffix(unsigned Group) const {
+    return Group == 0 ? std::string() : "_" + std::to_string(Group);
+  }
+
+  /// Total bytes per logical element summed over groups.
+  uint64_t getBytesPerElement() const;
+
+private:
+  std::vector<ir::StructLayout> GroupLayouts;
+  std::map<std::string, FieldLoc> Locations;
+};
+
+} // namespace transform
+} // namespace structslim
+
+#endif // STRUCTSLIM_TRANSFORM_FIELDMAP_H

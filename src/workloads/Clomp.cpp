@@ -1,0 +1,157 @@
+//===- workloads/Clomp.cpp - LLNL CORAL CLOMP 1.2 model --------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+//
+// CLOMP measures OpenMP threading overhead by having every thread
+// repeatedly traverse its partition's linked list of zones:
+//
+//   struct _Zone { long zoneId; long partId; double value;
+//                  struct _Zone *nextZone; };   // 32 bytes
+//
+// The hot loop (lines 328-337) touches only `value` and `nextZone`;
+// StructSlim computes affinity 1 between them and 0 against
+// zoneId/partId, recommending the Fig. 11 split (_Zone{value,nextZone}
+// plus _ZoneHeader{zoneId,partId}). The zone array is allocated by one
+// thread and traversed by all four, exercising the per-thread profile
+// merge.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Registry.h"
+#include "workloads/Workload.h"
+
+using namespace structslim;
+using namespace structslim::workloads;
+using structslim::ir::ProgramBuilder;
+using structslim::ir::Reg;
+
+namespace {
+
+constexpr unsigned NumThreads = 4;
+constexpr unsigned MailboxSlots = 0; ///< First mailbox slot used.
+
+class ClompWorkload : public Workload {
+public:
+  std::string name() const override { return "CLOMP 1.2"; }
+  std::string suite() const override { return "LLNL CORAL"; }
+  bool isParallel() const override { return true; }
+
+  ir::StructLayout hotLayout() const override {
+    ir::StructLayout L("_Zone");
+    L.addField("zoneId", 8);
+    L.addField("partId", 8);
+    L.addField("value", 8);
+    L.addField("nextZone", 8);
+    L.finalize();
+    return L;
+  }
+
+  std::string hotObjectName() const override { return "_Zone"; }
+
+  BuiltWorkload build(runtime::Machine &M, const transform::FieldMap &Map,
+                      double Scale) const override;
+};
+
+BuiltWorkload ClompWorkload::build(runtime::Machine &M,
+                                   const transform::FieldMap &Map,
+                                   double Scale) const {
+  int64_t N = std::max<int64_t>(4096, static_cast<int64_t>(160000 * Scale));
+  N -= N % NumThreads; // Equal partitions.
+  int64_t PartSize = N / NumThreads;
+  int64_t Reps = 20;
+
+  // OpenMP shared variables live at a fixed (link-time) address.
+  uint64_t Mailbox = M.defineStatic("clomp_shared", 64);
+
+  BuiltWorkload Out;
+  Out.Program = std::make_unique<ir::Program>();
+
+  // --- main: allocate, initialize, publish (lines 100-130). ----------
+  ir::Function &Main = Out.Program->addFunction("main", 0);
+  {
+    ProgramBuilder B(*Out.Program, Main);
+    B.setLine(100);
+    StructArray Zones = allocStructArray(B, Map, "_Zone", N);
+    B.setLine(105);
+    B.forLoopI(0, N, 1, [&](Reg I) {
+      B.setLine(106);
+      storeField(B, Zones, "zoneId", I, I);
+      Reg Part = B.constI(PartSize);
+      Reg PartId = B.div(I, Part);
+      storeField(B, Zones, "partId", I, PartId);
+      Reg V = B.andI(I, 7);
+      storeField(B, Zones, "value", I, V);
+      // Chains are per partition: the last zone of a partition points
+      // at the partition head (cyclic), everything else at i+1.
+      Reg NextLinear = B.addI(I, 1);
+      Reg InPart = B.rem(I, Part);
+      Reg IsLast = B.cmpEq(InPart, B.constI(PartSize - 1));
+      Reg Head = B.mul(PartId, Part);
+      Reg IsMid = B.cmpEq(IsLast, B.constI(0));
+      Reg Next = B.add(B.mul(IsLast, Head), B.mul(IsMid, NextLinear));
+      storeField(B, Zones, "nextZone", I, Next);
+      B.setLine(105);
+    });
+
+    // Consistency check pass, lines 150-153: zoneId and partId read
+    // together (their only loads).
+    Reg Acc = B.constI(0);
+    B.setLine(150);
+    B.forLoopI(0, N, 1, [&](Reg I) {
+      B.setLine(151);
+      Reg Id = loadField(B, Zones, "zoneId", I);
+      Reg Pt = loadField(B, Zones, "partId", I);
+      B.accumulate(Acc, B.add(Id, Pt));
+      B.setLine(150);
+    });
+
+    B.setLine(128);
+    publishBases(B, Zones, Mailbox, MailboxSlots);
+    B.setLine(130);
+    B.ret(Acc);
+  }
+
+  // --- worker(tid): calc_deposit traversal, lines 328-337. -----------
+  ir::Function &Worker = Out.Program->addFunction("worker", 1);
+  {
+    ProgramBuilder B(*Out.Program, Worker);
+    ir::Reg Tid = 0; // Parameter register.
+    B.setLine(320);
+    StructArray Zones = subscribeBases(B, Map, Mailbox, MailboxSlots);
+    Reg Part = B.constI(PartSize);
+    Reg Head = B.mul(Tid, Part);
+    Reg Acc = B.constI(0);
+    B.setLine(328);
+    B.forLoopI(0, Reps, 1, [&](Reg) {
+      B.setLine(328);
+      Reg Cur = B.move(Head);
+      B.forLoopI(0, PartSize, 1, [&](Reg) {
+        B.setLine(332);
+        Reg V = loadField(B, Zones, "value", Cur);
+        B.accumulate(Acc, V);
+        B.setLine(335);
+        Reg Next = loadField(B, Zones, "nextZone", Cur);
+        B.moveInto(Cur, Next);
+        B.setLine(328);
+      });
+    });
+    B.setLine(340);
+    B.ret(Acc);
+  }
+
+  Out.Program->setEntry(Main.Id);
+  Out.Phases.push_back({runtime::ThreadSpec{Main.Id, {}}});
+  std::vector<runtime::ThreadSpec> Parallel;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Parallel.push_back(runtime::ThreadSpec{Worker.Id, {T}});
+  Out.Phases.push_back(std::move(Parallel));
+  return Out;
+}
+
+} // namespace
+
+std::unique_ptr<Workload> structslim::workloads::makeClomp() {
+  return std::make_unique<ClompWorkload>();
+}

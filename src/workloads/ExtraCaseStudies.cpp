@@ -1,0 +1,249 @@
+//===- workloads/ExtraCaseStudies.cpp - Beyond the paper's seven *- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+//
+// Two additional case studies from the suites the paper's overhead
+// figures cover, both classic structure-splitting targets:
+//
+//  429.mcf (SPEC CPU2006): the network-simplex arc structure
+//
+//    struct arc { long cost; long tail; long head; long ident;
+//                 long nextout; long nextin; long flow; long org_cost; };
+//
+//  whose price-out loop scans every arc touching only cost/ident/flow,
+//  a textbook candidate (compiler structure-splitting papers use mcf as
+//  their motivating example).
+//
+//  streamcluster (Rodinia/PARSEC): the point structure
+//
+//    struct point { long weight; long x; long y; long z;
+//                   long assign; long cost; };
+//
+//  where the distance kernel reads the coordinates and the assignment
+//  phase reads weight/assign/cost in separate passes.
+//
+// Both follow the same model conventions as the seven paper workloads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Registry.h"
+#include "workloads/Workload.h"
+
+using namespace structslim;
+using namespace structslim::workloads;
+using structslim::ir::ProgramBuilder;
+using structslim::ir::Reg;
+
+namespace {
+
+// --- 429.mcf -----------------------------------------------------------
+
+class McfWorkload : public Workload {
+public:
+  std::string name() const override { return "429.mcf"; }
+  std::string suite() const override { return "SPEC CPU 2006"; }
+  bool isParallel() const override { return false; }
+
+  ir::StructLayout hotLayout() const override {
+    ir::StructLayout L("arc");
+    for (const char *Name : {"cost", "tail", "head", "ident", "nextout",
+                             "nextin", "flow", "org_cost"})
+      L.addField(Name, 8);
+    L.finalize();
+    return L;
+  }
+
+  std::string hotObjectName() const override { return "arc"; }
+
+  BuiltWorkload build(runtime::Machine &M, const transform::FieldMap &Map,
+                      double Scale) const override {
+    (void)M;
+    int64_t N = std::max<int64_t>(1024,
+                                  static_cast<int64_t>(90000 * Scale));
+    BuiltWorkload Out;
+    Out.Program = std::make_unique<ir::Program>();
+    ir::Function &Main = Out.Program->addFunction("main", 0);
+    ProgramBuilder B(*Out.Program, Main);
+
+    B.setLine(30);
+    StructArray Arcs = allocStructArray(B, Map, "arc", N);
+    B.forLoopI(0, N, 1, [&](Reg I) {
+      B.setLine(32);
+      Reg Cost = B.mulI(I, 13);
+      storeField(B, Arcs, "cost", I, Cost);
+      storeField(B, Arcs, "org_cost", I, Cost);
+      Reg Tail = B.andI(I, 1023);
+      storeField(B, Arcs, "tail", I, Tail);
+      Reg Head = B.andI(B.addI(I, 513), 1023);
+      storeField(B, Arcs, "head", I, Head);
+      Reg One = B.constI(1);
+      storeField(B, Arcs, "ident", I, One);
+      storeField(B, Arcs, "flow", I, B.constI(0));
+      storeField(B, Arcs, "nextout", I, B.addI(I, 1));
+      storeField(B, Arcs, "nextin", I, B.addI(I, -1));
+      B.setLine(30);
+    });
+
+    Reg Acc = B.constI(0);
+    // price_out_impl, lines 80-86: the dominant arc sweep reading
+    // cost and ident (and updating flow for a fraction of arcs).
+    B.setLine(80);
+    B.forLoopI(0, 24, 1, [&](Reg) {
+      B.setLine(80);
+      B.forLoopI(0, N, 1, [&](Reg I) {
+        B.setLine(82);
+        Reg Cost = loadField(B, Arcs, "cost", I);
+        Reg Ident = loadField(B, Arcs, "ident", I);
+        Reg Reduced = B.sub(Cost, Ident);
+        Reg Neg = B.cmpLt(Reduced, B.constI(0));
+        B.ifThen(Neg, [&] {
+          B.setLine(84);
+          Reg Flow = loadField(B, Arcs, "flow", I);
+          storeField(B, Arcs, "flow", I, B.addI(Flow, 1));
+        });
+        B.work(40);
+        B.setLine(80);
+      });
+    });
+
+    // refresh_neighbour_lists, lines 120-124: a rare pass chasing
+    // nextout and touching tail/head.
+    B.setLine(120);
+    B.forLoopI(0, 2, 1, [&](Reg) {
+      B.setLine(120);
+      Reg Cur = B.constI(0);
+      B.forLoopI(0, N - 1, 1, [&](Reg) {
+        B.setLine(122);
+        Reg Next = loadField(B, Arcs, "nextout", Cur);
+        Reg Tail = loadField(B, Arcs, "tail", Cur);
+        Reg Head = loadField(B, Arcs, "head", Cur);
+        B.accumulate(Acc, B.add(Tail, Head));
+        B.moveInto(Cur, Next);
+        B.work(20);
+        B.setLine(120);
+      });
+    });
+
+    B.setLine(130);
+    B.ret(Acc);
+    Out.Phases.push_back({runtime::ThreadSpec{Main.Id, {}}});
+    return Out;
+  }
+};
+
+// --- streamcluster ----------------------------------------------------
+
+class StreamclusterWorkload : public Workload {
+public:
+  std::string name() const override { return "streamcluster"; }
+  std::string suite() const override { return "Rodinia 3.0"; }
+  bool isParallel() const override { return true; }
+
+  ir::StructLayout hotLayout() const override {
+    ir::StructLayout L("point");
+    for (const char *Name : {"weight", "x", "y", "z", "assign", "cost"})
+      L.addField(Name, 8);
+    L.finalize();
+    return L;
+  }
+
+  std::string hotObjectName() const override { return "point"; }
+
+  BuiltWorkload build(runtime::Machine &M, const transform::FieldMap &Map,
+                      double Scale) const override {
+    constexpr unsigned NumThreads = 4;
+    int64_t N = std::max<int64_t>(4096,
+                                  static_cast<int64_t>(80000 * Scale));
+    N -= N % NumThreads;
+    int64_t PartSize = N / NumThreads;
+    uint64_t Mailbox = M.defineStatic("sc_shared", 64);
+
+    BuiltWorkload Out;
+    Out.Program = std::make_unique<ir::Program>();
+    ir::Function &Main = Out.Program->addFunction("main", 0);
+    {
+      ProgramBuilder B(*Out.Program, Main);
+      B.setLine(20);
+      StructArray Points = allocStructArray(B, Map, "point", N);
+      B.forLoopI(0, N, 1, [&](Reg I) {
+        B.setLine(22);
+        Reg One = B.constI(1);
+        storeField(B, Points, "weight", I, One);
+        storeField(B, Points, "x", I, B.mulI(I, 3));
+        storeField(B, Points, "y", I, B.mulI(I, 5));
+        storeField(B, Points, "z", I, B.mulI(I, 7));
+        storeField(B, Points, "assign", I, B.constI(0));
+        storeField(B, Points, "cost", I, B.constI(0));
+        B.setLine(20);
+      });
+      B.setLine(28);
+      publishBases(B, Points, Mailbox, 0);
+      B.ret();
+    }
+
+    ir::Function &Worker = Out.Program->addFunction("pgain", 1);
+    {
+      ProgramBuilder B(*Out.Program, Worker);
+      Reg Tid = 0;
+      B.setLine(60);
+      StructArray Points = subscribeBases(B, Map, Mailbox, 0);
+      Reg Part = B.constI(PartSize);
+      Reg Lo = B.mul(Tid, Part);
+      Reg Hi = B.add(Lo, Part);
+      Reg Acc = B.constI(0);
+
+      // dist(), lines 65-69: the dominant coordinate kernel.
+      B.setLine(65);
+      B.forLoopI(0, 18, 1, [&](Reg) {
+        B.setLine(65);
+        B.forLoop(Lo, Hi, 1, [&](Reg I) {
+          B.setLine(67);
+          Reg X = loadField(B, Points, "x", I);
+          Reg Y = loadField(B, Points, "y", I);
+          Reg Z = loadField(B, Points, "z", I);
+          B.accumulate(Acc, B.add(X, B.add(Y, Z)));
+          B.work(50);
+          B.setLine(65);
+        });
+      });
+
+      // assignment update, lines 80-84: weight/assign/cost together.
+      B.setLine(80);
+      B.forLoopI(0, 3, 1, [&](Reg) {
+        B.setLine(80);
+        B.forLoop(Lo, Hi, 1, [&](Reg I) {
+          B.setLine(82);
+          Reg W = loadField(B, Points, "weight", I);
+          Reg Assign = loadField(B, Points, "assign", I);
+          Reg Cost = loadField(B, Points, "cost", I);
+          storeField(B, Points, "cost", I, B.add(Cost, W));
+          B.accumulate(Acc, B.add(W, Assign));
+          B.work(25);
+          B.setLine(80);
+        });
+      });
+      B.setLine(90);
+      B.ret(Acc);
+    }
+
+    Out.Program->setEntry(Main.Id);
+    Out.Phases.push_back({runtime::ThreadSpec{Main.Id, {}}});
+    std::vector<runtime::ThreadSpec> Parallel;
+    for (unsigned T = 0; T != NumThreads; ++T)
+      Parallel.push_back(runtime::ThreadSpec{Worker.Id, {T}});
+    Out.Phases.push_back(std::move(Parallel));
+    return Out;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> structslim::workloads::makeMcf() {
+  return std::make_unique<McfWorkload>();
+}
+
+std::unique_ptr<Workload> structslim::workloads::makeStreamcluster() {
+  return std::make_unique<StreamclusterWorkload>();
+}

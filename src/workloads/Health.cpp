@@ -1,0 +1,169 @@
+//===- workloads/Health.cpp - BOTS Health model ----------------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+//
+// Colombian health-care simulation (Barcelona OpenMP Task Suite). The
+// hot structure is the patient record:
+//
+//   struct Patient { long id; long seed; long time; long ti;
+//                    long hosps_visited; long village;
+//                    struct Patient *back; struct Patient *forward; };
+//
+// The paper reports 95.2% of total latency on the Patient array and a
+// hot loop at line 96 that touches only `forward` while walking the
+// waiting lists; the treatment bookkeeping reads the other fields in
+// separate loops, so `forward` has low affinity with everything else
+// and gets split out (Fig. 12). Four tasks (threads) process disjoint
+// village partitions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Registry.h"
+#include "workloads/Workload.h"
+
+using namespace structslim;
+using namespace structslim::workloads;
+using structslim::ir::ProgramBuilder;
+using structslim::ir::Reg;
+
+namespace {
+
+constexpr unsigned NumThreads = 4;
+
+class HealthWorkload : public Workload {
+public:
+  std::string name() const override { return "Health"; }
+  std::string suite() const override { return "BOTS"; }
+  bool isParallel() const override { return true; }
+
+  ir::StructLayout hotLayout() const override {
+    ir::StructLayout L("Patient");
+    L.addField("id", 8);
+    L.addField("seed", 8);
+    L.addField("time", 8);
+    L.addField("ti", 8);
+    L.addField("hosps_visited", 8);
+    L.addField("village", 8);
+    L.addField("back", 8);
+    L.addField("forward", 8);
+    L.finalize();
+    return L;
+  }
+
+  std::string hotObjectName() const override { return "Patient"; }
+
+  BuiltWorkload build(runtime::Machine &M, const transform::FieldMap &Map,
+                      double Scale) const override;
+};
+
+BuiltWorkload HealthWorkload::build(runtime::Machine &M,
+                                    const transform::FieldMap &Map,
+                                    double Scale) const {
+  int64_t N = std::max<int64_t>(4096, static_cast<int64_t>(100000 * Scale));
+  N -= N % NumThreads;
+  int64_t PartSize = N / NumThreads;
+  int64_t WalkReps = 24;
+
+  uint64_t Mailbox = M.defineStatic("health_shared", 64);
+
+  BuiltWorkload Out;
+  Out.Program = std::make_unique<ir::Program>();
+
+  // --- main: build the patient lists (lines 40-60). -------------------
+  ir::Function &Main = Out.Program->addFunction("main", 0);
+  {
+    ProgramBuilder B(*Out.Program, Main);
+    B.setLine(40);
+    StructArray Patients = allocStructArray(B, Map, "Patient", N);
+    B.setLine(45);
+    B.forLoopI(0, N, 1, [&](Reg I) {
+      B.setLine(46);
+      storeField(B, Patients, "id", I, I);
+      Reg Seed = B.mulI(I, 1103515245);
+      storeField(B, Patients, "seed", I, Seed);
+      Reg Zero = B.constI(0);
+      storeField(B, Patients, "time", I, Zero);
+      storeField(B, Patients, "ti", I, Zero);
+      storeField(B, Patients, "hosps_visited", I, Zero);
+      Reg Part = B.constI(PartSize);
+      Reg Village = B.div(I, Part);
+      storeField(B, Patients, "village", I, Village);
+      Reg Back = B.addI(I, -1);
+      storeField(B, Patients, "back", I, Back);
+      // Waiting lists are cyclic per village partition.
+      Reg NextLinear = B.addI(I, 1);
+      Reg InPart = B.rem(I, Part);
+      Reg IsLast = B.cmpEq(InPart, B.constI(PartSize - 1));
+      Reg Head = B.mul(Village, Part);
+      Reg IsMid = B.cmpEq(IsLast, B.constI(0));
+      Reg Fwd = B.add(B.mul(IsLast, Head), B.mul(IsMid, NextLinear));
+      storeField(B, Patients, "forward", I, Fwd);
+      B.setLine(45);
+    });
+    B.setLine(58);
+    publishBases(B, Patients, Mailbox, 0);
+    B.setLine(60);
+    B.ret();
+  }
+
+  // --- worker(tid): village simulation. -------------------------------
+  ir::Function &Worker = Out.Program->addFunction("sim_village", 1);
+  {
+    ProgramBuilder B(*Out.Program, Worker);
+    ir::Reg Tid = 0;
+    B.setLine(90);
+    StructArray Patients = subscribeBases(B, Map, Mailbox, 0);
+    Reg Part = B.constI(PartSize);
+    Reg Head = B.mul(Tid, Part);
+    Reg Acc = B.constI(0);
+
+    // check_patients_waiting, line 96: walk the forward list. The hot
+    // loop touches `forward` only.
+    B.setLine(95);
+    B.forLoopI(0, WalkReps, 1, [&](Reg) {
+      B.setLine(95);
+      Reg Cur = B.move(Head);
+      B.forLoopI(0, PartSize, 1, [&](Reg) {
+        B.setLine(96);
+        Reg Fwd = loadField(B, Patients, "forward", Cur);
+        B.moveInto(Cur, Fwd);
+        B.work(180); // Per-patient triage bookkeeping.
+        B.setLine(95);
+      });
+    });
+
+    // Treatment bookkeeping, lines 120-125: a separate sparse pass
+    // over the partition reading seed/time and advancing time.
+    B.setLine(120);
+    Reg Lo = B.move(Head);
+    Reg Hi = B.add(Head, Part);
+    B.forLoop(Lo, Hi, 4, [&](Reg I) {
+      B.setLine(122);
+      Reg Seed = loadField(B, Patients, "seed", I);
+      Reg Time = loadField(B, Patients, "time", I);
+      Reg NewTime = B.addI(Time, 1);
+      storeField(B, Patients, "time", I, NewTime);
+      B.accumulate(Acc, Seed);
+      B.setLine(120);
+    });
+
+    B.setLine(130);
+    B.ret(Acc);
+  }
+
+  Out.Program->setEntry(Main.Id);
+  Out.Phases.push_back({runtime::ThreadSpec{Main.Id, {}}});
+  std::vector<runtime::ThreadSpec> Parallel;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Parallel.push_back(runtime::ThreadSpec{Worker.Id, {T}});
+  Out.Phases.push_back(std::move(Parallel));
+  return Out;
+}
+
+} // namespace
+
+std::unique_ptr<Workload> structslim::workloads::makeHealth() {
+  return std::make_unique<HealthWorkload>();
+}

@@ -1,0 +1,151 @@
+//===- workloads/Nn.cpp - Rodinia 3.0 NN model -----------------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+//
+// k-nearest-neighbors over unstructured records (Rodinia NN). The hot
+// structure is
+//
+//   struct neighbor { char entry[REC_LENGTH]; double dist; };
+//
+// (REC_LENGTH = 56 here, for a 64-byte record). The distance scan at
+// lines 117-120 reads only `dist`; the record text is read only when
+// extracting the few best results, so affinity(dist, entry) = 0 and
+// StructSlim splits `dist` into its own dense array (Fig. 13). The
+// paper measures the largest L1 miss reduction of the study (87.2%,
+// consistent with packing eight dists per line instead of one) and a
+// 1.33x speedup. Four OpenMP threads scan disjoint record ranges.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Registry.h"
+#include "workloads/Workload.h"
+
+using namespace structslim;
+using namespace structslim::workloads;
+using structslim::ir::ProgramBuilder;
+using structslim::ir::Reg;
+
+namespace {
+
+constexpr unsigned NumThreads = 4;
+constexpr uint32_t RecLength = 56;
+
+class NnWorkload : public Workload {
+public:
+  std::string name() const override { return "NN"; }
+  std::string suite() const override { return "Rodinia 3.0"; }
+  bool isParallel() const override { return true; }
+
+  ir::StructLayout hotLayout() const override {
+    ir::StructLayout L("neighbor");
+    L.addField("entry", RecLength, 8); // char entry[REC_LENGTH]
+    L.addField("dist", 8);
+    L.finalize();
+    return L;
+  }
+
+  std::string hotObjectName() const override { return "neighbor"; }
+
+  BuiltWorkload build(runtime::Machine &M, const transform::FieldMap &Map,
+                      double Scale) const override;
+};
+
+BuiltWorkload NnWorkload::build(runtime::Machine &M,
+                                const transform::FieldMap &Map,
+                                double Scale) const {
+  int64_t N = std::max<int64_t>(4096, static_cast<int64_t>(60000 * Scale));
+  N -= N % NumThreads;
+  int64_t PartSize = N / NumThreads;
+  int64_t Queries = 30;
+
+  uint64_t Mailbox = M.defineStatic("nn_shared", 64);
+
+  BuiltWorkload Out;
+  Out.Program = std::make_unique<ir::Program>();
+
+  // --- main: load the record database (lines 60-66). ------------------
+  ir::Function &Main = Out.Program->addFunction("main", 0);
+  {
+    ProgramBuilder B(*Out.Program, Main);
+    B.setLine(60);
+    StructArray Records = allocStructArray(B, Map, "neighbor", N);
+    B.forLoopI(0, N, 1, [&](Reg I) {
+      B.setLine(62);
+      // Fill the record text in 8-byte chunks.
+      for (uint32_t Chunk = 0; Chunk != RecLength; Chunk += 8) {
+        Reg V = B.addI(B.mulI(I, 31), Chunk);
+        storeField(B, Records, "entry", I, V, Chunk, 8);
+      }
+      Reg D = B.mulI(I, 2654435761);
+      storeField(B, Records, "dist", I, D);
+      B.setLine(60);
+    });
+    B.setLine(70);
+    publishBases(B, Records, Mailbox, 0);
+    B.ret();
+  }
+
+  // --- worker(tid): the distance scans plus result readout. -----------
+  ir::Function &Worker = Out.Program->addFunction("nearest_neighbor", 1);
+  {
+    ProgramBuilder B(*Out.Program, Worker);
+    ir::Reg Tid = 0;
+    B.setLine(110);
+    StructArray Records = subscribeBases(B, Map, Mailbox, 0);
+    Reg Part = B.constI(PartSize);
+    Reg Lo = B.mul(Tid, Part);
+    Reg Hi = B.add(Lo, Part);
+    Reg Best = B.constI(0);
+    Reg BestDist = B.constI(-1); // Max unsigned compares as -1 signed.
+
+    // Distance scan, lines 117-120: `dist` only.
+    B.setLine(115);
+    B.forLoopI(0, Queries, 1, [&](Reg Q) {
+      B.setLine(115);
+      B.forLoop(Lo, Hi, 1, [&](Reg I) {
+        B.setLine(117);
+        Reg D = loadField(B, Records, "dist", I);
+        Reg Key = B.bxor(D, Q);
+        Reg Better = B.cmpLt(Key, BestDist);
+        B.ifThen(Better, [&] {
+          B.setLine(119);
+          B.moveInto(BestDist, Key);
+          B.moveInto(Best, I);
+        });
+        B.work(60); // Euclidean distance arithmetic.
+        B.setLine(115);
+      });
+    });
+
+    // Result readout, lines 130-133: a sparse pass over candidate
+    // records reading the text — the only `entry` loads.
+    Reg Acc = B.constI(0);
+    B.setLine(130);
+    B.forLoop(Lo, Hi, 1024, [&](Reg I) {
+      B.setLine(131);
+      Reg C0 = loadField(B, Records, "entry", I, 0, 8);
+      Reg C1 = loadField(B, Records, "entry", I, 8, 8);
+      B.accumulate(Acc, B.add(C0, C1));
+      B.setLine(130);
+    });
+
+    B.setLine(140);
+    B.ret(B.add(Acc, Best));
+  }
+
+  Out.Program->setEntry(Main.Id);
+  Out.Phases.push_back({runtime::ThreadSpec{Main.Id, {}}});
+  std::vector<runtime::ThreadSpec> Parallel;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Parallel.push_back(runtime::ThreadSpec{Worker.Id, {T}});
+  Out.Phases.push_back(std::move(Parallel));
+  return Out;
+}
+
+} // namespace
+
+std::unique_ptr<Workload> structslim::workloads::makeNn() {
+  return std::make_unique<NnWorkload>();
+}

@@ -1,0 +1,38 @@
+//===- workloads/Registry.cpp ---------------------------------*- C++ -*-===//
+
+#include "workloads/Registry.h"
+
+using namespace structslim;
+using namespace structslim::workloads;
+
+std::vector<std::unique_ptr<Workload>>
+structslim::workloads::makePaperWorkloads() {
+  std::vector<std::unique_ptr<Workload>> All;
+  All.push_back(makeArt());
+  All.push_back(makeLibquantum());
+  All.push_back(makeTsp());
+  All.push_back(makeMser());
+  All.push_back(makeClomp());
+  All.push_back(makeHealth());
+  All.push_back(makeNn());
+  return All;
+}
+
+std::vector<std::unique_ptr<Workload>>
+structslim::workloads::makeExtraWorkloads() {
+  std::vector<std::unique_ptr<Workload>> All;
+  All.push_back(makeMcf());
+  All.push_back(makeStreamcluster());
+  return All;
+}
+
+std::unique_ptr<Workload>
+structslim::workloads::makeWorkload(const std::string &Name) {
+  for (auto &W : makePaperWorkloads())
+    if (W->name() == Name)
+      return std::move(W);
+  for (auto &W : makeExtraWorkloads())
+    if (W->name() == Name)
+      return std::move(W);
+  return nullptr;
+}

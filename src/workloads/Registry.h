@@ -1,0 +1,51 @@
+//===- workloads/Registry.h - Workload factories ---------------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Factories for the seven evaluated benchmarks (paper Table 2) and
+/// name-based lookup used by benches and examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_WORKLOADS_REGISTRY_H
+#define STRUCTSLIM_WORKLOADS_REGISTRY_H
+
+#include "workloads/Workload.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace structslim {
+namespace workloads {
+
+std::unique_ptr<Workload> makeArt();        ///< SPEC CPU2000 179.art
+std::unique_ptr<Workload> makeLibquantum(); ///< SPEC CPU2006 462.libquantum
+std::unique_ptr<Workload> makeTsp();        ///< Olden TSP
+std::unique_ptr<Workload> makeMser();       ///< SD-VBS MSER
+std::unique_ptr<Workload> makeClomp();      ///< LLNL CORAL CLOMP 1.2
+std::unique_ptr<Workload> makeHealth();     ///< BOTS Health
+std::unique_ptr<Workload> makeNn();         ///< Rodinia 3.0 NN
+
+// Extra case studies beyond the paper's evaluation (classic splitting
+// targets from the suites its overhead figures cover).
+std::unique_ptr<Workload> makeMcf();           ///< SPEC CPU2006 429.mcf
+std::unique_ptr<Workload> makeStreamcluster(); ///< Rodinia streamcluster
+
+/// All seven, in the paper's Table 2/3 order.
+std::vector<std::unique_ptr<Workload>> makePaperWorkloads();
+
+/// The extra case studies (not part of the paper's tables).
+std::vector<std::unique_ptr<Workload>> makeExtraWorkloads();
+
+/// Lookup by the Table 2 name ("179.ART", "TSP", ...); nullptr when
+/// unknown.
+std::unique_ptr<Workload> makeWorkload(const std::string &Name);
+
+} // namespace workloads
+} // namespace structslim
+
+#endif // STRUCTSLIM_WORKLOADS_REGISTRY_H

@@ -1,0 +1,203 @@
+//===- workloads/Synthetic.cpp --------------------------------*- C++ -*-===//
+
+#include "workloads/Synthetic.h"
+
+#include "ir/ProgramBuilder.h"
+
+using namespace structslim;
+using namespace structslim::workloads;
+using structslim::ir::NoReg;
+using structslim::ir::ProgramBuilder;
+using structslim::ir::Reg;
+
+std::vector<SyntheticSpec> structslim::workloads::rodiniaSuite() {
+  using K = KernelKind;
+  return {
+      {"backprop", K::MatMulLike, 96, 2},
+      {"bfs", K::PointerChase, 1 << 17, 6},
+      {"b+tree", K::RandomGather, 1 << 17, 6},
+      {"heartwall", K::Stencil, 1 << 17, 8},
+      {"hotspot", K::Stencil, 1 << 17, 10},
+      {"kmeans", K::AosScan, 1 << 15, 10},
+      {"lavaMD", K::MatMulLike, 88, 2},
+      {"lud", K::MatMulLike, 104, 2},
+      {"nw", K::Stencil, 1 << 17, 6},
+      {"particlefilter", K::RandomGather, 1 << 16, 10},
+      {"pathfinder", K::StreamSum, 1 << 18, 6},
+      {"srad", K::Stencil, 1 << 17, 8},
+      {"streamcluster", K::AosScan, 1 << 15, 12},
+  };
+}
+
+std::vector<SyntheticSpec> structslim::workloads::specCpu2006Suite() {
+  using K = KernelKind;
+  return {
+      {"400.perlbench", K::Histogram, 1 << 16, 12},
+      {"401.bzip2", K::Histogram, 1 << 17, 8},
+      {"403.gcc", K::PointerChase, 1 << 17, 5},
+      {"429.mcf", K::PointerChase, 1 << 18, 5},
+      {"445.gobmk", K::RandomGather, 1 << 16, 10},
+      {"456.hmmer", K::StridedSweep, 1 << 17, 8},
+      {"458.sjeng", K::RandomGather, 1 << 16, 10},
+      {"462.libquantum", K::AosScan, 1 << 16, 10},
+      {"464.h264ref", K::Stencil, 1 << 17, 8},
+      {"471.omnetpp", K::PointerChase, 1 << 17, 5},
+      {"473.astar", K::RandomGather, 1 << 17, 6},
+      {"483.xalancbmk", K::Histogram, 1 << 16, 10},
+  };
+}
+
+BuiltWorkload structslim::workloads::buildSynthetic(const SyntheticSpec &Spec,
+                                                    double Scale) {
+  int64_t Floor = Spec.Kind == KernelKind::MatMulLike ? 24 : 1024;
+  int64_t N = std::max<int64_t>(Floor, static_cast<int64_t>(Spec.N * Scale));
+  int64_t Reps = Spec.Reps;
+
+  BuiltWorkload Out;
+  Out.Program = std::make_unique<ir::Program>();
+  ir::Function &Main = Out.Program->addFunction("main", 0);
+  ProgramBuilder B(*Out.Program, Main);
+  B.setLine(10);
+
+  // One data array; kernels differ in how they touch it. MatMulLike
+  // treats N as the matrix dimension, so it needs N*N elements.
+  int64_t AllocElems = Spec.Kind == KernelKind::MatMulLike ? N * N : N;
+  Reg Bytes = B.constI(AllocElems * 8);
+  Reg Data = B.alloc(Bytes, Spec.Name + "_data");
+  B.forLoopI(0, AllocElems, 1, [&](Reg I) {
+    B.setLine(12);
+    // A mixed congruential fill gives pointer-chase kernels a valid
+    // permutation-ish successor and gather kernels scattered indices.
+    Reg V = B.addI(B.mulI(I, 40503), 17);
+    Reg Idx = B.rem(V, B.constI(N));
+    B.store(Idx, Data, I, 8, 0, 8);
+    B.setLine(10);
+  });
+
+  Reg Acc = B.constI(0);
+  B.setLine(20);
+
+  switch (Spec.Kind) {
+  case KernelKind::StreamSum:
+    B.forLoopI(0, Reps, 1, [&](Reg) {
+      B.forLoopI(0, N, 1, [&](Reg I) {
+        B.setLine(22);
+        B.accumulate(Acc, B.load(Data, I, 8, 0, 8));
+        B.setLine(20);
+      });
+    });
+    break;
+
+  case KernelKind::StridedSweep:
+    B.forLoopI(0, Reps * 8, 1, [&](Reg) {
+      B.forLoopI(0, N / 8, 1, [&](Reg I) {
+        B.setLine(22);
+        B.accumulate(Acc, B.load(Data, I, 64, 0, 8));
+        B.setLine(20);
+      });
+    });
+    break;
+
+  case KernelKind::RandomGather:
+    B.forLoopI(0, Reps, 1, [&](Reg) {
+      Reg H = B.constI(12345);
+      B.forLoopI(0, N, 1, [&](Reg) {
+        B.setLine(22);
+        Reg Mixed = B.addI(B.mulI(H, 6364136223846793005ll), 1442695040888963407ll);
+        B.moveInto(H, Mixed);
+        Reg Idx = B.rem(B.shr(H, B.constI(33)), B.constI(N));
+        B.accumulate(Acc, B.load(Data, Idx, 8, 0, 8));
+        B.setLine(20);
+      });
+    });
+    break;
+
+  case KernelKind::Stencil:
+    B.forLoopI(0, Reps, 1, [&](Reg) {
+      B.forLoopI(1, N - 1, 1, [&](Reg I) {
+        B.setLine(22);
+        Reg L = B.load(Data, I, 8, -8, 8);
+        Reg C = B.load(Data, I, 8, 0, 8);
+        Reg R = B.load(Data, I, 8, 8, 8);
+        Reg Sum = B.add(L, B.add(C, R));
+        B.store(Sum, Data, I, 8, 0, 8);
+        B.accumulate(Acc, Sum);
+        B.setLine(20);
+      });
+    });
+    break;
+
+  case KernelKind::PointerChase:
+    B.forLoopI(0, Reps, 1, [&](Reg) {
+      Reg Cur = B.constI(0);
+      B.forLoopI(0, N, 1, [&](Reg) {
+        B.setLine(22);
+        Reg Next = B.load(Data, Cur, 8, 0, 8);
+        B.moveInto(Cur, Next);
+        B.setLine(20);
+      });
+      B.accumulate(Acc, Cur);
+    });
+    break;
+
+  case KernelKind::Histogram: {
+    int64_t Buckets = 4096;
+    Reg HistBytes = B.constI(Buckets * 8);
+    Reg Hist = B.alloc(HistBytes, Spec.Name + "_hist");
+    B.forLoopI(0, Reps, 1, [&](Reg) {
+      B.forLoopI(0, N, 1, [&](Reg I) {
+        B.setLine(22);
+        Reg V = B.load(Data, I, 8, 0, 8);
+        Reg Bucket = B.andI(V, Buckets - 1);
+        Reg Count = B.load(Hist, Bucket, 8, 0, 8);
+        Reg Inc = B.addI(Count, 1);
+        B.store(Inc, Hist, Bucket, 8, 0, 8);
+        B.setLine(20);
+      });
+    });
+    break;
+  }
+
+  case KernelKind::MatMulLike: {
+    // N is the matrix dimension here; i-k-j over one buffer.
+    int64_t Dim = N;
+    B.forLoopI(0, Reps, 1, [&](Reg) {
+      B.forLoopI(0, Dim, 1, [&](Reg I) {
+        B.forLoopI(0, Dim, 1, [&](Reg K) {
+          B.setLine(22);
+          Reg RowI = B.mulI(I, Dim);
+          Reg A = B.load(Data, B.add(RowI, K), 8, 0, 8);
+          B.setLine(23);
+          B.forLoopI(0, Dim, 1, [&](Reg J) {
+            B.setLine(24);
+            Reg RowK = B.mulI(K, Dim);
+            Reg Bv = B.load(Data, B.add(RowK, J), 8, 0, 8);
+            B.accumulate(Acc, B.mul(A, Bv));
+            B.setLine(23);
+          });
+          B.setLine(22);
+        });
+      });
+    });
+    break;
+  }
+
+  case KernelKind::AosScan: {
+    // 48-byte records, one field scanned.
+    int64_t Elems = N / 6;
+    B.forLoopI(0, Reps * 6, 1, [&](Reg) {
+      B.forLoopI(0, Elems, 1, [&](Reg I) {
+        B.setLine(22);
+        B.accumulate(Acc, B.load(Data, I, 48, 16, 8));
+        B.setLine(20);
+      });
+    });
+    break;
+  }
+  }
+
+  B.setLine(40);
+  B.ret(Acc);
+  Out.Phases.push_back({runtime::ThreadSpec{Main.Id, {}}});
+  return Out;
+}

@@ -1,0 +1,63 @@
+//===- workloads/Synthetic.h - Overhead-figure kernel suites ---*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic stand-ins for the Rodinia and SPEC CPU2006 suites used in
+/// the paper's Figures 4 and 5 (profiler runtime overhead per
+/// benchmark). Each named benchmark maps to a kernel template
+/// (streaming sum, strided sweep, random gather, stencil, pointer
+/// chase, histogram, blocked matrix product, array-of-structures scan)
+/// with suite-specific sizes, so the overhead measurement runs over a
+/// spread of access behaviors just as the real suites would. These are
+/// overhead vehicles only; no claim is made that they compute what the
+/// original benchmarks compute.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_WORKLOADS_SYNTHETIC_H
+#define STRUCTSLIM_WORKLOADS_SYNTHETIC_H
+
+#include "workloads/Workload.h"
+
+#include <string>
+#include <vector>
+
+namespace structslim {
+namespace workloads {
+
+/// Kernel templates the synthetic benchmarks instantiate.
+enum class KernelKind {
+  StreamSum,    ///< Unit-stride reduction.
+  StridedSweep, ///< Constant non-unit stride.
+  RandomGather, ///< Hash-indexed loads.
+  Stencil,      ///< 1D 3-point stencil read/write.
+  PointerChase, ///< Data-dependent index chain.
+  Histogram,    ///< Read-modify-write on a small table.
+  MatMulLike,   ///< Blocked dense product access pattern.
+  AosScan,      ///< Array-of-structures field scan.
+};
+
+/// One synthetic benchmark instance.
+struct SyntheticSpec {
+  std::string Name;
+  KernelKind Kind = KernelKind::StreamSum;
+  int64_t N = 1 << 16;
+  int64_t Reps = 8;
+};
+
+/// Rodinia-like suite (Fig. 4 shape).
+std::vector<SyntheticSpec> rodiniaSuite();
+
+/// SPEC CPU2006-like suite (Fig. 5 shape).
+std::vector<SyntheticSpec> specCpu2006Suite();
+
+/// Builds the single-threaded program for \p Spec.
+BuiltWorkload buildSynthetic(const SyntheticSpec &Spec, double Scale);
+
+} // namespace workloads
+} // namespace structslim
+
+#endif // STRUCTSLIM_WORKLOADS_SYNTHETIC_H

@@ -1,0 +1,77 @@
+//===- workloads/Workload.cpp ---------------------------------*- C++ -*-===//
+
+#include "workloads/Workload.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace structslim;
+using namespace structslim::workloads;
+using structslim::ir::NoReg;
+using structslim::ir::ProgramBuilder;
+using structslim::ir::Reg;
+
+Workload::~Workload() = default;
+
+StructArray structslim::workloads::allocStructArray(
+    ProgramBuilder &B, const transform::FieldMap &Map,
+    const std::string &Name, int64_t Count) {
+  StructArray Array;
+  Array.Map = &Map;
+  for (unsigned G = 0; G != Map.getNumGroups(); ++G) {
+    Reg Size = B.constI(Count * Map.getGroupSize(G));
+    Array.Bases.push_back(B.alloc(Size, Name + Map.groupSuffix(G)));
+  }
+  return Array;
+}
+
+void structslim::workloads::publishBases(ProgramBuilder &B,
+                                         const StructArray &Array,
+                                         uint64_t MailboxAddr,
+                                         unsigned FirstSlot) {
+  Reg Mailbox = B.constI(static_cast<int64_t>(MailboxAddr));
+  for (size_t G = 0; G != Array.Bases.size(); ++G)
+    B.store(Array.Bases[G], Mailbox, NoReg, 1,
+            static_cast<int64_t>((FirstSlot + G) * 8), 8);
+}
+
+StructArray structslim::workloads::subscribeBases(
+    ProgramBuilder &B, const transform::FieldMap &Map, uint64_t MailboxAddr,
+    unsigned FirstSlot) {
+  StructArray Array;
+  Array.Map = &Map;
+  Reg Mailbox = B.constI(static_cast<int64_t>(MailboxAddr));
+  for (unsigned G = 0; G != Map.getNumGroups(); ++G)
+    Array.Bases.push_back(B.load(Mailbox, NoReg, 1,
+                                 static_cast<int64_t>((FirstSlot + G) * 8),
+                                 8));
+  return Array;
+}
+
+Reg structslim::workloads::loadField(ProgramBuilder &B,
+                                     const StructArray &Array,
+                                     const std::string &Field, Reg Index,
+                                     uint32_t InnerOffset, uint8_t Size) {
+  transform::FieldLoc Loc = Array.Map->locate(Field);
+  assert(InnerOffset < Loc.Size && "inner offset escapes the field");
+  uint8_t AccessSize = Size ? Size : static_cast<uint8_t>(
+                                         Loc.Size > 8 ? 8 : Loc.Size);
+  return B.load(Array.Bases[Loc.Group], Index,
+                Array.Map->getGroupSize(Loc.Group),
+                static_cast<int64_t>(Loc.Offset + InnerOffset), AccessSize);
+}
+
+void structslim::workloads::storeField(ProgramBuilder &B,
+                                       const StructArray &Array,
+                                       const std::string &Field, Reg Index,
+                                       Reg Value, uint32_t InnerOffset,
+                                       uint8_t Size) {
+  transform::FieldLoc Loc = Array.Map->locate(Field);
+  assert(InnerOffset < Loc.Size && "inner offset escapes the field");
+  uint8_t AccessSize = Size ? Size : static_cast<uint8_t>(
+                                         Loc.Size > 8 ? 8 : Loc.Size);
+  B.store(Value, Array.Bases[Loc.Group], Index,
+          Array.Map->getGroupSize(Loc.Group),
+          static_cast<int64_t>(Loc.Offset + InnerOffset), AccessSize);
+}

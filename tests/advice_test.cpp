@@ -1,0 +1,204 @@
+//===- tests/advice_test.cpp - Split plan & advice rendering ---*- C++ -*-===//
+
+#include "core/Advice.h"
+#include "transform/FieldMap.h"
+
+#include <gtest/gtest.h>
+
+using namespace structslim;
+using namespace structslim::core;
+
+namespace {
+
+/// Builds an ObjectAnalysis by hand.
+ObjectAnalysis makeAnalysis(
+    const std::string &Name, uint64_t StructSize,
+    const std::vector<std::pair<uint32_t, uint64_t>> &OffsetLatency,
+    const std::vector<std::vector<uint32_t>> &Clusters) {
+  ObjectAnalysis O;
+  O.Name = Name;
+  O.Key = Name;
+  O.StructSize = StructSize;
+  for (auto [Offset, Latency] : OffsetLatency) {
+    FieldStat F;
+    F.Offset = Offset;
+    F.Name = "off" + std::to_string(Offset);
+    F.Size = 8;
+    F.LatencySum = Latency;
+    O.LatencySum += Latency;
+    O.Fields.push_back(F);
+  }
+  size_t N = O.Fields.size();
+  O.Affinity.assign(N, std::vector<double>(N, 0.0));
+  for (size_t I = 0; I != N; ++I)
+    O.Affinity[I][I] = 1.0;
+  O.Clusters = Clusters;
+  return O;
+}
+
+ir::StructLayout fourFieldLayout() {
+  ir::StructLayout L("s");
+  L.addField("a", 8);
+  L.addField("b", 8);
+  L.addField("c", 8);
+  L.addField("d", 8);
+  L.finalize();
+  return L;
+}
+
+} // namespace
+
+TEST(SplitPlan, BasicClusters) {
+  ObjectAnalysis O =
+      makeAnalysis("s", 32, {{0, 100}, {8, 50}, {16, 90}, {24, 40}},
+                   {{0, 2}, {1, 3}});
+  SplitPlan Plan = makeSplitPlan(O);
+  EXPECT_EQ(Plan.ObjectName, "s");
+  EXPECT_EQ(Plan.OriginalSize, 32u);
+  ASSERT_EQ(Plan.ClusterOffsets.size(), 2u);
+  EXPECT_EQ(Plan.ClusterOffsets[0], (std::vector<uint32_t>{0, 16}));
+  EXPECT_EQ(Plan.ClusterOffsets[1], (std::vector<uint32_t>{8, 24}));
+  EXPECT_TRUE(Plan.isSplit());
+}
+
+TEST(SplitPlan, SingleClusterIsNotASplit) {
+  ObjectAnalysis O = makeAnalysis("s", 16, {{0, 10}, {8, 10}}, {{0, 1}});
+  SplitPlan Plan = makeSplitPlan(O);
+  EXPECT_FALSE(Plan.isSplit());
+}
+
+TEST(SplitPlan, ColdFieldsGetOwnStruct) {
+  // Fields a and c observed; b and d never sampled: the layout-aware
+  // plan appends {b, d} as a trailing cold structure (like ART's R).
+  ObjectAnalysis O = makeAnalysis("s", 32, {{0, 100}, {16, 90}}, {{0, 1}});
+  ir::StructLayout L = fourFieldLayout();
+  SplitPlan Plan = makeSplitPlan(O, &L);
+  ASSERT_EQ(Plan.ClusterOffsets.size(), 2u);
+  EXPECT_EQ(Plan.ClusterOffsets[0], (std::vector<uint32_t>{0, 16}));
+  EXPECT_EQ(Plan.ClusterOffsets[1], (std::vector<uint32_t>{8, 24}));
+}
+
+TEST(SplitPlan, InnerOffsetsCanonicalizeToFieldOffset) {
+  // A 56-byte field sampled at inner offsets 0, 8 and 16 (NN's entry
+  // array): all three canonicalize to the field at offset 0, and the
+  // dist field at 56 stays separate.
+  ir::StructLayout L("neighbor");
+  L.addField("entry", 56, 8);
+  L.addField("dist", 8);
+  L.finalize();
+  ObjectAnalysis O = makeAnalysis(
+      "neighbor", 64, {{0, 5}, {8, 4}, {16, 3}, {56, 500}},
+      {{0, 1, 2}, {3}});
+  SplitPlan Plan = makeSplitPlan(O, &L);
+  ASSERT_EQ(Plan.ClusterOffsets.size(), 2u);
+  EXPECT_EQ(Plan.ClusterOffsets[0], (std::vector<uint32_t>{0}));
+  EXPECT_EQ(Plan.ClusterOffsets[1], (std::vector<uint32_t>{56}));
+}
+
+TEST(SplitPlan, SharedFieldMergesClusters) {
+  // Two analysis clusters both touch the wide field at offset 0 (via
+  // inner offsets 0 and 8): they must merge in the plan.
+  ir::StructLayout L("s");
+  L.addField("wide", 16, 8);
+  L.addField("x", 8);
+  L.finalize();
+  ObjectAnalysis O = makeAnalysis("s", 24, {{0, 5}, {8, 5}, {16, 7}},
+                                  {{0, 2}, {1}});
+  SplitPlan Plan = makeSplitPlan(O, &L);
+  ASSERT_EQ(Plan.ClusterOffsets.size(), 1u);
+  EXPECT_EQ(Plan.ClusterOffsets[0], (std::vector<uint32_t>{0, 16}));
+}
+
+TEST(SplitLayouts, FromOriginalLayout) {
+  ObjectAnalysis O = makeAnalysis("s", 32, {{0, 100}, {16, 90}}, {{0, 1}});
+  ir::StructLayout L = fourFieldLayout();
+  SplitPlan Plan = makeSplitPlan(O, &L);
+  std::vector<ir::StructLayout> Layouts = renderSplitLayouts(Plan, O, &L);
+  ASSERT_EQ(Layouts.size(), 2u);
+  EXPECT_EQ(Layouts[0].getName(), "s_0");
+  ASSERT_EQ(Layouts[0].getNumFields(), 2u);
+  EXPECT_EQ(Layouts[0].getField(0).Name, "a");
+  EXPECT_EQ(Layouts[0].getField(1).Name, "c");
+  EXPECT_EQ(Layouts[0].getSize(), 16u);
+  EXPECT_EQ(Layouts[1].getField(0).Name, "b");
+  EXPECT_EQ(Layouts[1].getField(1).Name, "d");
+}
+
+TEST(SplitLayouts, WithoutOriginalUsesObservedSizes) {
+  ObjectAnalysis O = makeAnalysis("s", 32, {{0, 10}, {8, 20}}, {{0}, {1}});
+  SplitPlan Plan = makeSplitPlan(O);
+  std::vector<ir::StructLayout> Layouts = renderSplitLayouts(Plan, O);
+  ASSERT_EQ(Layouts.size(), 2u);
+  EXPECT_EQ(Layouts[0].getField(0).Name, "off0");
+  EXPECT_EQ(Layouts[0].getField(0).Size, 8u);
+}
+
+TEST(AdviceText, MentionsEveryNewStruct) {
+  ObjectAnalysis O = makeAnalysis("s", 32, {{0, 100}, {16, 90}}, {{0}, {1}});
+  ir::StructLayout L = fourFieldLayout();
+  SplitPlan Plan = makeSplitPlan(O, &L);
+  std::string Text = renderAdviceText(Plan, O, &L);
+  EXPECT_NE(Text.find("split 's'"), std::string::npos);
+  EXPECT_NE(Text.find("struct s_0"), std::string::npos);
+  EXPECT_NE(Text.find("struct s_1"), std::string::npos);
+  EXPECT_NE(Text.find("struct s_2"), std::string::npos); // Cold b,d.
+}
+
+TEST(AdviceText, NoSplitMessage) {
+  ObjectAnalysis O = makeAnalysis("s", 16, {{0, 10}}, {{0}});
+  SplitPlan Plan = makeSplitPlan(O);
+  std::string Text = renderAdviceText(Plan, O);
+  EXPECT_NE(Text.find("No profitable split"), std::string::npos);
+}
+
+TEST(ReorderPlan, FlattensClustersHotFirst) {
+  // Clusters {a,c} and {b,d} with {a,c} hotter: reorder packs a,c
+  // before b,d in ONE structure.
+  ObjectAnalysis O =
+      makeAnalysis("s", 32, {{0, 100}, {8, 5}, {16, 90}, {24, 5}},
+                   {{0, 2}, {1, 3}});
+  ir::StructLayout L = fourFieldLayout();
+  SplitPlan Plan = makeReorderPlan(O, L);
+  ASSERT_EQ(Plan.ClusterOffsets.size(), 1u);
+  EXPECT_EQ(Plan.ClusterOffsets[0], (std::vector<uint32_t>{0, 16, 8, 24}));
+  EXPECT_FALSE(Plan.isSplit());
+}
+
+TEST(ReorderPlan, ColdFieldsLast) {
+  ObjectAnalysis O = makeAnalysis("s", 32, {{8, 100}}, {{0}});
+  ir::StructLayout L = fourFieldLayout();
+  SplitPlan Plan = makeReorderPlan(O, L);
+  ASSERT_EQ(Plan.ClusterOffsets.size(), 1u);
+  // Hot b first, cold a/c/d appended.
+  EXPECT_EQ(Plan.ClusterOffsets[0],
+            (std::vector<uint32_t>{8, 0, 16, 24}));
+}
+
+TEST(ReorderPlan, DrivesFieldMapRepacking) {
+  ObjectAnalysis O =
+      makeAnalysis("s", 32, {{0, 100}, {8, 5}, {16, 90}, {24, 5}},
+                   {{0, 2}, {1, 3}});
+  ir::StructLayout L = fourFieldLayout();
+  SplitPlan Plan = makeReorderPlan(O, L);
+  transform::FieldMap Map(L, Plan);
+  EXPECT_EQ(Map.getNumGroups(), 1u);
+  EXPECT_EQ(Map.getGroupSize(0), 32u); // Same size, new order.
+  EXPECT_EQ(Map.locate("a").Offset, 0u);
+  EXPECT_EQ(Map.locate("c").Offset, 8u);  // c moved next to a.
+  EXPECT_EQ(Map.locate("b").Offset, 16u);
+  EXPECT_EQ(Map.locate("d").Offset, 24u);
+}
+
+TEST(AffinityDot, NodesEdgesAndClusters) {
+  ObjectAnalysis O =
+      makeAnalysis("s", 32, {{0, 100}, {8, 50}, {16, 90}}, {{0, 2}, {1}});
+  O.Affinity[0][2] = O.Affinity[2][0] = 0.86;
+  std::string Dot = affinityGraphDot(O);
+  EXPECT_NE(Dot.find("graph \"affinity_s\""), std::string::npos);
+  EXPECT_NE(Dot.find("subgraph cluster_0"), std::string::npos);
+  EXPECT_NE(Dot.find("subgraph cluster_1"), std::string::npos);
+  EXPECT_NE(Dot.find("\"f0\" -- \"f16\" [label=\"0.86\"]"),
+            std::string::npos);
+  // Zero-affinity pairs draw no edge.
+  EXPECT_EQ(Dot.find("\"f0\" -- \"f8\""), std::string::npos);
+}

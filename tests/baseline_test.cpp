@@ -1,0 +1,220 @@
+//===- tests/baseline_test.cpp - Instrumentation baselines -----*- C++ -*-===//
+
+#include "analysis/CodeMap.h"
+#include "baseline/AslopCounting.h"
+#include "baseline/BurstySampling.h"
+#include "baseline/FullTraceAffinity.h"
+#include "baseline/ReuseDistance.h"
+#include "ir/ProgramBuilder.h"
+#include "runtime/ThreadedRuntime.h"
+
+#include <gtest/gtest.h>
+
+using namespace structslim;
+using namespace structslim::baseline;
+using structslim::ir::Reg;
+
+namespace {
+
+/// Fig. 1-shaped program with a token for ASLOP's static scan.
+struct Fig1Program {
+  ir::Program P;
+  uint32_t Token = 0;
+  int64_t N;
+
+  explicit Fig1Program(int64_t N) : N(N) {
+    Token = P.makeToken("Arr");
+    ir::Function &F = P.addFunction("main", 0);
+    ir::ProgramBuilder B(P, F);
+    B.setLine(1);
+    Reg Bytes = B.constI(N * 32);
+    Reg Base = B.alloc(Bytes, "Arr", Token);
+    B.setLine(2);
+    B.forLoopI(0, N, 1, [&](Reg I) {
+      B.setLine(3);
+      B.store(I, Base, I, 32, 0, 8, Token);
+      B.store(I, Base, I, 32, 8, 8, Token);
+      B.store(I, Base, I, 32, 16, 8, Token);
+      B.store(I, Base, I, 32, 24, 8, Token);
+      B.setLine(2);
+    });
+    B.setLine(4);
+    B.forLoopI(0, N, 1, [&](Reg I) {
+      B.setLine(5);
+      B.load(Base, I, 32, 0, 8, Token);
+      B.load(Base, I, 32, 16, 8, Token);
+      B.setLine(4);
+    });
+    B.setLine(7);
+    B.forLoopI(0, N, 1, [&](Reg I) {
+      B.setLine(8);
+      B.load(Base, I, 32, 8, 8, Token);
+      B.load(Base, I, 32, 24, 8, Token);
+      B.setLine(7);
+    });
+    B.ret();
+  }
+};
+
+} // namespace
+
+TEST(FullTraceAffinity, SeesEveryAccessAndComputesAffinity) {
+  Fig1Program Prog(500);
+  analysis::CodeMap Map(Prog.P);
+  // The baseline needs the machine's object table; attach through a
+  // runtime so allocations register there.
+  runtime::RunConfig Cfg;
+  Cfg.AttachProfiler = false;
+  runtime::ThreadedRuntime RT(Cfg);
+  FullTraceAffinityProfiler Tracer(Map, RT.machine().Objects,
+                                   {{"Arr", 32}});
+  RT.runPhase(Prog.P, &Map, {runtime::ThreadSpec{Prog.P.getEntry(), {}}},
+              &Tracer);
+  RT.finish();
+
+  // Every access observed: 4N stores + 4N loads.
+  EXPECT_EQ(Tracer.getAccessesObserved(), 8u * 500);
+  auto Counts = Tracer.fieldCounts("Arr");
+  ASSERT_EQ(Counts.size(), 4u);
+  EXPECT_EQ(Counts[0], 1000u); // N stores + N loads.
+  EXPECT_EQ(Counts[8], 1000u);
+
+  // a-c together always; a-b never in a common *load* loop... but the
+  // init loop stores all four, so frequency affinity sees them
+  // together there: a-c share two loops, a-b only the init loop.
+  double Ac = Tracer.affinity("Arr", 0, 16);
+  double Ab = Tracer.affinity("Arr", 0, 8);
+  EXPECT_NEAR(Ac, 1.0, 1e-9);
+  EXPECT_NEAR(Ab, 0.5, 1e-9); // Init loop only: 500+500 over 2000.
+}
+
+TEST(FullTraceAffinity, IgnoresUnmonitoredObjects) {
+  Fig1Program Prog(100);
+  analysis::CodeMap Map(Prog.P);
+  runtime::RunConfig Cfg;
+  Cfg.AttachProfiler = false;
+  runtime::ThreadedRuntime RT(Cfg);
+  FullTraceAffinityProfiler Tracer(Map, RT.machine().Objects, {});
+  RT.runPhase(Prog.P, &Map, {runtime::ThreadSpec{Prog.P.getEntry(), {}}},
+              &Tracer);
+  EXPECT_TRUE(Tracer.fieldCounts("Arr").empty());
+  EXPECT_EQ(Tracer.affinity("Arr", 0, 8), 0.0);
+}
+
+TEST(ReuseDistance, HandComputedSequence) {
+  mem::DataObjectTable Objects;
+  Objects.addStatic("arr", 0, 1 << 20);
+  ReuseDistanceProfiler Prof(Objects, {{"arr", 64}}, 1 << 12);
+  cache::AccessResult R{4, cache::MemLevel::L1};
+  // Lines: A B C A -> A's reuse distance = 2 (B, C distinct between).
+  Prof.onAccess(0, 1, 0 * 64, 8, false, R);
+  Prof.onAccess(0, 1, 1 * 64, 8, false, R);
+  Prof.onAccess(0, 1, 2 * 64, 8, false, R);
+  Prof.onAccess(0, 1, 0 * 64, 8, false, R);
+  auto Hist = Prof.histogram("arr", 0);
+  // Distance 2 lands in bucket bit_width(2) = 2.
+  EXPECT_EQ(Hist[2], 1u);
+  uint64_t Total = 0;
+  for (uint64_t H : Hist)
+    Total += H;
+  EXPECT_EQ(Total, 1u); // Cold misses not counted.
+}
+
+TEST(ReuseDistance, ImmediateReuseIsDistanceZero) {
+  mem::DataObjectTable Objects;
+  Objects.addStatic("arr", 0, 4096);
+  ReuseDistanceProfiler Prof(Objects, {{"arr", 64}}, 1 << 10);
+  cache::AccessResult R{4, cache::MemLevel::L1};
+  Prof.onAccess(0, 1, 0, 8, false, R);
+  Prof.onAccess(0, 1, 8, 8, false, R); // Same line.
+  auto Hist = Prof.histogram("arr", 8);
+  EXPECT_EQ(Hist[0], 1u);
+  EXPECT_NEAR(Prof.meanDistance("arr", 8), 0.0, 1e-9);
+}
+
+TEST(ReuseDistance, StreamingSweepDistances) {
+  // Two sweeps over L lines: second sweep's accesses all have reuse
+  // distance L-1.
+  mem::DataObjectTable Objects;
+  Objects.addStatic("arr", 0, 1 << 20);
+  ReuseDistanceProfiler Prof(Objects, {{"arr", 64}}, 1 << 12);
+  cache::AccessResult R{4, cache::MemLevel::L1};
+  constexpr uint64_t L = 32;
+  for (int Sweep = 0; Sweep != 2; ++Sweep)
+    for (uint64_t I = 0; I != L; ++I)
+      Prof.onAccess(0, 1, I * 64, 8, false, R);
+  auto Hist = Prof.histogram("arr", 0);
+  // Every second-sweep access has distance 31 -> bucket
+  // bit_width(31) = 5; all 32 lines attribute to offset 0 of the
+  // 64-byte "struct".
+  EXPECT_EQ(Hist[5], 32u);
+  EXPECT_GT(Prof.meanDistance("arr", 0), 10.0);
+}
+
+TEST(ReuseDistance, CapacityGuardAborts) {
+  mem::DataObjectTable Objects;
+  ReuseDistanceProfiler Prof(Objects, {}, /*MaxAccesses=*/8);
+  cache::AccessResult R{4, cache::MemLevel::L1};
+  EXPECT_DEATH(
+      {
+        for (uint64_t I = 0; I != 100; ++I)
+          Prof.onAccess(0, 1, I * 64, 8, false, R);
+      },
+      "trace capacity");
+}
+
+TEST(BurstySampling, DutyCycleLimitsRecording) {
+  Fig1Program Prog(1000);
+  analysis::CodeMap Map(Prog.P);
+  runtime::RunConfig Cfg;
+  Cfg.AttachProfiler = false;
+  runtime::ThreadedRuntime RT(Cfg);
+  BurstySamplingProfiler Tracer(Map, RT.machine().Objects, {{"Arr", 32}},
+                                /*BurstLength=*/100, /*BurstPeriod=*/1000);
+  RT.runPhase(Prog.P, &Map, {runtime::ThreadSpec{Prog.P.getEntry(), {}}},
+              &Tracer);
+  EXPECT_EQ(Tracer.getAccessesObserved(), 8000u);
+  // 10% duty cycle.
+  EXPECT_NEAR(static_cast<double>(Tracer.getAccessesRecorded()),
+              800.0, 100.0);
+  // Within bursts the affinity structure is still visible.
+  EXPECT_GT(Tracer.affinity("Arr", 0, 16), 0.9);
+}
+
+TEST(Aslop, BlockCountsDriveAffinity) {
+  Fig1Program Prog(200);
+  analysis::CodeMap Map(Prog.P);
+  ir::StructLayout L("Arr");
+  L.addField("a", 8);
+  L.addField("b", 8);
+  L.addField("c", 8);
+  L.addField("d", 8);
+  L.finalize();
+  AslopProfiler Tracer(Prog.P, Prog.Token, L);
+  runtime::RunConfig Cfg;
+  Cfg.AttachProfiler = false;
+  runtime::ThreadedRuntime RT(Cfg);
+  RT.runPhase(Prog.P, &Map, {runtime::ThreadSpec{Prog.P.getEntry(), {}}},
+              &Tracer);
+  EXPECT_GT(Tracer.getBlockEntries(), 0u);
+  // a and c share the second loop's body block (plus init); b pairs
+  // with d the same way; a-c affinity exceeds a-b.
+  EXPECT_GT(Tracer.affinity(0, 16), Tracer.affinity(0, 8));
+  auto Counts = Tracer.fieldCounts();
+  EXPECT_EQ(Counts.size(), 4u);
+  EXPECT_GT(Counts[0], 0u);
+}
+
+TEST(Aslop, StaticScanFindsAnnotatedBlocks) {
+  Fig1Program Prog(10);
+  ir::StructLayout L("Arr");
+  L.addField("a", 8);
+  L.addField("b", 8);
+  L.addField("c", 8);
+  L.addField("d", 8);
+  L.finalize();
+  AslopProfiler Tracer(Prog.P, Prog.Token, L);
+  // Without running: counts are zero but the static map exists, so
+  // affinities are well-defined (0).
+  EXPECT_EQ(Tracer.affinity(0, 16), 0.0);
+}

@@ -1,0 +1,120 @@
+//===- tests/benefitmodel_test.cpp - What-if estimator tests ---*- C++ -*-===//
+
+#include "core/BenefitModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace structslim;
+using namespace structslim::core;
+
+namespace {
+
+/// An object with two 8-byte fields in a 64-byte struct; \p HotMiss
+/// controls the hot field's beyond-L1 sample fraction.
+ObjectAnalysis makeObject(double HotShare, uint64_t HotLatency,
+                          uint64_t ColdLatency, double HotMiss) {
+  ObjectAnalysis O;
+  O.Name = "s";
+  O.HotShare = HotShare;
+  O.StructSize = 64;
+  FieldStat Hot;
+  Hot.Offset = 0;
+  Hot.Name = "hot";
+  Hot.Size = 8;
+  Hot.LatencySum = HotLatency;
+  uint64_t Samples = 100;
+  Hot.LevelSamples[0] = static_cast<uint64_t>(Samples * (1 - HotMiss));
+  Hot.LevelSamples[2] = Samples - Hot.LevelSamples[0];
+  FieldStat Cold = Hot;
+  Cold.Offset = 8;
+  Cold.Name = "cold";
+  Cold.LatencySum = ColdLatency;
+  O.Fields = {Hot, Cold};
+  O.LatencySum = HotLatency + ColdLatency;
+  return O;
+}
+
+SplitPlan twoWayPlan() {
+  SplitPlan Plan;
+  Plan.ObjectName = "s";
+  Plan.OriginalSize = 64;
+  Plan.ClusterOffsets = {{0}, {8}};
+  return Plan;
+}
+
+} // namespace
+
+TEST(BenefitModel, PureMissFieldScalesByClusterRatio) {
+  // All latency on one always-missing 8-byte field of a 64-byte
+  // struct: splitting shrinks its sweep footprint 8x, removing 7/8 of
+  // its (and hence nearly all the object's) latency.
+  ObjectAnalysis O = makeObject(1.0, 1000, 0, /*HotMiss=*/1.0);
+  BenefitEstimate Est = estimateSplitBenefit(O, twoWayPlan(), 1.0);
+  EXPECT_NEAR(Est.ObjectLatencyReduction, 7.0 / 8.0, 1e-9);
+  EXPECT_NEAR(Est.PredictedSpeedup, 1.0 / (1.0 - 7.0 / 8.0), 1e-6);
+  ASSERT_EQ(Est.ClusterSizes.size(), 2u);
+  EXPECT_EQ(Est.ClusterSizes[0], 8u);
+}
+
+TEST(BenefitModel, L1ResidentFieldGainsNothing) {
+  ObjectAnalysis O = makeObject(1.0, 1000, 0, /*HotMiss=*/0.0);
+  BenefitEstimate Est = estimateSplitBenefit(O, twoWayPlan(), 1.0);
+  EXPECT_NEAR(Est.ObjectLatencyReduction, 0.0, 1e-9);
+  EXPECT_NEAR(Est.PredictedSpeedup, 1.0, 1e-9);
+}
+
+TEST(BenefitModel, AmdahlDampensByShareAndMemoryFraction) {
+  ObjectAnalysis O = makeObject(/*HotShare=*/0.5, 1000, 0, 1.0);
+  BenefitEstimate Full = estimateSplitBenefit(O, twoWayPlan(), 1.0);
+  BenefitEstimate Half = estimateSplitBenefit(O, twoWayPlan(), 0.5);
+  // Affected fraction 0.5: speedup = 1/(1 - 0.5*7/8).
+  EXPECT_NEAR(Full.PredictedSpeedup, 1.0 / (1.0 - 0.5 * 7.0 / 8.0), 1e-6);
+  EXPECT_LT(Half.PredictedSpeedup, Full.PredictedSpeedup);
+  EXPECT_GT(Half.PredictedSpeedup, 1.0);
+}
+
+TEST(BenefitModel, NonSplitPlanPredictsNothing) {
+  ObjectAnalysis O = makeObject(1.0, 1000, 0, 1.0);
+  SplitPlan Plan;
+  Plan.ObjectName = "s";
+  Plan.OriginalSize = 64;
+  Plan.ClusterOffsets = {{0, 8}};
+  BenefitEstimate Est = estimateSplitBenefit(O, Plan, 1.0);
+  EXPECT_EQ(Est.ObjectLatencyReduction, 0.0);
+  EXPECT_EQ(Est.PredictedSpeedup, 1.0);
+}
+
+TEST(BenefitModel, UnknownSizeGivesNoEstimate) {
+  ObjectAnalysis O = makeObject(1.0, 1000, 0, 1.0);
+  O.StructSize = 0;
+  SplitPlan Plan = twoWayPlan();
+  Plan.OriginalSize = 0;
+  BenefitEstimate Est = estimateSplitBenefit(O, Plan, 1.0);
+  EXPECT_EQ(Est.PredictedSpeedup, 1.0);
+}
+
+TEST(BenefitModel, BiggerClustersGainLess) {
+  // Same object, two plans: {hot} alone vs {hot + 24 bytes of friends}.
+  ObjectAnalysis O = makeObject(1.0, 1000, 0, 1.0);
+  // Give the plan a fat cluster by listing extra 8-byte fields.
+  FieldStat Extra1 = O.Fields[0];
+  Extra1.Offset = 16;
+  Extra1.Name = "e1";
+  Extra1.LatencySum = 0;
+  FieldStat Extra2 = Extra1;
+  Extra2.Offset = 24;
+  Extra2.Name = "e2";
+  O.Fields.push_back(Extra1);
+  O.Fields.push_back(Extra2);
+
+  SplitPlan Thin = twoWayPlan();
+  SplitPlan Fat;
+  Fat.ObjectName = "s";
+  Fat.OriginalSize = 64;
+  Fat.ClusterOffsets = {{0, 16, 24}, {8}};
+  BenefitEstimate ThinEst = estimateSplitBenefit(O, Thin, 1.0);
+  BenefitEstimate FatEst = estimateSplitBenefit(O, Fat, 1.0);
+  EXPECT_GT(ThinEst.ObjectLatencyReduction,
+            FatEst.ObjectLatencyReduction);
+  EXPECT_EQ(FatEst.ClusterSizes[0], 24u);
+}

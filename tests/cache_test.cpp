@@ -1,0 +1,238 @@
+//===- tests/cache_test.cpp - Cache & hierarchy tests ----------*- C++ -*-===//
+
+#include "cache/Cache.h"
+#include "cache/Hierarchy.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace structslim;
+using namespace structslim::cache;
+
+namespace {
+
+/// A tiny 2-set, 2-way cache for exact LRU checks: 4 lines of 64 B.
+CacheConfig tinyConfig() {
+  CacheConfig C;
+  C.Name = "tiny";
+  C.SizeBytes = 4 * 64;
+  C.Assoc = 2;
+  C.LineSize = 64;
+  C.HitLatency = 4;
+  return C;
+}
+
+} // namespace
+
+TEST(SetAssocCache, ColdMissThenHit) {
+  SetAssocCache C(tinyConfig());
+  EXPECT_FALSE(C.access(10));
+  EXPECT_TRUE(C.access(10));
+  EXPECT_EQ(C.getMisses(), 1u);
+  EXPECT_EQ(C.getHits(), 1u);
+}
+
+TEST(SetAssocCache, LruEviction) {
+  SetAssocCache C(tinyConfig()); // 2 sets: lines map by line % 2.
+  // Lines 0, 2, 4 all map to set 0 (even).
+  C.access(0);
+  C.access(2);
+  C.access(4); // Evicts 0 (LRU).
+  EXPECT_FALSE(C.access(0));
+  // Now 2 was evicted (it became LRU after 4 and 0 installed).
+  EXPECT_FALSE(C.access(2));
+}
+
+TEST(SetAssocCache, LruTouchRefreshes) {
+  SetAssocCache C(tinyConfig());
+  C.access(0);
+  C.access(2);
+  C.access(0); // Refresh 0; 2 becomes LRU.
+  C.access(4); // Evicts 2.
+  EXPECT_TRUE(C.access(0));
+  EXPECT_FALSE(C.access(2));
+}
+
+TEST(SetAssocCache, SetsAreIndependent) {
+  SetAssocCache C(tinyConfig());
+  C.access(0); // Set 0.
+  C.access(1); // Set 1.
+  C.access(3); // Set 1.
+  EXPECT_TRUE(C.access(0)); // Untouched by set-1 traffic.
+}
+
+TEST(SetAssocCache, NonPowerOfTwoSets) {
+  // 20 MB, 16-way, 64 B lines: 20480 sets (the paper's L3 geometry).
+  CacheConfig C;
+  C.SizeBytes = 20 * 1024 * 1024;
+  C.Assoc = 16;
+  C.LineSize = 64;
+  SetAssocCache Cache(C);
+  for (uint64_t L = 0; L != 1000; ++L)
+    Cache.access(L);
+  for (uint64_t L = 0; L != 1000; ++L)
+    EXPECT_TRUE(Cache.access(L)) << "line " << L;
+}
+
+TEST(SetAssocCache, WorkingSetLargerThanCacheThrashes) {
+  SetAssocCache C(tinyConfig()); // 4 lines total.
+  for (int Round = 0; Round != 3; ++Round)
+    for (uint64_t L = 0; L != 8; ++L)
+      C.access(L);
+  // Cyclic sweep over 2x capacity with LRU: every access misses.
+  EXPECT_EQ(C.getMisses(), 24u);
+}
+
+TEST(SetAssocCache, PrefetchInstallDoesNotCountDemand) {
+  SetAssocCache C(tinyConfig());
+  C.installPrefetch(6);
+  EXPECT_EQ(C.getAccesses(), 0u);
+  EXPECT_EQ(C.getPrefetchFills(), 1u);
+  EXPECT_TRUE(C.access(6)); // Hit thanks to the prefetch.
+}
+
+TEST(SetAssocCache, ContainsIsSideEffectFree) {
+  SetAssocCache C(tinyConfig());
+  C.access(0);
+  C.access(2);
+  EXPECT_TRUE(C.contains(0));
+  EXPECT_TRUE(C.contains(2));
+  EXPECT_FALSE(C.contains(4));
+  // contains() must not refresh LRU: 0 is still the eviction victim.
+  C.access(4);
+  EXPECT_FALSE(C.contains(0));
+}
+
+TEST(SetAssocCache, BadGeometryAborts) {
+  CacheConfig C;
+  C.SizeBytes = 100; // Not a multiple of assoc * line.
+  C.Assoc = 8;
+  C.LineSize = 64;
+  EXPECT_DEATH(SetAssocCache{C}, "multiple of assoc");
+  CacheConfig C2;
+  C2.LineSize = 48;
+  EXPECT_DEATH(SetAssocCache{C2}, "power of two");
+}
+
+// --- MemoryHierarchy --------------------------------------------------------
+
+namespace {
+
+HierarchyConfig smallHierarchy() {
+  HierarchyConfig H;
+  H.L1 = {"L1", 1024, 2, 64, 4};
+  H.L2 = {"L2", 4096, 4, 64, 12};
+  H.L3 = {"L3", 16384, 8, 64, 40};
+  H.DramLatency = 200;
+  return H;
+}
+
+} // namespace
+
+TEST(Hierarchy, LevelsAndLatencies) {
+  MemoryHierarchy H(smallHierarchy());
+  AccessResult First = H.access(0, 8, false, 1);
+  EXPECT_EQ(First.Served, MemLevel::Dram);
+  EXPECT_EQ(First.Latency, 200u);
+  AccessResult Second = H.access(0, 8, false, 1);
+  EXPECT_EQ(Second.Served, MemLevel::L1);
+  EXPECT_EQ(Second.Latency, 4u);
+}
+
+TEST(Hierarchy, L2ServesAfterL1Eviction) {
+  MemoryHierarchy H(smallHierarchy());
+  H.access(0, 8, false, 1);
+  // Evict line 0 from L1 (16 lines) but not L2 (64 lines): touch 16
+  // conflicting-ish lines.
+  for (uint64_t L = 1; L <= 32; ++L)
+    H.access(L * 64, 8, false, 1);
+  AccessResult R = H.access(0, 8, false, 1);
+  EXPECT_EQ(R.Served, MemLevel::L2);
+  EXPECT_EQ(R.Latency, 12u);
+}
+
+TEST(Hierarchy, LineStraddleTakesSlowerLine) {
+  MemoryHierarchy H(smallHierarchy());
+  H.access(0, 8, false, 1); // Line 0 cached everywhere.
+  // 8 bytes at offset 60: touches lines 0 (hit) and 1 (cold -> DRAM).
+  AccessResult R = H.access(60, 8, false, 2);
+  EXPECT_EQ(R.Served, MemLevel::Dram);
+  EXPECT_EQ(R.Latency, 200u);
+}
+
+TEST(Hierarchy, SharedL3AcrossCores) {
+  HierarchyConfig Cfg = smallHierarchy();
+  SetAssocCache SharedL3(Cfg.L3);
+  MemoryHierarchy Core0(Cfg, &SharedL3);
+  MemoryHierarchy Core1(Cfg, &SharedL3);
+  Core0.access(0, 8, false, 1); // Fills the shared L3.
+  AccessResult R = Core1.access(0, 8, false, 1);
+  EXPECT_EQ(R.Served, MemLevel::L3); // Private L1/L2 cold, L3 warm.
+  EXPECT_EQ(SharedL3.getAccesses(), 2u);
+}
+
+TEST(Hierarchy, MissCountersPerLevel) {
+  MemoryHierarchy H(smallHierarchy());
+  H.access(0, 8, false, 1);
+  H.access(0, 8, false, 1);
+  EXPECT_EQ(H.l1().getMisses(), 1u);
+  EXPECT_EQ(H.l1().getHits(), 1u);
+  EXPECT_EQ(H.l2().getMisses(), 1u);
+  EXPECT_EQ(H.l3().getMisses(), 1u);
+  H.resetCounters();
+  EXPECT_EQ(H.l1().getAccesses(), 0u);
+}
+
+TEST(Hierarchy, MemLevelNames) {
+  EXPECT_STREQ(memLevelName(MemLevel::L1), "L1");
+  EXPECT_STREQ(memLevelName(MemLevel::L2), "L2");
+  EXPECT_STREQ(memLevelName(MemLevel::L3), "L3");
+  EXPECT_STREQ(memLevelName(MemLevel::Dram), "DRAM");
+}
+
+// --- StridePrefetcher --------------------------------------------------------
+
+TEST(Prefetcher, DetectsConstantStride) {
+  HierarchyConfig Cfg = smallHierarchy();
+  Cfg.EnablePrefetcher = true;
+  Cfg.PrefetchDegree = 2;
+  MemoryHierarchy H(Cfg);
+  // Stride-64 stream from one IP: after warmup, upcoming lines are
+  // prefetched into L2.
+  for (uint64_t I = 0; I != 8; ++I)
+    H.access(I * 64, 8, false, /*Ip=*/7);
+  EXPECT_GT(H.getPrefetcher().getIssued(), 0u);
+  // The next line should now be at least L2-resident.
+  AccessResult R = H.access(8 * 64, 8, false, 7);
+  EXPECT_NE(R.Served, MemLevel::Dram);
+}
+
+TEST(Prefetcher, NoIssueForRandomPattern) {
+  HierarchyConfig Cfg = smallHierarchy();
+  Cfg.EnablePrefetcher = true;
+  MemoryHierarchy H(Cfg);
+  Rng R(3);
+  for (int I = 0; I != 64; ++I)
+    H.access(R.nextBelow(1 << 20), 8, false, 7);
+  // A couple of accidental matches are possible, but not a stream.
+  EXPECT_LT(H.getPrefetcher().getIssued(), 8u);
+}
+
+TEST(Prefetcher, DisabledByDefault) {
+  MemoryHierarchy H(smallHierarchy());
+  for (uint64_t I = 0; I != 16; ++I)
+    H.access(I * 64, 8, false, 7);
+  EXPECT_EQ(H.getPrefetcher().getIssued(), 0u);
+  EXPECT_EQ(H.l2().getPrefetchFills(), 0u);
+}
+
+TEST(Prefetcher, NonUnitStrideRecognized) {
+  // The paper notes hardware prefetchers recognize non-unit strides;
+  // ours does too (per-IP stride table).
+  HierarchyConfig Cfg = smallHierarchy();
+  Cfg.EnablePrefetcher = true;
+  MemoryHierarchy H(Cfg);
+  for (uint64_t I = 0; I != 8; ++I)
+    H.access(I * 256, 8, false, 9);
+  EXPECT_GT(H.getPrefetcher().getIssued(), 0u);
+}

@@ -1,0 +1,130 @@
+//===- tests/codemap_test.cpp - Program-wide IP attribution ----*- C++ -*-===//
+
+#include "analysis/CodeMap.h"
+#include "ir/Program.h"
+#include "ir/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace structslim;
+using namespace structslim::analysis;
+using structslim::ir::Reg;
+
+namespace {
+
+struct TwoFunctionProgram {
+  ir::Program P;
+  uint64_t LoopLoadIp = 0;    // A load inside main's loop.
+  uint64_t StraightIp = 0;    // An instruction outside any loop.
+  uint64_t HelperLoopIp = 0;  // Inside helper's loop.
+  uint32_t HelperId = 0;
+
+  TwoFunctionProgram() {
+    ir::Function &Helper = P.addFunction("helper", 1);
+    HelperId = Helper.Id;
+    {
+      ir::ProgramBuilder B(P, Helper);
+      B.setLine(200);
+      B.forLoopI(0, 4, 1, [&](Reg) {
+        B.setLine(201);
+        B.work(1);
+        HelperLoopIp = Helper.Blocks[B.currentBlock()]->Instrs.back().Ip;
+        B.setLine(200);
+      });
+      B.ret();
+    }
+    ir::Function &Main = P.addFunction("main", 0);
+    P.setEntry(Main.Id);
+    {
+      ir::ProgramBuilder B(P, Main);
+      B.setLine(10);
+      Reg C = B.constI(1);
+      StraightIp = Main.Blocks[0]->Instrs.back().Ip;
+      B.forLoopI(0, 4, 1, [&](Reg) {
+        B.setLine(11);
+        B.work(1);
+        LoopLoadIp = Main.Blocks[B.currentBlock()]->Instrs.back().Ip;
+        B.setLine(10);
+      });
+      B.call(Helper, {C});
+      B.ret();
+    }
+  }
+};
+
+} // namespace
+
+TEST(CodeMap, AttributesLoopInstructions) {
+  TwoFunctionProgram T;
+  CodeMap Map(T.P);
+  const CodeSite &Site = Map.lookup(T.LoopLoadIp);
+  ASSERT_TRUE(Site.Valid);
+  EXPECT_GE(Site.LoopId, 0);
+  EXPECT_EQ(Site.Line, 11u);
+  const LoopRecord &L = Map.getLoop(static_cast<uint32_t>(Site.LoopId));
+  EXPECT_EQ(L.FuncName, "main");
+  EXPECT_EQ(L.LineBegin, 10u);
+  EXPECT_EQ(L.LineEnd, 11u);
+  EXPECT_EQ(L.name(), "10-11");
+}
+
+TEST(CodeMap, StraightLineHasNoLoop) {
+  TwoFunctionProgram T;
+  CodeMap Map(T.P);
+  const CodeSite &Site = Map.lookup(T.StraightIp);
+  ASSERT_TRUE(Site.Valid);
+  EXPECT_EQ(Site.LoopId, -1);
+  EXPECT_EQ(Site.Line, 10u);
+}
+
+TEST(CodeMap, GlobalLoopIdsSpanFunctions) {
+  TwoFunctionProgram T;
+  CodeMap Map(T.P);
+  const CodeSite &MainSite = Map.lookup(T.LoopLoadIp);
+  const CodeSite &HelperSite = Map.lookup(T.HelperLoopIp);
+  ASSERT_TRUE(MainSite.Valid);
+  ASSERT_TRUE(HelperSite.Valid);
+  EXPECT_NE(MainSite.LoopId, HelperSite.LoopId);
+  EXPECT_EQ(Map.getLoop(static_cast<uint32_t>(HelperSite.LoopId)).FuncName,
+            "helper");
+  EXPECT_EQ(Map.loops().size(), 2u);
+}
+
+TEST(CodeMap, ForeignIpsAreInvalid) {
+  TwoFunctionProgram T;
+  CodeMap Map(T.P);
+  EXPECT_FALSE(Map.lookup(0).Valid);
+  EXPECT_FALSE(Map.lookup(ir::Program::TextBase - 1).Valid);
+  EXPECT_FALSE(Map.lookup(T.P.getIpEnd()).Valid);
+}
+
+TEST(CodeMap, EveryInstructionIsMapped) {
+  TwoFunctionProgram T;
+  CodeMap Map(T.P);
+  for (const auto &F : T.P.functions())
+    for (const auto &BB : F->Blocks)
+      for (const ir::Instr &I : BB->Instrs) {
+        const CodeSite &Site = Map.lookup(I.Ip);
+        ASSERT_TRUE(Site.Valid) << "ip " << I.Ip;
+        EXPECT_EQ(Site.FuncId, F->Id);
+        EXPECT_EQ(Site.Line, I.Line);
+      }
+}
+
+TEST(CodeMap, LoopParentLinksAreGlobal) {
+  ir::Program P;
+  ir::Function &F = P.addFunction("main", 0);
+  ir::ProgramBuilder B(P, F);
+  B.forLoopI(0, 2, 1, [&](Reg) { B.forLoopI(0, 2, 1, [&](Reg) {}); });
+  B.ret();
+  CodeMap Map(P);
+  ASSERT_EQ(Map.loops().size(), 2u);
+  int Children = 0;
+  for (const LoopRecord &L : Map.loops())
+    if (L.Parent >= 0) {
+      ++Children;
+      EXPECT_EQ(Map.getLoop(static_cast<uint32_t>(L.Parent)).Depth + 1,
+                L.Depth);
+    }
+  EXPECT_EQ(Children, 1);
+}

@@ -1,0 +1,164 @@
+//===- tests/dominators_test.cpp - Dominator-tree tests --------*- C++ -*-===//
+
+#include "analysis/Dominators.h"
+#include "ir/Program.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace structslim;
+using namespace structslim::analysis;
+
+namespace {
+
+/// Builds a function whose CFG is given by adjacency lists. Block
+/// contents are irrelevant to the dominator computation; each block
+/// gets a filler terminator-shaped instruction.
+std::unique_ptr<ir::Function> makeCfg(
+    const std::vector<std::vector<uint32_t>> &Succs) {
+  auto F = std::make_unique<ir::Function>();
+  F->Name = "cfg";
+  for (size_t I = 0; I != Succs.size(); ++I) {
+    auto BB = std::make_unique<ir::BasicBlock>();
+    BB->Id = static_cast<uint32_t>(I);
+    ir::Instr Term;
+    Term.Op = Succs[I].empty()
+                  ? ir::Opcode::Ret
+                  : (Succs[I].size() == 1 ? ir::Opcode::Br
+                                          : ir::Opcode::CondBr);
+    BB->Instrs.push_back(Term);
+    BB->Succs = Succs[I];
+    F->Blocks.push_back(std::move(BB));
+  }
+  return F;
+}
+
+/// Reference dominance: A dom B iff B is unreachable when A is removed.
+bool refDominates(const std::vector<std::vector<uint32_t>> &Succs,
+                  uint32_t A, uint32_t B) {
+  if (A == B)
+    return true;
+  std::vector<bool> Visited(Succs.size(), false);
+  std::vector<uint32_t> Stack;
+  if (A != 0) {
+    Stack.push_back(0);
+    Visited[0] = true;
+  }
+  while (!Stack.empty()) {
+    uint32_t Cur = Stack.back();
+    Stack.pop_back();
+    for (uint32_t S : Succs[Cur]) {
+      if (S == A || Visited[S])
+        continue;
+      Visited[S] = true;
+      Stack.push_back(S);
+    }
+  }
+  return !Visited[B];
+}
+
+bool refReachable(const std::vector<std::vector<uint32_t>> &Succs,
+                  uint32_t B) {
+  std::vector<bool> Visited(Succs.size(), false);
+  std::vector<uint32_t> Stack{0};
+  Visited[0] = true;
+  while (!Stack.empty()) {
+    uint32_t Cur = Stack.back();
+    Stack.pop_back();
+    for (uint32_t S : Succs[Cur])
+      if (!Visited[S]) {
+        Visited[S] = true;
+        Stack.push_back(S);
+      }
+  }
+  return Visited[B];
+}
+
+} // namespace
+
+TEST(Dominators, Diamond) {
+  //    0
+  //   / .
+  //  1   2
+  //   \ /
+  //    3
+  auto F = makeCfg({{1, 2}, {3}, {3}, {}});
+  DominatorTree DT(*F);
+  EXPECT_EQ(DT.getIdom(1), 0);
+  EXPECT_EQ(DT.getIdom(2), 0);
+  EXPECT_EQ(DT.getIdom(3), 0); // Neither branch dominates the join.
+  EXPECT_TRUE(DT.dominates(0, 3));
+  EXPECT_FALSE(DT.dominates(1, 3));
+  EXPECT_TRUE(DT.dominates(2, 2));
+}
+
+TEST(Dominators, Chain) {
+  auto F = makeCfg({{1}, {2}, {3}, {}});
+  DominatorTree DT(*F);
+  EXPECT_EQ(DT.getIdom(3), 2);
+  EXPECT_TRUE(DT.dominates(1, 3));
+  EXPECT_FALSE(DT.dominates(3, 1));
+}
+
+TEST(Dominators, LoopBackEdge) {
+  // 0 -> 1 <-> 2, 1 -> 3
+  auto F = makeCfg({{1}, {2, 3}, {1}, {}});
+  DominatorTree DT(*F);
+  EXPECT_EQ(DT.getIdom(2), 1);
+  EXPECT_EQ(DT.getIdom(3), 1);
+  EXPECT_TRUE(DT.dominates(1, 2));
+}
+
+TEST(Dominators, UnreachableBlocks) {
+  auto F = makeCfg({{1}, {}, {1}}); // Block 2 unreachable.
+  DominatorTree DT(*F);
+  EXPECT_TRUE(DT.isReachable(1));
+  EXPECT_FALSE(DT.isReachable(2));
+  EXPECT_FALSE(DT.dominates(2, 1));
+  EXPECT_FALSE(DT.dominates(0, 2));
+}
+
+TEST(Dominators, EntryDominatesEverythingReachable) {
+  auto F = makeCfg({{1, 2}, {2}, {0}});
+  DominatorTree DT(*F);
+  for (uint32_t B = 0; B != 3; ++B)
+    EXPECT_TRUE(DT.dominates(0, B));
+}
+
+TEST(Dominators, RpoCoversReachableOnly) {
+  auto F = makeCfg({{1}, {}, {1}});
+  DominatorTree DT(*F);
+  EXPECT_EQ(DT.getRpo().size(), 2u);
+  EXPECT_EQ(DT.getRpo().front(), 0u);
+}
+
+// Property: on random CFGs, dominates() agrees with the brute-force
+// removal-based definition for every pair of blocks.
+class DominatorsRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(DominatorsRandom, MatchesBruteForce) {
+  Rng R(1000 + GetParam());
+  size_t N = 4 + R.nextBelow(9); // 4..12 blocks.
+  std::vector<std::vector<uint32_t>> Succs(N);
+  for (size_t I = 0; I != N; ++I) {
+    unsigned Fanout = static_cast<unsigned>(R.nextBelow(3)); // 0..2
+    for (unsigned S = 0; S != Fanout; ++S)
+      Succs[I].push_back(static_cast<uint32_t>(R.nextBelow(N)));
+  }
+  auto F = makeCfg(Succs);
+  DominatorTree DT(*F);
+  for (uint32_t A = 0; A != N; ++A)
+    for (uint32_t B = 0; B != N; ++B) {
+      if (!refReachable(Succs, A) || !refReachable(Succs, B)) {
+        EXPECT_FALSE(DT.dominates(A, B));
+        continue;
+      }
+      EXPECT_EQ(DT.dominates(A, B), refDominates(Succs, A, B))
+          << "blocks " << A << " -> " << B;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCfgs, DominatorsRandom,
+                         ::testing::Range(0, 25));

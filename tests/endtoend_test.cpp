@@ -1,0 +1,141 @@
+//===- tests/endtoend_test.cpp - Full pipeline tests -----------*- C++ -*-===//
+//
+// Exercises the complete paper methodology (profile -> analyze ->
+// advise -> split -> re-run) through workloads::runEndToEnd and checks
+// the headline qualitative claims of Tables 3 and 4.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Driver.h"
+#include "workloads/Registry.h"
+
+#include <gtest/gtest.h>
+
+using namespace structslim;
+using namespace structslim::workloads;
+
+namespace {
+
+DriverConfig e2eConfig(double Scale) {
+  DriverConfig Cfg;
+  Cfg.Scale = Scale;
+  Cfg.Run.Sampling.Period = 2000;
+  return Cfg;
+}
+
+} // namespace
+
+TEST(EndToEnd, ArtSplitsIntoSixAndSpeedsUp) {
+  auto W = makeArt();
+  EndToEndResult R = runEndToEnd(*W, e2eConfig(0.3));
+  // Fig. 7: six new structures.
+  EXPECT_TRUE(R.Plan.isSplit());
+  EXPECT_EQ(R.Plan.ClusterOffsets.size(), 6u);
+  // Table 3 shape: a solid speedup (paper: 1.37x, the study's largest).
+  EXPECT_GT(R.Speedup, 1.15);
+  // Table 4 shape: L1 and L2 misses drop substantially.
+  EXPECT_GT(R.MissReduction[0], 0.2);
+  EXPECT_GT(R.MissReduction[1], 0.2);
+  // Overhead stays small (paper: ~2%).
+  EXPECT_LT(R.OverheadSim, 0.10);
+  EXPECT_GT(R.OverheadSim, 0.0);
+}
+
+TEST(EndToEnd, LibquantumTwoWaySplit) {
+  auto W = makeLibquantum();
+  EndToEndResult R = runEndToEnd(*W, e2eConfig(0.2));
+  EXPECT_TRUE(R.Plan.isSplit());
+  EXPECT_EQ(R.Plan.ClusterOffsets.size(), 2u);
+  EXPECT_GT(R.Speedup, 1.02);
+  EXPECT_GT(R.MissReduction[1], 0.3); // Paper: 82.6% L2 reduction.
+}
+
+TEST(EndToEnd, EveryBenchmarkImproves) {
+  // Table 3's core claim: all seven benchmarks speed up after the
+  // StructSlim-guided split.
+  for (const auto &W : makePaperWorkloads()) {
+    EndToEndResult R = runEndToEnd(*W, e2eConfig(0.15));
+    EXPECT_TRUE(R.Plan.isSplit()) << W->name();
+    EXPECT_GT(R.Speedup, 1.0) << W->name();
+    EXPECT_LT(R.OverheadSim, 0.25) << W->name();
+  }
+}
+
+TEST(EndToEnd, NnLargestL1Reduction) {
+  // Paper Table 4: NN shows the study's largest L1 miss reduction
+  // (87.2%, consistent with 8 dists per line instead of 1).
+  auto W = makeNn();
+  EndToEndResult R = runEndToEnd(*W, e2eConfig(0.25));
+  EXPECT_GT(R.MissReduction[0], 0.5);
+}
+
+TEST(EndToEnd, SplitPreservesProgramResults) {
+  // The split program must compute what the original computed: the
+  // driver records per-thread return values.
+  auto W = makeTsp();
+  EndToEndResult R = runEndToEnd(*W, e2eConfig(0.1));
+  ASSERT_EQ(R.OriginalDetached.ReturnValues.size(),
+            R.SplitDetached.ReturnValues.size());
+  for (size_t I = 0; I != R.OriginalDetached.ReturnValues.size(); ++I)
+    EXPECT_EQ(R.OriginalDetached.ReturnValues[I],
+              R.SplitDetached.ReturnValues[I])
+        << "thread " << I;
+}
+
+TEST(EndToEnd, ParallelWorkloadsPreserveResultsToo) {
+  auto W = makeClomp();
+  EndToEndResult R = runEndToEnd(*W, e2eConfig(0.1));
+  ASSERT_EQ(R.OriginalDetached.ReturnValues.size(), 5u);
+  for (size_t I = 0; I != 5u; ++I)
+    EXPECT_EQ(R.OriginalDetached.ReturnValues[I],
+              R.SplitDetached.ReturnValues[I]);
+}
+
+TEST(EndToEnd, ProfilerDoesNotPerturbExecution) {
+  // Address sampling is passive: profiled and detached runs execute
+  // identically (same instruction count, same results, same misses).
+  auto W = makeMser();
+  EndToEndResult R = runEndToEnd(*W, e2eConfig(0.1));
+  EXPECT_EQ(R.OriginalProfiled.Instructions,
+            R.OriginalDetached.Instructions);
+  EXPECT_EQ(R.OriginalProfiled.MemoryAccesses,
+            R.OriginalDetached.MemoryAccesses);
+  EXPECT_EQ(R.OriginalProfiled.Misses[0], R.OriginalDetached.Misses[0]);
+  EXPECT_EQ(R.OriginalProfiled.ReturnValues,
+            R.OriginalDetached.ReturnValues);
+  // All extra time is the sampling handler cost.
+  EXPECT_GE(R.OriginalProfiled.ElapsedCycles,
+            R.OriginalDetached.ElapsedCycles);
+}
+
+TEST(EndToEnd, OverheadScalesWithSamplingPeriod) {
+  auto W = makeLibquantum();
+  DriverConfig Dense = e2eConfig(0.1);
+  Dense.Run.Sampling.Period = 500;
+  DriverConfig Sparse = e2eConfig(0.1);
+  Sparse.Run.Sampling.Period = 50000;
+  EndToEndResult RDense = runEndToEnd(*W, Dense);
+  EndToEndResult RSparse = runEndToEnd(*W, Sparse);
+  EXPECT_GT(RDense.OverheadSim, RSparse.OverheadSim);
+  EXPECT_GT(RDense.OriginalProfiled.Samples,
+            10 * RSparse.OriginalProfiled.Samples);
+}
+
+TEST(EndToEnd, AdviceStableAcrossSamplingPeriods) {
+  // The paper's advice must not depend on the exact sampling rate: the
+  // same clusters emerge at 1/2k and 1/20k sampling.
+  auto W = makeClomp();
+  DriverConfig A = e2eConfig(0.15);
+  A.Run.Sampling.Period = 2000;
+  DriverConfig B = e2eConfig(0.15);
+  B.Run.Sampling.Period = 20000;
+  EndToEndResult RA = runEndToEnd(*W, A);
+  EndToEndResult RB = runEndToEnd(*W, B);
+  // The hot cluster (value + nextZone, offsets 16 and 24) must be
+  // identical; cold fields may fragment differently when they catch
+  // only a sample or two at sparse rates.
+  ASSERT_FALSE(RA.Plan.ClusterOffsets.empty());
+  ASSERT_FALSE(RB.Plan.ClusterOffsets.empty());
+  EXPECT_EQ(RA.Plan.ClusterOffsets[0], RB.Plan.ClusterOffsets[0]);
+  EXPECT_EQ(RA.Plan.ClusterOffsets[0], (std::vector<uint32_t>{16, 24}));
+}

@@ -1,0 +1,388 @@
+//===- tests/interpreter_test.cpp - IR execution tests ---------*- C++ -*-===//
+
+#include "ir/ProgramBuilder.h"
+#include "ir/Verifier.h"
+#include "runtime/Interpreter.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace structslim;
+using namespace structslim::runtime;
+using structslim::ir::NoReg;
+using structslim::ir::Opcode;
+using structslim::ir::ProgramBuilder;
+using structslim::ir::Reg;
+
+namespace {
+
+/// Runs main() of \p P on a fresh machine; returns the result.
+uint64_t execute(const ir::Program &P, RunStats *Stats = nullptr) {
+  EXPECT_EQ(ir::verify(P), "");
+  Machine M;
+  cache::MemoryHierarchy H(cache::HierarchyConfig{});
+  Interpreter I(P, M, H, nullptr, 0);
+  uint64_t Result = I.run(P.getEntry(), {});
+  if (Stats)
+    *Stats = I.getStats();
+  return Result;
+}
+
+} // namespace
+
+TEST(Interpreter, Arithmetic) {
+  ir::Program P;
+  ir::Function &F = P.addFunction("main", 0);
+  ProgramBuilder B(P, F);
+  Reg A = B.constI(20);
+  Reg C = B.constI(3);
+  Reg Sum = B.add(A, C);       // 23
+  Reg Diff = B.sub(Sum, C);    // 20
+  Reg Prod = B.mul(Diff, C);   // 60
+  Reg Quot = B.div(Prod, C);   // 20
+  Reg Rem = B.rem(Quot, C);    // 2
+  Reg Sh = B.shl(Rem, C);      // 16
+  Reg Final = B.addI(Sh, 1);   // 17
+  B.ret(Final);
+  EXPECT_EQ(execute(P), 17u);
+}
+
+TEST(Interpreter, SignedDivisionAndComparison) {
+  ir::Program P;
+  ir::Function &F = P.addFunction("main", 0);
+  ProgramBuilder B(P, F);
+  Reg Neg = B.constI(-9);
+  Reg Three = B.constI(3);
+  Reg Q = B.div(Neg, Three); // -3 signed.
+  Reg Lt = B.cmpLt(Q, B.constI(0)); // -3 < 0 -> 1 (signed compare).
+  Reg Le = B.cmpLe(B.constI(5), B.constI(5));
+  Reg Eq = B.cmpEq(Q, B.constI(-3));
+  Reg Ne = B.cmpNe(Q, B.constI(3));
+  B.ret(B.add(B.add(Lt, Le), B.add(Eq, Ne))); // 4
+  EXPECT_EQ(execute(P), 4u);
+}
+
+TEST(Interpreter, BitwiseOps) {
+  ir::Program P;
+  ir::Function &F = P.addFunction("main", 0);
+  ProgramBuilder B(P, F);
+  Reg A = B.constI(0b1100);
+  Reg C = B.constI(0b1010);
+  Reg And = B.band(A, C);            // 0b1000
+  Reg Or = B.binop(Opcode::Or, A, C); // 0b1110
+  Reg Xor = B.bxor(A, C);            // 0b0110
+  Reg Shr = B.shr(Or, B.constI(1));  // 0b0111
+  B.ret(B.add(B.add(And, Xor), B.add(Shr, B.andI(A, 0b0100))));
+  EXPECT_EQ(execute(P), 8u + 6u + 7u + 4u);
+}
+
+TEST(Interpreter, DivisionByZeroAborts) {
+  ir::Program P;
+  ir::Function &F = P.addFunction("main", 0);
+  ProgramBuilder B(P, F);
+  Reg A = B.constI(1);
+  Reg Z = B.constI(0);
+  B.ret(B.div(A, Z));
+  EXPECT_DEATH(execute(P), "division by zero");
+}
+
+TEST(Interpreter, CountedLoop) {
+  ir::Program P;
+  ir::Function &F = P.addFunction("main", 0);
+  ProgramBuilder B(P, F);
+  Reg Acc = B.constI(0);
+  B.forLoopI(0, 100, 1, [&](Reg I) { B.accumulate(Acc, I); });
+  B.ret(Acc);
+  EXPECT_EQ(execute(P), 4950u);
+}
+
+TEST(Interpreter, LoopWithStep) {
+  ir::Program P;
+  ir::Function &F = P.addFunction("main", 0);
+  ProgramBuilder B(P, F);
+  Reg Acc = B.constI(0);
+  B.forLoopI(0, 10, 3, [&](Reg) { B.accumulate(Acc, B.constI(1)); });
+  B.ret(Acc); // Iterations at 0,3,6,9.
+  EXPECT_EQ(execute(P), 4u);
+}
+
+TEST(Interpreter, EmptyLoopBody) {
+  ir::Program P;
+  ir::Function &F = P.addFunction("main", 0);
+  ProgramBuilder B(P, F);
+  Reg Acc = B.constI(7);
+  B.forLoopI(5, 5, 1, [&](Reg) { B.accumulate(Acc, B.constI(100)); });
+  B.ret(Acc); // Zero-trip loop.
+  EXPECT_EQ(execute(P), 7u);
+}
+
+TEST(Interpreter, IfThenElseBothArms) {
+  for (int64_t Cond : {0, 1}) {
+    ir::Program P;
+    ir::Function &F = P.addFunction("main", 0);
+    ProgramBuilder B(P, F);
+    Reg Out = B.constI(0);
+    Reg C = B.constI(Cond);
+    B.ifThenElse(C, [&] { B.moveInto(Out, B.constI(10)); },
+                 [&] { B.moveInto(Out, B.constI(20)); });
+    B.ret(Out);
+    EXPECT_EQ(execute(P), Cond ? 10u : 20u);
+  }
+}
+
+TEST(Interpreter, MemoryRoundTripWithAddressing) {
+  ir::Program P;
+  ir::Function &F = P.addFunction("main", 0);
+  ProgramBuilder B(P, F);
+  Reg Bytes = B.constI(1024);
+  Reg Base = B.alloc(Bytes, "arr");
+  Reg Index = B.constI(5);
+  Reg Val = B.constI(0xabcd);
+  // arr[5].field16 with 32-byte elements.
+  B.store(Val, Base, Index, 32, 16, 8);
+  Reg Load = B.load(Base, Index, 32, 16, 8);
+  B.ret(Load);
+  EXPECT_EQ(execute(P), 0xabcdu);
+}
+
+TEST(Interpreter, NarrowStoresZeroExtendOnLoad) {
+  ir::Program P;
+  ir::Function &F = P.addFunction("main", 0);
+  ProgramBuilder B(P, F);
+  Reg Bytes = B.constI(64);
+  Reg Base = B.alloc(Bytes, "arr");
+  Reg Val = B.constI(-1); // All ones.
+  B.store(Val, Base, NoReg, 1, 0, 2);
+  Reg Load = B.load(Base, NoReg, 1, 0, 4);
+  B.ret(Load); // Two 0xff bytes, upper two zero.
+  EXPECT_EQ(execute(P), 0xffffu);
+}
+
+TEST(Interpreter, FunctionCallAndReturn) {
+  ir::Program P;
+  ir::Function &Add3 = P.addFunction("add3", 3);
+  {
+    ProgramBuilder B(P, Add3);
+    B.ret(B.add(B.add(0, 1), 2));
+  }
+  ir::Function &Main = P.addFunction("main", 0);
+  P.setEntry(Main.Id);
+  {
+    ProgramBuilder B(P, Main);
+    Reg X = B.constI(1), Y = B.constI(2), Z = B.constI(3);
+    B.ret(B.call(Add3, {X, Y, Z}));
+  }
+  EXPECT_EQ(execute(P), 6u);
+}
+
+TEST(Interpreter, RecursionViaSelfCall) {
+  // fib(n) with explicit recursion exercises frame save/restore.
+  ir::Program P;
+  ir::Function &Fib = P.addFunction("fib", 1);
+  {
+    ProgramBuilder B(P, Fib);
+    Reg N = 0;
+    Reg Two = B.constI(2);
+    Reg Small = B.cmpLt(N, Two);
+    uint32_t BaseBB = B.newBlock();
+    uint32_t RecBB = B.newBlock();
+    B.condBr(Small, BaseBB, RecBB);
+    B.switchTo(BaseBB);
+    B.ret(N);
+    B.switchTo(RecBB);
+    Reg N1 = B.addI(N, -1);
+    Reg N2 = B.addI(N, -2);
+    Reg A = B.call(Fib, {N1});
+    Reg C = B.call(Fib, {N2});
+    B.ret(B.add(A, C));
+  }
+  ir::Function &Main = P.addFunction("main", 0);
+  P.setEntry(Main.Id);
+  {
+    ProgramBuilder B(P, Main);
+    Reg Ten = B.constI(10);
+    B.ret(B.call(Fib, {Ten}));
+  }
+  EXPECT_EQ(execute(P), 55u);
+}
+
+TEST(Interpreter, AllocRecordsCallPath) {
+  ir::Program P;
+  ir::Function &Helper = P.addFunction("helper", 0);
+  uint64_t AllocIp, CallIp;
+  {
+    ProgramBuilder B(P, Helper);
+    Reg Sz = B.constI(64);
+    Reg A = B.alloc(Sz, "nodes");
+    AllocIp = Helper.Blocks[0]->Instrs.back().Ip;
+    B.ret(A);
+  }
+  ir::Function &Main = P.addFunction("main", 0);
+  P.setEntry(Main.Id);
+  {
+    ProgramBuilder B(P, Main);
+    Reg A = B.call(Helper, {});
+    CallIp = Main.Blocks[0]->Instrs.back().Ip;
+    B.ret(A);
+  }
+  Machine M;
+  cache::MemoryHierarchy H(cache::HierarchyConfig{});
+  Interpreter I(P, M, H, nullptr, 0);
+  uint64_t Addr = I.run(P.getEntry(), {});
+  const mem::DataObject *Obj = M.Objects.lookup(Addr);
+  ASSERT_NE(Obj, nullptr);
+  EXPECT_EQ(Obj->Name, "nodes");
+  ASSERT_EQ(Obj->AllocPath.size(), 2u);
+  EXPECT_EQ(Obj->AllocPath[0], CallIp);
+  EXPECT_EQ(Obj->AllocPath[1], AllocIp);
+}
+
+TEST(Interpreter, FreeReleasesObject) {
+  ir::Program P;
+  ir::Function &F = P.addFunction("main", 0);
+  ProgramBuilder B(P, F);
+  Reg Sz = B.constI(64);
+  Reg A = B.alloc(Sz, "tmp");
+  B.free(A);
+  B.ret(A);
+  Machine M;
+  cache::MemoryHierarchy H(cache::HierarchyConfig{});
+  Interpreter I(P, M, H, nullptr, 0);
+  uint64_t Addr = I.run(P.getEntry(), {});
+  EXPECT_EQ(M.Objects.lookup(Addr), nullptr);
+}
+
+TEST(Interpreter, InvalidFreeAborts) {
+  ir::Program P;
+  ir::Function &F = P.addFunction("main", 0);
+  ProgramBuilder B(P, F);
+  Reg Bogus = B.constI(0x1234);
+  B.free(Bogus);
+  B.ret();
+  EXPECT_DEATH(execute(P), "invalid free");
+}
+
+TEST(Interpreter, StatsCountInstructionsAndAccesses) {
+  ir::Program P;
+  ir::Function &F = P.addFunction("main", 0);
+  ProgramBuilder B(P, F);
+  Reg Sz = B.constI(64);
+  Reg A = B.alloc(Sz, "x");
+  Reg V = B.constI(1);
+  B.store(V, A, NoReg, 1, 0, 8);
+  B.load(A, NoReg, 1, 0, 8);
+  B.ret();
+  RunStats Stats;
+  execute(P, &Stats);
+  EXPECT_EQ(Stats.Instructions, 6u);
+  EXPECT_EQ(Stats.MemoryAccesses, 2u);
+  // 6 instruction cycles + store (200 cold DRAM) + load (4 L1 hit).
+  EXPECT_EQ(Stats.Cycles, 6u + 200u + 4u);
+}
+
+TEST(Interpreter, WorkAddsCyclesOnly) {
+  ir::Program P;
+  ir::Function &F = P.addFunction("main", 0);
+  ProgramBuilder B(P, F);
+  B.work(1234);
+  B.ret();
+  RunStats Stats;
+  execute(P, &Stats);
+  EXPECT_EQ(Stats.Instructions, 2u);
+  EXPECT_EQ(Stats.Cycles, 2u + 1234u);
+  EXPECT_EQ(Stats.MemoryAccesses, 0u);
+}
+
+TEST(Interpreter, SteppingMatchesFullRun) {
+  ir::Program P;
+  ir::Function &F = P.addFunction("main", 0);
+  ProgramBuilder B(P, F);
+  Reg Acc = B.constI(0);
+  B.forLoopI(0, 1000, 1, [&](Reg I) { B.accumulate(Acc, I); });
+  B.ret(Acc);
+
+  Machine M1;
+  cache::MemoryHierarchy H1(cache::HierarchyConfig{});
+  Interpreter Full(P, M1, H1, nullptr, 0);
+  uint64_t Expect = Full.run(P.getEntry(), {});
+
+  Machine M2;
+  cache::MemoryHierarchy H2(cache::HierarchyConfig{});
+  Interpreter Stepped(P, M2, H2, nullptr, 0);
+  Stepped.start(P.getEntry(), {});
+  while (Stepped.step(7)) {
+  }
+  EXPECT_TRUE(Stepped.isDone());
+  EXPECT_EQ(Stepped.getResult(), Expect);
+  EXPECT_EQ(Stepped.getStats().Instructions, Full.getStats().Instructions);
+}
+
+TEST(Interpreter, BudgetGuardTriggers) {
+  ir::Program P;
+  ir::Function &F = P.addFunction("main", 0);
+  ProgramBuilder B(P, F);
+  uint32_t Loop = B.newBlock();
+  B.br(Loop);
+  B.switchTo(Loop);
+  B.work(0);
+  B.br(Loop); // Infinite loop.
+  Machine M;
+  cache::MemoryHierarchy H(cache::HierarchyConfig{});
+  Interpreter I(P, M, H, nullptr, 0);
+  EXPECT_DEATH(I.run(0, {}, /*InstructionBudget=*/10000),
+               "instruction budget");
+}
+
+// Property: random arithmetic expressions evaluate the same as a host
+// reference evaluation.
+class InterpreterRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(InterpreterRandom, ArithmeticAgainstReference) {
+  Rng R(2024 + GetParam());
+  ir::Program P;
+  ir::Function &F = P.addFunction("main", 0);
+  ProgramBuilder B(P, F);
+
+  std::vector<Reg> Regs;
+  std::vector<uint64_t> Expect;
+  for (int I = 0; I != 4; ++I) {
+    int64_t V = static_cast<int64_t>(R.next() % 1000) - 500;
+    Regs.push_back(B.constI(V));
+    Expect.push_back(static_cast<uint64_t>(V));
+  }
+  for (int Step = 0; Step != 40; ++Step) {
+    size_t A = R.nextBelow(Regs.size());
+    size_t C = R.nextBelow(Regs.size());
+    uint64_t Va = Expect[A], Vb = Expect[C];
+    switch (R.nextBelow(6)) {
+    case 0:
+      Regs.push_back(B.add(Regs[A], Regs[C]));
+      Expect.push_back(Va + Vb);
+      break;
+    case 1:
+      Regs.push_back(B.sub(Regs[A], Regs[C]));
+      Expect.push_back(Va - Vb);
+      break;
+    case 2:
+      Regs.push_back(B.mul(Regs[A], Regs[C]));
+      Expect.push_back(Va * Vb);
+      break;
+    case 3:
+      Regs.push_back(B.bxor(Regs[A], Regs[C]));
+      Expect.push_back(Va ^ Vb);
+      break;
+    case 4:
+      Regs.push_back(B.cmpLt(Regs[A], Regs[C]));
+      Expect.push_back(static_cast<int64_t>(Va) < static_cast<int64_t>(Vb));
+      break;
+    case 5:
+      Regs.push_back(B.shr(Regs[A], Regs[C]));
+      Expect.push_back(Va >> (Vb & 63));
+      break;
+    }
+  }
+  B.ret(Regs.back());
+  EXPECT_EQ(execute(P), Expect.back());
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, InterpreterRandom, ::testing::Range(0, 20));

@@ -1,0 +1,276 @@
+//===- tests/ir_test.cpp - Program / builder / verifier tests --*- C++ -*-===//
+
+#include "ir/Program.h"
+#include "ir/ProgramBuilder.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace structslim;
+using namespace structslim::ir;
+
+namespace {
+
+/// A trivially valid function: `ret 0`.
+Function &makeRetZero(Program &P, const std::string &Name = "f") {
+  Function &F = P.addFunction(Name, 0);
+  ProgramBuilder B(P, F);
+  Reg Z = B.constI(0);
+  B.ret(Z);
+  return F;
+}
+
+} // namespace
+
+TEST(Program, IpsAreUniqueAndDense) {
+  Program P;
+  Function &F = P.addFunction("main", 0);
+  ProgramBuilder B(P, F);
+  Reg A = B.constI(1);
+  Reg C = B.addI(A, 2);
+  B.ret(C);
+  const auto &Instrs = F.entry().Instrs;
+  ASSERT_EQ(Instrs.size(), 3u);
+  EXPECT_EQ(Instrs[0].Ip, Program::TextBase);
+  EXPECT_EQ(Instrs[1].Ip, Program::TextBase + 1);
+  EXPECT_EQ(Instrs[2].Ip, Program::TextBase + 2);
+  EXPECT_EQ(P.getIpEnd(), Program::TextBase + 3);
+}
+
+TEST(Program, Tokens) {
+  Program P;
+  uint32_t T1 = P.makeToken("Arr");
+  uint32_t T2 = P.makeToken("Brr");
+  EXPECT_EQ(T1, 1u);
+  EXPECT_EQ(T2, 2u);
+  EXPECT_EQ(P.getTokenName(T1), "Arr");
+  EXPECT_EQ(P.getTokenName(0), "<none>");
+  EXPECT_EQ(P.getNumTokens(), 3u);
+}
+
+TEST(Program, FindFunction) {
+  Program P;
+  makeRetZero(P, "alpha");
+  makeRetZero(P, "beta");
+  ASSERT_NE(P.findFunction("beta"), nullptr);
+  EXPECT_EQ(P.findFunction("beta")->Id, 1u);
+  EXPECT_EQ(P.findFunction("gamma"), nullptr);
+}
+
+TEST(Program, CountInstructions) {
+  Program P;
+  makeRetZero(P);
+  EXPECT_EQ(P.countInstructions(), 2u);
+}
+
+TEST(Program, ReserveIps) {
+  Program P;
+  P.reserveIps(Program::TextBase + 100);
+  EXPECT_EQ(P.nextIp(), Program::TextBase + 100);
+  P.reserveIps(Program::TextBase); // No going back.
+  EXPECT_EQ(P.nextIp(), Program::TextBase + 101);
+}
+
+TEST(Builder, LinesAttach) {
+  Program P;
+  Function &F = P.addFunction("main", 0);
+  ProgramBuilder B(P, F);
+  B.setLine(42);
+  Reg A = B.constI(1);
+  B.setLine(43);
+  B.ret(A);
+  EXPECT_EQ(F.entry().Instrs[0].Line, 42u);
+  EXPECT_EQ(F.entry().Instrs[1].Line, 43u);
+}
+
+TEST(Builder, ForLoopShape) {
+  Program P;
+  Function &F = P.addFunction("main", 0);
+  ProgramBuilder B(P, F);
+  B.forLoopI(0, 10, 1, [&](Reg) {});
+  B.ret();
+  // preheader(entry) + header + body + exit = 4 blocks.
+  ASSERT_EQ(F.Blocks.size(), 4u);
+  // Header has two successors (body, exit); body branches back.
+  const BasicBlock &Header = *F.Blocks[1];
+  EXPECT_EQ(Header.Succs.size(), 2u);
+  const BasicBlock &Body = *F.Blocks[2];
+  ASSERT_EQ(Body.Succs.size(), 1u);
+  EXPECT_EQ(Body.Succs[0], Header.Id);
+  EXPECT_TRUE(verify(P).empty());
+}
+
+TEST(Builder, IfThenElseShape) {
+  Program P;
+  Function &F = P.addFunction("main", 0);
+  ProgramBuilder B(P, F);
+  Reg C = B.constI(1);
+  B.ifThenElse(C, [&] {}, [&] {});
+  B.ret();
+  EXPECT_TRUE(verify(P).empty());
+  EXPECT_EQ(F.Blocks.size(), 4u); // entry, then, else, join.
+}
+
+TEST(Builder, WhileLoopVerifies) {
+  Program P;
+  Function &F = P.addFunction("main", 0);
+  ProgramBuilder B(P, F);
+  Reg I = B.constI(0);
+  B.whileLoop(
+      [&] {
+        Reg Ten = B.constI(10);
+        return B.cmpLt(I, Ten);
+      },
+      [&] { B.moveInto(I, B.addI(I, 1)); });
+  B.ret(I);
+  EXPECT_TRUE(verify(P).empty());
+}
+
+TEST(Builder, CallArgumentCheck) {
+  Program P;
+  Function &Callee = P.addFunction("callee", 2);
+  {
+    ProgramBuilder B(P, Callee);
+    B.ret(B.add(0, 1));
+  }
+  Function &Main = P.addFunction("main", 0);
+  ProgramBuilder B(P, Main);
+  Reg A = B.constI(1), C = B.constI(2);
+  B.ret(B.call(Callee, {A, C}));
+  EXPECT_TRUE(verify(P).empty());
+}
+
+TEST(Printer, ContainsMnemonics) {
+  Program P;
+  uint32_t Tok = P.makeToken("Arr");
+  Function &F = P.addFunction("main", 0);
+  ProgramBuilder B(P, F);
+  Reg Sz = B.constI(64);
+  Reg A = B.alloc(Sz, "Arr", Tok);
+  Reg V = B.load(A, NoReg, 1, 8, 8, Tok);
+  B.store(V, A, NoReg, 1, 16, 8);
+  B.ret(V);
+  std::string S = P.toString();
+  EXPECT_NE(S.find("func @main"), std::string::npos);
+  EXPECT_NE(S.find("alloc"), std::string::npos);
+  EXPECT_NE(S.find("\"Arr\""), std::string::npos);
+  EXPECT_NE(S.find("!tok:Arr"), std::string::npos);
+  EXPECT_NE(S.find("load"), std::string::npos);
+}
+
+// --- Verifier diagnostics -------------------------------------------------
+
+TEST(Verifier, EmptyProgram) {
+  Program P;
+  EXPECT_EQ(verify(P), "program has no functions");
+}
+
+TEST(Verifier, EntryOutOfRange) {
+  Program P;
+  makeRetZero(P);
+  P.setEntry(5);
+  EXPECT_NE(verify(P).find("entry function id"), std::string::npos);
+}
+
+TEST(Verifier, MissingTerminator) {
+  Program P;
+  Function &F = P.addFunction("f", 0);
+  ProgramBuilder B(P, F);
+  B.constI(1); // No terminator.
+  EXPECT_NE(verify(P).find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, EmptyBlock) {
+  Program P;
+  Function &F = P.addFunction("f", 0);
+  ProgramBuilder B(P, F);
+  B.ret();
+  uint32_t Id = B.newBlock(); // Left empty.
+  (void)Id;
+  EXPECT_NE(verify(P).find("empty block"), std::string::npos);
+}
+
+TEST(Verifier, RegisterOutOfRange) {
+  Program P;
+  Function &F = P.addFunction("f", 0);
+  ProgramBuilder B(P, F);
+  Instr I;
+  I.Op = Opcode::Move;
+  I.Dst = 0;
+  I.A = 99; // Never allocated.
+  F.entry().Instrs.push_back(I);
+  Instr R;
+  R.Op = Opcode::Ret;
+  F.entry().Instrs.push_back(R);
+  F.NumRegs = 1;
+  EXPECT_NE(verify(P).find("out of range"), std::string::npos);
+}
+
+TEST(Verifier, BadMemorySize) {
+  Program P;
+  Function &F = P.addFunction("f", 0);
+  ProgramBuilder B(P, F);
+  Reg A = B.constI(0);
+  Instr L;
+  L.Op = Opcode::Load;
+  L.Dst = B.newReg();
+  L.A = A;
+  L.Size = 3; // Invalid.
+  F.entry().Instrs.push_back(L);
+  Instr R;
+  R.Op = Opcode::Ret;
+  F.entry().Instrs.push_back(R);
+  EXPECT_NE(verify(P).find("size must be 1/2/4/8"), std::string::npos);
+}
+
+TEST(Verifier, SuccessorMismatch) {
+  Program P;
+  Function &F = P.addFunction("f", 0);
+  ProgramBuilder B(P, F);
+  B.ret();
+  F.entry().Succs.push_back(0); // Ret must have no successors.
+  EXPECT_NE(verify(P).find("successor count"), std::string::npos);
+}
+
+TEST(Verifier, AllocNeedsName) {
+  Program P;
+  Function &F = P.addFunction("f", 0);
+  ProgramBuilder B(P, F);
+  Reg Sz = B.constI(8);
+  B.alloc(Sz, "x");
+  F.entry().Instrs.back().Sym.clear();
+  B.ret();
+  EXPECT_NE(verify(P).find("alloc without"), std::string::npos);
+}
+
+TEST(Verifier, CallArgCountMismatch) {
+  Program P;
+  Function &Callee = P.addFunction("callee", 2);
+  {
+    ProgramBuilder B(P, Callee);
+    B.ret();
+  }
+  Function &Main = P.addFunction("main", 0);
+  ProgramBuilder B(P, Main);
+  Reg A = B.constI(1);
+  B.call(Callee, {A, A});
+  Main.Blocks[0]->Instrs.back().Args.pop_back(); // Now one arg.
+  B.ret();
+  EXPECT_NE(verify(P).find("argument count mismatch"), std::string::npos);
+}
+
+TEST(Verifier, WorkloadsProduceValidIr) {
+  // Covered more fully in workloads_test; here just the builder idioms.
+  Program P;
+  Function &F = P.addFunction("main", 0);
+  ProgramBuilder B(P, F);
+  Reg N = B.constI(16);
+  Reg Arr = B.alloc(N, "arr");
+  B.forLoopI(0, 4, 1, [&](Reg I) {
+    Reg V = B.load(Arr, I, 4, 0, 4);
+    B.ifThen(B.cmpNe(V, B.constI(0)), [&] { B.work(5); });
+  });
+  B.free(Arr);
+  B.ret();
+  EXPECT_EQ(verify(P), "");
+}

@@ -1,0 +1,251 @@
+//===- tests/loopnest_test.cpp - Havlak loop-nesting tests -----*- C++ -*-===//
+
+#include "analysis/Dominators.h"
+#include "analysis/LoopNest.h"
+#include "ir/Program.h"
+#include "ir/ProgramBuilder.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace structslim;
+using namespace structslim::analysis;
+using structslim::ir::Reg;
+
+namespace {
+
+std::unique_ptr<ir::Function>
+makeCfg(const std::vector<std::vector<uint32_t>> &Succs) {
+  auto F = std::make_unique<ir::Function>();
+  F->Name = "cfg";
+  for (size_t I = 0; I != Succs.size(); ++I) {
+    auto BB = std::make_unique<ir::BasicBlock>();
+    BB->Id = static_cast<uint32_t>(I);
+    ir::Instr Term;
+    Term.Op = Succs[I].empty()
+                  ? ir::Opcode::Ret
+                  : (Succs[I].size() == 1 ? ir::Opcode::Br
+                                          : ir::Opcode::CondBr);
+    Term.Line = static_cast<uint32_t>(I + 1);
+    BB->Instrs.push_back(Term);
+    BB->Succs = Succs[I];
+    F->Blocks.push_back(std::move(BB));
+  }
+  return F;
+}
+
+const Loop *loopWithHeader(const LoopNest &Nest, uint32_t Header) {
+  for (const Loop &L : Nest.loops())
+    if (L.Header == Header)
+      return &L;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(LoopNest, StraightLineHasNoLoops) {
+  auto F = makeCfg({{1}, {2}, {}});
+  LoopNest Nest(*F);
+  EXPECT_TRUE(Nest.loops().empty());
+  EXPECT_EQ(Nest.innermostLoopFor(1), -1);
+}
+
+TEST(LoopNest, SimpleLoop) {
+  // 0 -> 1 <-> 2, 1 -> 3
+  auto F = makeCfg({{1}, {2, 3}, {1}, {}});
+  LoopNest Nest(*F);
+  ASSERT_EQ(Nest.loops().size(), 1u);
+  const Loop &L = Nest.loops()[0];
+  EXPECT_EQ(L.Header, 1u);
+  EXPECT_EQ(L.Parent, -1);
+  EXPECT_EQ(L.Depth, 1u);
+  EXPECT_FALSE(L.Irreducible);
+  EXPECT_EQ(L.Blocks, (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(Nest.innermostLoopFor(1), 0);
+  EXPECT_EQ(Nest.innermostLoopFor(2), 0);
+  EXPECT_EQ(Nest.innermostLoopFor(0), -1);
+  EXPECT_EQ(Nest.innermostLoopFor(3), -1);
+}
+
+TEST(LoopNest, SelfLoop) {
+  auto F = makeCfg({{1}, {1, 2}, {}});
+  LoopNest Nest(*F);
+  ASSERT_EQ(Nest.loops().size(), 1u);
+  EXPECT_EQ(Nest.loops()[0].Header, 1u);
+  EXPECT_EQ(Nest.loops()[0].Blocks, (std::vector<uint32_t>{1}));
+}
+
+TEST(LoopNest, NestedLoops) {
+  // outer: 1..4; inner: 2..3
+  // 0->1, 1->2, 2->3, 3->{2,4}, 4->{1,5}, 5
+  auto F = makeCfg({{1}, {2}, {3}, {2, 4}, {1, 5}, {}});
+  LoopNest Nest(*F);
+  ASSERT_EQ(Nest.loops().size(), 2u);
+  const Loop *Inner = loopWithHeader(Nest, 2);
+  const Loop *Outer = loopWithHeader(Nest, 1);
+  ASSERT_NE(Inner, nullptr);
+  ASSERT_NE(Outer, nullptr);
+  EXPECT_EQ(Inner->Parent, static_cast<int>(Outer->Id));
+  EXPECT_EQ(Inner->Depth, 2u);
+  EXPECT_EQ(Outer->Depth, 1u);
+  // Inner blocks attribute to the inner loop.
+  EXPECT_EQ(Nest.innermostLoopFor(2), static_cast<int>(Inner->Id));
+  EXPECT_EQ(Nest.innermostLoopFor(3), static_cast<int>(Inner->Id));
+  EXPECT_EQ(Nest.innermostLoopFor(1), static_cast<int>(Outer->Id));
+  EXPECT_EQ(Nest.innermostLoopFor(4), static_cast<int>(Outer->Id));
+  // Outer loop's block set includes the inner loop's blocks.
+  EXPECT_EQ(Outer->Blocks, (std::vector<uint32_t>{1, 2, 3, 4}));
+}
+
+TEST(LoopNest, IrreducibleRegionFlagged) {
+  // Two entries into the {1,2} cycle: 0->1, 0->2, 1->2, 2->1, 1->3.
+  auto F = makeCfg({{1, 2}, {2, 3}, {1}, {}});
+  LoopNest Nest(*F);
+  ASSERT_FALSE(Nest.loops().empty());
+  bool AnyIrreducible = false;
+  for (const Loop &L : Nest.loops())
+    AnyIrreducible |= L.Irreducible;
+  EXPECT_TRUE(AnyIrreducible);
+}
+
+TEST(LoopNest, LineRanges) {
+  auto F = makeCfg({{1}, {2, 3}, {1}, {}});
+  // Blocks carry lines id+1: loop blocks 1,2 -> lines 2..3.
+  LoopNest Nest(*F);
+  ASSERT_EQ(Nest.loops().size(), 1u);
+  EXPECT_EQ(Nest.loops()[0].LineBegin, 2u);
+  EXPECT_EQ(Nest.loops()[0].LineEnd, 3u);
+  EXPECT_EQ(Nest.loops()[0].name(), "2-3");
+}
+
+TEST(LoopNest, BuilderForLoopIsDiscovered) {
+  ir::Program P;
+  ir::Function &F = P.addFunction("main", 0);
+  ir::ProgramBuilder B(P, F);
+  B.setLine(10);
+  B.forLoopI(0, 8, 1, [&](Reg) { B.setLine(11); });
+  B.setLine(12);
+  B.ret();
+  LoopNest Nest(F);
+  ASSERT_EQ(Nest.loops().size(), 1u);
+  EXPECT_EQ(Nest.loops()[0].LineBegin, 10u);
+}
+
+TEST(LoopNest, BuilderNestedLoops) {
+  ir::Program P;
+  ir::Function &F = P.addFunction("main", 0);
+  ir::ProgramBuilder B(P, F);
+  B.forLoopI(0, 4, 1, [&](Reg) {
+    B.forLoopI(0, 4, 1, [&](Reg) {
+      B.forLoopI(0, 4, 1, [&](Reg) {});
+    });
+  });
+  B.ret();
+  LoopNest Nest(F);
+  ASSERT_EQ(Nest.loops().size(), 3u);
+  unsigned MaxDepth = 0;
+  for (const Loop &L : Nest.loops())
+    MaxDepth = std::max(MaxDepth, L.Depth);
+  EXPECT_EQ(MaxDepth, 3u);
+}
+
+// Property: on random *reducible* CFGs (built from structured
+// constructs), Havlak's loops coincide with dominator-based natural
+// loops: same headers, and every block maps to the same innermost
+// header.
+namespace {
+
+/// Natural-loop oracle: for each back edge t->h (h dominates t), the
+/// loop body is h plus everything reaching t without passing h.
+std::map<uint32_t, std::set<uint32_t>>
+naturalLoops(const ir::Function &F) {
+  DominatorTree DT(F);
+  std::map<uint32_t, std::set<uint32_t>> Loops; // header -> blocks
+  for (const auto &BB : F.Blocks) {
+    if (!DT.isReachable(BB->Id))
+      continue;
+    for (uint32_t H : BB->Succs) {
+      if (!DT.dominates(H, BB->Id))
+        continue;
+      auto &Body = Loops[H];
+      Body.insert(H);
+      std::vector<uint32_t> Stack;
+      if (BB->Id != H && Body.insert(BB->Id).second)
+        Stack.push_back(BB->Id);
+      // Walk predecessors up to the header.
+      std::vector<std::vector<uint32_t>> Preds(F.Blocks.size());
+      for (const auto &Q : F.Blocks)
+        for (uint32_t S : Q->Succs)
+          Preds[S].push_back(Q->Id);
+      while (!Stack.empty()) {
+        uint32_t Cur = Stack.back();
+        Stack.pop_back();
+        for (uint32_t Pr : Preds[Cur])
+          if (DT.isReachable(Pr) && Body.insert(Pr).second)
+            Stack.push_back(Pr);
+      }
+    }
+  }
+  return Loops;
+}
+
+/// Recursively emits a random structured region.
+void emitRandomRegion(ir::ProgramBuilder &B, Rng &R, unsigned Depth) {
+  unsigned NumStmts = 1 + static_cast<unsigned>(R.nextBelow(3));
+  for (unsigned S = 0; S != NumStmts; ++S) {
+    switch (Depth == 0 ? 0 : R.nextBelow(3)) {
+    case 0:
+      B.work(1);
+      break;
+    case 1:
+      B.forLoopI(0, 2, 1,
+                 [&](Reg) { emitRandomRegion(B, R, Depth - 1); });
+      break;
+    case 2: {
+      Reg C = B.constI(static_cast<int64_t>(R.nextBelow(2)));
+      B.ifThenElse(C, [&] { emitRandomRegion(B, R, Depth - 1); },
+                   [&] { emitRandomRegion(B, R, Depth - 1); });
+      break;
+    }
+    }
+  }
+}
+
+} // namespace
+
+class LoopNestRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(LoopNestRandom, MatchesNaturalLoopOracle) {
+  Rng R(99 + GetParam());
+  ir::Program P;
+  ir::Function &F = P.addFunction("main", 0);
+  ir::ProgramBuilder B(P, F);
+  emitRandomRegion(B, R, 3);
+  B.ret();
+
+  LoopNest Nest(F);
+  auto Oracle = naturalLoops(F);
+
+  // Same set of headers.
+  std::set<uint32_t> HavlakHeaders;
+  for (const Loop &L : Nest.loops()) {
+    EXPECT_FALSE(L.Irreducible);
+    HavlakHeaders.insert(L.Header);
+  }
+  std::set<uint32_t> OracleHeaders;
+  for (const auto &[H, Body] : Oracle)
+    OracleHeaders.insert(H);
+  EXPECT_EQ(HavlakHeaders, OracleHeaders);
+
+  // Identical full body sets per header.
+  for (const Loop &L : Nest.loops()) {
+    std::set<uint32_t> Blocks(L.Blocks.begin(), L.Blocks.end());
+    EXPECT_EQ(Blocks, Oracle[L.Header]) << "header " << L.Header;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomStructured, LoopNestRandom,
+                         ::testing::Range(0, 20));

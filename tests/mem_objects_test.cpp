@@ -1,0 +1,141 @@
+//===- tests/mem_objects_test.cpp - Allocator & object table ---*- C++ -*-===//
+
+#include "mem/DataObjectTable.h"
+#include "mem/TrackingAllocator.h"
+
+#include <gtest/gtest.h>
+
+using namespace structslim;
+using namespace structslim::mem;
+
+// --- TrackingAllocator ----------------------------------------------------
+
+TEST(TrackingAllocator, Alignment) {
+  TrackingAllocator A;
+  for (uint64_t Size : {1ull, 7ull, 16ull, 100ull, 4096ull}) {
+    uint64_t Addr = A.allocate(Size);
+    EXPECT_EQ(Addr % TrackingAllocator::Alignment, 0u) << "size " << Size;
+  }
+}
+
+TEST(TrackingAllocator, BlocksDisjoint) {
+  TrackingAllocator A;
+  uint64_t X = A.allocate(100);
+  uint64_t Y = A.allocate(100);
+  EXPECT_TRUE(X + 112 <= Y || Y + 112 <= X);
+}
+
+TEST(TrackingAllocator, FreeAndReuse) {
+  TrackingAllocator A;
+  uint64_t X = A.allocate(256);
+  EXPECT_TRUE(A.deallocate(X));
+  uint64_t Y = A.allocate(256);
+  EXPECT_EQ(X, Y); // Best-fit reuses the freed block.
+}
+
+TEST(TrackingAllocator, FreeBlockSplitting) {
+  TrackingAllocator A;
+  uint64_t X = A.allocate(256);
+  A.deallocate(X);
+  uint64_t Y = A.allocate(64);
+  uint64_t Z = A.allocate(128);
+  EXPECT_EQ(Y, X);       // Head of the freed block.
+  EXPECT_EQ(Z, X + 64);  // Tail of the freed block.
+}
+
+TEST(TrackingAllocator, DoubleFreeRejected) {
+  TrackingAllocator A;
+  uint64_t X = A.allocate(32);
+  EXPECT_TRUE(A.deallocate(X));
+  EXPECT_FALSE(A.deallocate(X));
+  EXPECT_FALSE(A.deallocate(0x1234));
+}
+
+TEST(TrackingAllocator, LiveAccounting) {
+  TrackingAllocator A;
+  EXPECT_EQ(A.getBytesLive(), 0u);
+  uint64_t X = A.allocate(100); // Rounded to 112.
+  EXPECT_EQ(A.getBytesLive(), 112u);
+  A.deallocate(X);
+  EXPECT_EQ(A.getBytesLive(), 0u);
+  EXPECT_GE(A.getBytesReserved(), 112u);
+}
+
+// --- DataObjectTable --------------------------------------------------------
+
+TEST(DataObjectTable, LookupWithinRange) {
+  DataObjectTable T;
+  uint32_t Id = T.addStatic("arr", 1000, 64);
+  const DataObject *O = T.lookup(1000);
+  ASSERT_NE(O, nullptr);
+  EXPECT_EQ(O->Id, Id);
+  EXPECT_EQ(T.lookup(1063), O);
+  EXPECT_EQ(T.lookup(1064), nullptr);
+  EXPECT_EQ(T.lookup(999), nullptr);
+}
+
+TEST(DataObjectTable, MultipleObjects) {
+  DataObjectTable T;
+  T.addStatic("a", 100, 10);
+  T.addStatic("b", 200, 10);
+  T.addHeap("h", 300, 10, {0x400010});
+  EXPECT_EQ(T.lookup(105)->Name, "a");
+  EXPECT_EQ(T.lookup(205)->Name, "b");
+  EXPECT_EQ(T.lookup(305)->Name, "h");
+  EXPECT_EQ(T.lookup(150), nullptr);
+}
+
+TEST(DataObjectTable, ReleaseHidesObject) {
+  DataObjectTable T;
+  T.addHeap("h", 500, 50, {});
+  EXPECT_NE(T.lookup(510), nullptr);
+  EXPECT_TRUE(T.release(500));
+  EXPECT_EQ(T.lookup(510), nullptr);
+  EXPECT_FALSE(T.release(500)); // Already dead.
+  // The record remains for post-mortem attribution.
+  EXPECT_EQ(T.get(0).Name, "h");
+  EXPECT_FALSE(T.get(0).Live);
+}
+
+TEST(DataObjectTable, ReuseAfterRelease) {
+  DataObjectTable T;
+  T.addHeap("first", 500, 50, {});
+  T.release(500);
+  uint32_t Second = T.addHeap("second", 500, 30, {});
+  EXPECT_EQ(T.lookup(510)->Id, Second);
+}
+
+TEST(DataObjectTable, OverlapAborts) {
+  DataObjectTable T;
+  T.addStatic("a", 100, 50);
+  EXPECT_DEATH(T.addStatic("b", 120, 10), "overlaps");
+  EXPECT_DEATH(T.addStatic("c", 90, 20), "overlaps");
+}
+
+TEST(DataObjectTable, Keys) {
+  DataObject StaticObj;
+  StaticObj.Name = "arr";
+  StaticObj.Kind = ObjectKind::Static;
+  EXPECT_EQ(StaticObj.key(), "arr");
+
+  DataObject HeapObj;
+  HeapObj.Name = "nodes";
+  HeapObj.Kind = ObjectKind::Heap;
+  HeapObj.AllocPath = {0x400010, 0x400020};
+  EXPECT_EQ(HeapObj.key(), "nodes@4194320>4194336");
+
+  // Same name, different call path -> different identity.
+  DataObject Other = HeapObj;
+  Other.AllocPath = {0x400010};
+  EXPECT_NE(HeapObj.key(), Other.key());
+}
+
+TEST(DataObjectTable, KeyStableAcrossInstances) {
+  // The paper merges objects across threads by allocation site: two
+  // allocations from the same site share a key even at different
+  // addresses.
+  DataObjectTable T;
+  uint32_t A = T.addHeap("zones", 0x1000, 64, {42});
+  uint32_t B = T.addHeap("zones", 0x2000, 64, {42});
+  EXPECT_EQ(T.get(A).key(), T.get(B).key());
+}

@@ -1,0 +1,170 @@
+//===- tests/profilebuilder_test.cpp - Online attribution ------*- C++ -*-===//
+
+#include "analysis/CodeMap.h"
+#include "ir/ProgramBuilder.h"
+#include "mem/DataObjectTable.h"
+#include "runtime/ProfileBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace structslim;
+using namespace structslim::runtime;
+using structslim::ir::Reg;
+
+namespace {
+
+/// Fixture: a program with one loop (the stream site) and one
+/// straight-line load, plus an object table with one array.
+class ProfileBuilderTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    ir::Function &F = P.addFunction("main", 0);
+    ir::ProgramBuilder B(P, F);
+    B.setLine(5);
+    B.work(0);
+    StraightIp = F.Blocks[0]->Instrs.back().Ip;
+    B.forLoopI(0, 4, 1, [&](Reg) {
+      B.setLine(6);
+      B.work(0);
+      LoopIp = F.Blocks[B.currentBlock()]->Instrs.back().Ip;
+      B.work(0);
+      LoopIp2 = F.Blocks[B.currentBlock()]->Instrs.back().Ip;
+      B.setLine(5);
+    });
+    B.ret();
+    Map = std::make_unique<analysis::CodeMap>(P);
+    Objects.addHeap("arr", ArrStart, 64 * 100, {});
+    Builder = std::make_unique<ProfileBuilder>(*Map, Objects, /*Tid=*/0,
+                                               /*Period=*/10000);
+  }
+
+  pmu::AddressSample sample(uint64_t Ip, uint64_t Addr, uint32_t Latency,
+                            cache::MemLevel Served = cache::MemLevel::L3) {
+    pmu::AddressSample S;
+    S.Ip = Ip;
+    S.EffAddr = Addr;
+    S.Latency = Latency;
+    S.AccessSize = 8;
+    S.Served = Served;
+    return S;
+  }
+
+  static constexpr uint64_t ArrStart = 0x10000;
+  ir::Program P;
+  uint64_t StraightIp = 0, LoopIp = 0, LoopIp2 = 0;
+  std::unique_ptr<analysis::CodeMap> Map;
+  mem::DataObjectTable Objects;
+  std::unique_ptr<ProfileBuilder> Builder;
+};
+
+} // namespace
+
+TEST_F(ProfileBuilderTest, AttributesToObjectAndStream) {
+  Builder->onSample(sample(LoopIp, ArrStart + 64, 40));
+  Builder->onSample(sample(LoopIp, ArrStart + 192, 40));
+  profile::Profile Prof = Builder->take();
+  EXPECT_EQ(Prof.TotalSamples, 2u);
+  EXPECT_EQ(Prof.TotalLatency, 80u);
+  ASSERT_EQ(Prof.Objects.size(), 1u);
+  EXPECT_EQ(Prof.Objects[0].Name, "arr");
+  ASSERT_EQ(Prof.Streams.size(), 1u);
+  const profile::StreamRecord &S = Prof.Streams[0];
+  EXPECT_EQ(S.SampleCount, 2u);
+  EXPECT_EQ(S.UniqueAddrCount, 2u);
+  EXPECT_EQ(S.StrideGcd, 128u);
+  EXPECT_EQ(S.RepAddr, ArrStart + 64);
+  EXPECT_EQ(S.ObjectStart, ArrStart);
+  EXPECT_EQ(S.Line, 6u);
+  EXPECT_GE(S.LoopId, 0);
+}
+
+TEST_F(ProfileBuilderTest, GcdRefinesWithMoreSamples) {
+  // Addresses at element offsets 2, 5, 7 of a 64-byte struct (paper's
+  // Sec. 4.2.2 example): gcd(192, 128) = 64.
+  Builder->onSample(sample(LoopIp, ArrStart + 2 * 64, 40));
+  Builder->onSample(sample(LoopIp, ArrStart + 5 * 64, 40));
+  Builder->onSample(sample(LoopIp, ArrStart + 7 * 64, 40));
+  profile::Profile Prof = Builder->take();
+  EXPECT_EQ(Prof.Streams[0].StrideGcd, 64u);
+  EXPECT_EQ(Prof.Streams[0].UniqueAddrCount, 3u);
+}
+
+TEST_F(ProfileBuilderTest, DuplicateAddressesIgnoredForStride) {
+  Builder->onSample(sample(LoopIp, ArrStart + 128, 40));
+  Builder->onSample(sample(LoopIp, ArrStart + 128, 40)); // Duplicate.
+  Builder->onSample(sample(LoopIp, ArrStart + 256, 40));
+  profile::Profile Prof = Builder->take();
+  const profile::StreamRecord &S = Prof.Streams[0];
+  EXPECT_EQ(S.SampleCount, 3u); // Latency still counted.
+  EXPECT_EQ(S.UniqueAddrCount, 2u);
+  EXPECT_EQ(S.StrideGcd, 128u);
+}
+
+TEST_F(ProfileBuilderTest, SamplesOutsideLoopsAreNotStreams) {
+  Builder->onSample(sample(StraightIp, ArrStart + 64, 40));
+  profile::Profile Prof = Builder->take();
+  EXPECT_EQ(Prof.TotalSamples, 1u);
+  ASSERT_EQ(Prof.Objects.size(), 1u);
+  EXPECT_EQ(Prof.Objects[0].LatencySum, 40u); // Object totals do count.
+  EXPECT_TRUE(Prof.Streams.empty());          // No stream outside loops.
+}
+
+TEST_F(ProfileBuilderTest, UnattributedAddresses) {
+  Builder->onSample(sample(LoopIp, 0xdead0000, 25));
+  profile::Profile Prof = Builder->take();
+  EXPECT_EQ(Prof.TotalSamples, 1u);
+  EXPECT_EQ(Prof.TotalLatency, 25u);
+  EXPECT_EQ(Prof.UnattributedLatency, 25u);
+  EXPECT_TRUE(Prof.Objects.empty());
+}
+
+TEST_F(ProfileBuilderTest, TwoInstructionsTwoStreams) {
+  Builder->onSample(sample(LoopIp, ArrStart + 0, 40));
+  Builder->onSample(sample(LoopIp2, ArrStart + 8, 40));
+  profile::Profile Prof = Builder->take();
+  EXPECT_EQ(Prof.Streams.size(), 2u);
+}
+
+TEST_F(ProfileBuilderTest, LevelCountsTrackServedLevel) {
+  Builder->onSample(sample(LoopIp, ArrStart, 4, cache::MemLevel::L1));
+  Builder->onSample(sample(LoopIp, ArrStart + 64, 12, cache::MemLevel::L2));
+  Builder->onSample(sample(LoopIp, ArrStart + 128, 200,
+                           cache::MemLevel::Dram));
+  profile::Profile Prof = Builder->take();
+  const auto &Levels = Prof.Streams[0].LevelSamples;
+  EXPECT_EQ(Levels[0], 1u);
+  EXPECT_EQ(Levels[1], 1u);
+  EXPECT_EQ(Levels[2], 0u);
+  EXPECT_EQ(Levels[3], 1u);
+}
+
+TEST_F(ProfileBuilderTest, ReallocationResetsAddressTracking) {
+  Builder->onSample(sample(LoopIp, ArrStart + 64, 40));
+  Builder->onSample(sample(LoopIp, ArrStart + 192, 40));
+  // The object is freed and a new instance appears elsewhere; the
+  // allocation site (key) is the same.
+  Objects.release(ArrStart);
+  uint64_t NewStart = 0x50000;
+  Objects.addHeap("arr", NewStart, 64 * 100, {});
+  Builder->onSample(sample(LoopIp, NewStart + 3, 40));
+  Builder->onSample(sample(LoopIp, NewStart + 131, 40));
+  profile::Profile Prof = Builder->take();
+  ASSERT_EQ(Prof.Streams.size(), 1u);
+  const profile::StreamRecord &S = Prof.Streams[0];
+  // Stride derives from within-instance differences only: gcd(128) from
+  // each instance, never |NewStart+3 - (ArrStart+192)|.
+  EXPECT_EQ(S.StrideGcd, 128u);
+  EXPECT_EQ(S.ObjectStart, NewStart);
+  EXPECT_EQ(S.RepAddr, NewStart + 3);
+}
+
+TEST_F(ProfileBuilderTest, AccessSizeTracksWidest) {
+  auto S1 = sample(LoopIp, ArrStart, 40);
+  S1.AccessSize = 4;
+  Builder->onSample(S1);
+  auto S2 = sample(LoopIp, ArrStart + 64, 40);
+  S2.AccessSize = 8;
+  Builder->onSample(S2);
+  profile::Profile Prof = Builder->take();
+  EXPECT_EQ(Prof.Streams[0].AccessSize, 8u);
+}

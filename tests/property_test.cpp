@@ -1,0 +1,344 @@
+//===- tests/property_test.cpp - Cross-module property tests ---*- C++ -*-===//
+//
+// Randomized invariants that hold across the whole pipeline:
+//  - the set-associative cache agrees with a brute-force LRU reference,
+//  - the analyzer's outputs satisfy their structural invariants on
+//    arbitrary random profiles,
+//  - the automatic splitter preserves program semantics for every
+//    random partition of the structure's fields,
+//  - the profile parser never crashes on mutated inputs,
+//  - interpreter memory semantics agree with a reference model under
+//    random addressing-mode programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/Cache.h"
+#include "core/Analyzer.h"
+#include "ir/ProgramBuilder.h"
+#include "ir/Verifier.h"
+#include "profile/ProfileIO.h"
+#include "runtime/Interpreter.h"
+#include "support/Random.h"
+#include "transform/StructSplitter.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+
+using namespace structslim;
+using structslim::ir::Reg;
+
+// --- Cache vs reference LRU ------------------------------------------------
+
+namespace {
+
+/// Brute-force set-associative LRU model.
+class RefCache {
+public:
+  RefCache(uint64_t Sets, unsigned Assoc) : Sets(Sets), Assoc(Assoc) {}
+
+  bool access(uint64_t Line) {
+    auto &Set = Data[Line % Sets];
+    for (auto It = Set.begin(); It != Set.end(); ++It)
+      if (*It == Line) {
+        Set.erase(It);
+        Set.push_front(Line);
+        return true;
+      }
+    Set.push_front(Line);
+    if (Set.size() > Assoc)
+      Set.pop_back();
+    return false;
+  }
+
+private:
+  uint64_t Sets;
+  unsigned Assoc;
+  std::map<uint64_t, std::deque<uint64_t>> Data;
+};
+
+} // namespace
+
+class CacheProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CacheProperty, MatchesReferenceLru) {
+  Rng R(31337 + GetParam());
+  unsigned Assoc = 1u << R.nextBelow(4);          // 1..8 ways.
+  uint64_t Lines = Assoc * (1u << R.nextBelow(5)); // x 1..16 sets.
+  cache::CacheConfig Cfg;
+  Cfg.SizeBytes = Lines * 64;
+  Cfg.Assoc = Assoc;
+  Cfg.LineSize = 64;
+  cache::SetAssocCache C(Cfg);
+  RefCache Ref(Lines / Assoc, Assoc);
+
+  // Confined address space provokes conflicts and reuse.
+  uint64_t Space = Lines * 3;
+  for (int Op = 0; Op != 5000; ++Op) {
+    uint64_t Line = R.nextBelow(Space);
+    ASSERT_EQ(C.access(Line), Ref.access(Line))
+        << "op " << Op << " line " << Line << " assoc " << Assoc
+        << " lines " << Lines;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, CacheProperty, ::testing::Range(0, 12));
+
+// --- Analyzer invariants ------------------------------------------------------
+
+namespace {
+
+profile::Profile randomProfile(Rng &R) {
+  profile::Profile P;
+  unsigned NumObjects = 1 + static_cast<unsigned>(R.nextBelow(4));
+  for (unsigned O = 0; O != NumObjects; ++O) {
+    std::string Name = "obj" + std::to_string(O);
+    uint32_t Idx = P.getOrCreateObject(Name);
+    P.Objects[Idx].Name = Name;
+    P.Objects[Idx].Start = 0x10000 * (O + 1);
+    P.Objects[Idx].Size = 1 << 16;
+    unsigned NumStreams = 1 + static_cast<unsigned>(R.nextBelow(6));
+    for (unsigned S = 0; S != NumStreams; ++S) {
+      profile::StreamRecord &Rec =
+          P.getOrCreateStream(0x400000 + O * 100 + S, Idx);
+      uint64_t Latency = 1 + R.nextBelow(1000);
+      Rec.LoopId = static_cast<int32_t>(R.nextBelow(4)) - 1; // -1..2
+      Rec.AccessSize = 8;
+      Rec.SampleCount += 1 + R.nextBelow(20);
+      Rec.LatencySum += Latency;
+      Rec.UniqueAddrCount = 1 + R.nextBelow(16);
+      Rec.StrideGcd = 8u << R.nextBelow(5); // 8..128.
+      Rec.RepAddr = P.Objects[Idx].Start + R.nextBelow(1 << 12);
+      Rec.ObjectStart = P.Objects[Idx].Start;
+      P.Objects[Idx].SampleCount += Rec.SampleCount;
+      P.Objects[Idx].LatencySum += Latency;
+      P.TotalSamples += Rec.SampleCount;
+      P.TotalLatency += Latency;
+    }
+  }
+  return P;
+}
+
+} // namespace
+
+class AnalyzerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnalyzerProperty, StructuralInvariantsHold) {
+  Rng R(4242 + GetParam());
+  profile::Profile P = randomProfile(R);
+  core::StructSlimAnalyzer Analyzer{core::AnalysisConfig()};
+  core::AnalysisResult Result = Analyzer.analyze(P);
+
+  double ShareSum = 0;
+  for (const core::ObjectAnalysis &O : Result.Objects) {
+    // l_d in (0, 1]; shares over objects cannot exceed 1.
+    EXPECT_GT(O.HotShare, 0.0);
+    EXPECT_LE(O.HotShare, 1.0 + 1e-12);
+    ShareSum += O.HotShare;
+
+    size_t N = O.Fields.size();
+    ASSERT_EQ(O.Affinity.size(), N);
+    double FieldShare = 0;
+    for (size_t I = 0; I != N; ++I) {
+      ASSERT_EQ(O.Affinity[I].size(), N);
+      EXPECT_NEAR(O.Affinity[I][I], 1.0, 1e-12);
+      FieldShare += O.Fields[I].LatencyShare;
+      for (size_t J = 0; J != N; ++J) {
+        // Symmetric, within [0, 1].
+        EXPECT_NEAR(O.Affinity[I][J], O.Affinity[J][I], 1e-12);
+        EXPECT_GE(O.Affinity[I][J], 0.0);
+        EXPECT_LE(O.Affinity[I][J], 1.0 + 1e-12);
+      }
+      // Field offsets lie inside the inferred structure.
+      if (O.StructSize) {
+        EXPECT_LT(O.Fields[I].Offset, O.StructSize);
+      }
+    }
+    EXPECT_LE(FieldShare, 1.0 + 1e-9);
+
+    // Clusters partition the field indices exactly.
+    std::vector<unsigned> Seen(N, 0);
+    for (const auto &Cluster : O.Clusters)
+      for (uint32_t FieldIndex : Cluster) {
+        ASSERT_LT(FieldIndex, N);
+        ++Seen[FieldIndex];
+      }
+    for (size_t I = 0; I != N; ++I)
+      EXPECT_EQ(Seen[I], 1u) << "field " << I;
+
+    // Loop shares sum to <= 1 and are sorted descending.
+    for (size_t L = 1; L < O.Loops.size(); ++L)
+      EXPECT_GE(O.Loops[L - 1].LatencySum, O.Loops[L].LatencySum);
+  }
+  EXPECT_LE(ShareSum, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, AnalyzerProperty, ::testing::Range(0, 20));
+
+// --- Splitter semantic preservation under random plans --------------------
+
+namespace {
+
+struct TokenProgram {
+  std::unique_ptr<ir::Program> P;
+  uint32_t Token;
+};
+
+TokenProgram buildAoSProgram(int64_t N) {
+  TokenProgram T;
+  T.P = std::make_unique<ir::Program>();
+  T.Token = T.P->makeToken("s");
+  ir::Function &F = T.P->addFunction("main", 0);
+  ir::ProgramBuilder B(*T.P, F);
+  Reg Bytes = B.constI(N * 32);
+  Reg Base = B.alloc(Bytes, "s", T.Token);
+  B.forLoopI(0, N, 1, [&](Reg I) {
+    for (int FieldIdx = 0; FieldIdx != 4; ++FieldIdx)
+      B.store(B.mulI(I, FieldIdx + 1), Base, I, 32, FieldIdx * 8, 8,
+              T.Token);
+  });
+  Reg Acc = B.constI(0);
+  B.forLoopI(0, N, 1, [&](Reg I) {
+    for (int FieldIdx = 0; FieldIdx != 4; ++FieldIdx)
+      B.accumulate(Acc, B.load(Base, I, 32, FieldIdx * 8, 8, T.Token));
+  });
+  B.ret(Acc);
+  return T;
+}
+
+uint64_t runIt(const ir::Program &P) {
+  EXPECT_EQ(ir::verify(P), "");
+  runtime::Machine M;
+  cache::MemoryHierarchy H((cache::HierarchyConfig()));
+  runtime::Interpreter I(P, M, H, nullptr, 0);
+  return I.run(P.getEntry(), {});
+}
+
+} // namespace
+
+class SplitterProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SplitterProperty, RandomPartitionsPreserveSemantics) {
+  Rng R(777 + GetParam());
+  // Random partition of fields {0,8,16,24} into 2..4 clusters.
+  unsigned NumClusters = 2 + static_cast<unsigned>(R.nextBelow(3));
+  std::vector<std::vector<uint32_t>> Clusters(NumClusters);
+  for (uint32_t Offset : {0u, 8u, 16u, 24u})
+    Clusters[R.nextBelow(NumClusters)].push_back(Offset);
+  core::SplitPlan Plan;
+  Plan.ObjectName = "s";
+  Plan.OriginalSize = 32;
+  for (auto &C : Clusters)
+    if (!C.empty())
+      Plan.ClusterOffsets.push_back(C);
+  if (!Plan.isSplit())
+    GTEST_SKIP() << "random partition degenerated to one cluster";
+
+  ir::StructLayout L("s");
+  L.addField("a", 8);
+  L.addField("b", 8);
+  L.addField("c", 8);
+  L.addField("d", 8);
+  L.finalize();
+
+  TokenProgram T = buildAoSProgram(64 + R.nextBelow(128));
+  uint64_t Expect = runIt(*T.P);
+  std::string Error;
+  auto Split =
+      transform::splitArrayOfStructs(*T.P, T.Token, L, Plan, &Error);
+  ASSERT_NE(Split, nullptr) << Error;
+  EXPECT_EQ(runIt(*Split), Expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SplitterProperty, ::testing::Range(0, 15));
+
+// --- ProfileIO fuzz ------------------------------------------------------------
+
+class ProfileIoFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProfileIoFuzz, MutatedInputNeverCrashes) {
+  Rng R(9090 + GetParam());
+  // A valid profile to start from.
+  profile::Profile P;
+  uint32_t Obj = P.getOrCreateObject("arr");
+  P.Objects[Obj].Name = "arr";
+  profile::StreamRecord &S = P.getOrCreateStream(42, Obj);
+  S.SampleCount = 3;
+  S.LatencySum = 120;
+  P.Contexts.attribute(P.Contexts.intern({1, 2}), 5);
+  std::string Text = profile::profileToString(P);
+
+  for (int Trial = 0; Trial != 50; ++Trial) {
+    std::string Mutated = Text;
+    unsigned Edits = 1 + static_cast<unsigned>(R.nextBelow(8));
+    for (unsigned E = 0; E != Edits; ++E) {
+      size_t Pos = R.nextBelow(Mutated.size());
+      switch (R.nextBelow(3)) {
+      case 0:
+        Mutated[Pos] = static_cast<char>('0' + R.nextBelow(10));
+        break;
+      case 1:
+        Mutated.erase(Pos, 1 + R.nextBelow(5));
+        break;
+      case 2:
+        Mutated.insert(Pos, 1, static_cast<char>(32 + R.nextBelow(95)));
+        break;
+      }
+      if (Mutated.empty())
+        Mutated = "x";
+    }
+    std::string Error;
+    auto Result = profile::profileFromString(Mutated, &Error);
+    if (!Result) {
+      EXPECT_FALSE(Error.empty());
+    }
+    // Either outcome is fine; no crash, no uncaught throw.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, ProfileIoFuzz, ::testing::Range(0, 8));
+
+// --- Interpreter memory semantics vs reference -----------------------------
+
+class MemorySemanticsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MemorySemanticsProperty, RandomAddressingAgainstReference) {
+  Rng R(1234 + GetParam());
+  constexpr int64_t Slots = 64;
+
+  ir::Program P;
+  ir::Function &F = P.addFunction("main", 0);
+  ir::ProgramBuilder B(P, F);
+  Reg Bytes = B.constI(Slots * 8);
+  Reg Base = B.alloc(Bytes, "arr");
+
+  // Reference model of the array contents.
+  std::vector<uint64_t> Ref(Slots, 0);
+  uint64_t ExpectChecksum = 0;
+  Reg Acc = B.constI(0);
+
+  for (int Op = 0; Op != 120; ++Op) {
+    int64_t Slot = static_cast<int64_t>(R.nextBelow(Slots));
+    // Randomly split slot*8 into index*scale + disp forms.
+    uint32_t Scale = 8u << R.nextBelow(2); // 8 or 16.
+    int64_t Index = (Slot * 8) / Scale;
+    int64_t Disp = Slot * 8 - Index * static_cast<int64_t>(Scale);
+    Reg IndexReg = B.constI(Index);
+    if (R.nextBelow(2) == 0) {
+      uint64_t Value = R.next() & 0xffffffffull;
+      Reg V = B.constI(static_cast<int64_t>(Value));
+      B.store(V, Base, IndexReg, Scale, Disp, 8);
+      Ref[Slot] = Value;
+    } else {
+      Reg V = B.load(Base, IndexReg, Scale, Disp, 8);
+      B.accumulate(Acc, V);
+      ExpectChecksum += Ref[Slot];
+    }
+  }
+  B.ret(Acc);
+  EXPECT_EQ(runIt(P), ExpectChecksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, MemorySemanticsProperty,
+                         ::testing::Range(0, 15));

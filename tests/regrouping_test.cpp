@@ -1,0 +1,147 @@
+//===- tests/regrouping_test.cpp - Array-regrouping analysis ---*- C++ -*-===//
+
+#include "core/Regrouping.h"
+
+#include <gtest/gtest.h>
+
+using namespace structslim;
+using namespace structslim::core;
+using structslim::profile::Profile;
+using structslim::profile::StreamRecord;
+
+namespace {
+
+/// Adds one stream of \p Latency for \p Object in \p LoopId.
+void addStream(Profile &Prof, const std::string &Object, uint64_t Ip,
+               int32_t LoopId, uint64_t Latency, uint64_t Stride = 8,
+               uint8_t AccessSize = 8) {
+  uint32_t Idx = Prof.getOrCreateObject(Object);
+  profile::ObjectAgg &Agg = Prof.Objects[Idx];
+  if (Agg.Name.empty())
+    Agg.Name = Object;
+  Agg.SampleCount += 1;
+  Agg.LatencySum += Latency;
+  Prof.TotalSamples += 1;
+  Prof.TotalLatency += Latency;
+  StreamRecord &S = Prof.getOrCreateStream(Ip, Idx);
+  S.LoopId = LoopId;
+  S.AccessSize = AccessSize;
+  S.SampleCount += 1;
+  S.LatencySum += Latency;
+  S.UniqueAddrCount = 8;
+  S.StrideGcd = Stride;
+}
+
+} // namespace
+
+TEST(ArrayAffinity, PairsSharingAllLoopsScoreOne) {
+  Profile Prof;
+  addStream(Prof, "px", 1, 0, 100);
+  addStream(Prof, "py", 2, 0, 100);
+  auto Pairs = analyzeArrayAffinity(Prof);
+  ASSERT_EQ(Pairs.size(), 1u);
+  EXPECT_NEAR(Pairs[0].Affinity, 1.0, 1e-9);
+}
+
+TEST(ArrayAffinity, DisjointLoopsScoreZero) {
+  Profile Prof;
+  addStream(Prof, "a", 1, 0, 100);
+  addStream(Prof, "b", 2, 1, 100);
+  auto Pairs = analyzeArrayAffinity(Prof);
+  ASSERT_EQ(Pairs.size(), 1u);
+  EXPECT_EQ(Pairs[0].Affinity, 0.0);
+}
+
+TEST(ArrayAffinity, Equation7LiftedExactly) {
+  // Loop 0: a (30) and b (10); loop 1: a alone (60).
+  // A(a,b) = (30 + 10) / (90 + 10) = 0.4.
+  Profile Prof;
+  addStream(Prof, "a", 1, 0, 30);
+  addStream(Prof, "b", 2, 0, 10);
+  addStream(Prof, "a", 3, 1, 60);
+  auto Pairs = analyzeArrayAffinity(Prof);
+  ASSERT_EQ(Pairs.size(), 1u);
+  EXPECT_NEAR(Pairs[0].Affinity, 0.4, 1e-9);
+}
+
+TEST(ArrayAffinity, PairsSortedByAffinity) {
+  Profile Prof;
+  addStream(Prof, "a", 1, 0, 50);
+  addStream(Prof, "b", 2, 0, 50);
+  addStream(Prof, "c", 3, 1, 50);
+  auto Pairs = analyzeArrayAffinity(Prof);
+  ASSERT_EQ(Pairs.size(), 3u);
+  EXPECT_NEAR(Pairs[0].Affinity, 1.0, 1e-9); // a-b first.
+  EXPECT_EQ(Pairs[1].Affinity, 0.0);
+}
+
+TEST(ArrayAffinity, ColdObjectsExcluded) {
+  Profile Prof;
+  addStream(Prof, "hot1", 1, 0, 5000);
+  addStream(Prof, "hot2", 2, 0, 4000);
+  addStream(Prof, "cold", 3, 0, 10); // ~0.1% < MinObjectShare.
+  auto Pairs = analyzeArrayAffinity(Prof);
+  EXPECT_EQ(Pairs.size(), 1u);
+}
+
+TEST(RegroupAdvice, GroupsHighAffinityArrays) {
+  Profile Prof;
+  addStream(Prof, "px", 1, 0, 100, 8);
+  addStream(Prof, "py", 2, 0, 100, 8);
+  addStream(Prof, "charge", 3, 1, 80, 8);
+  RegroupAdvice Advice = adviseRegrouping(Prof);
+  ASSERT_EQ(Advice.Groups.size(), 1u);
+  ASSERT_EQ(Advice.Groups[0].Arrays.size(), 2u);
+  // px is hotter-first in the monitored ordering.
+  EXPECT_EQ(Advice.Groups[0].Arrays[0], "px");
+  EXPECT_EQ(Advice.Groups[0].Arrays[1], "py");
+  EXPECT_EQ(Advice.Groups[0].LatencySum, 200u);
+}
+
+TEST(RegroupAdvice, SingletonGroupsSuppressed) {
+  Profile Prof;
+  addStream(Prof, "a", 1, 0, 100);
+  addStream(Prof, "b", 2, 1, 100);
+  RegroupAdvice Advice = adviseRegrouping(Prof);
+  EXPECT_TRUE(Advice.Groups.empty());
+}
+
+TEST(RegroupAdvice, ThresholdControlsGrouping) {
+  // Affinity 0.4 pair: grouped only when the threshold drops.
+  Profile Prof;
+  addStream(Prof, "a", 1, 0, 30);
+  addStream(Prof, "b", 2, 0, 10);
+  addStream(Prof, "a", 3, 1, 60);
+  EXPECT_TRUE(adviseRegrouping(Prof).Groups.empty());
+  AnalysisConfig Loose;
+  Loose.AffinityThreshold = 0.3;
+  EXPECT_EQ(adviseRegrouping(Prof, Loose).Groups.size(), 1u);
+}
+
+TEST(RegroupAdvice, ReportsStrides) {
+  Profile Prof;
+  addStream(Prof, "px", 1, 0, 100, /*Stride=*/16);
+  addStream(Prof, "py", 2, 0, 100, /*Stride=*/24);
+  RegroupAdvice Advice = adviseRegrouping(Prof);
+  ASSERT_EQ(Advice.Groups.size(), 1u);
+  EXPECT_EQ(Advice.Groups[0].Strides,
+            (std::vector<uint64_t>{16, 24}));
+}
+
+TEST(RegroupAdvice, EmptyProfile) {
+  Profile Prof;
+  EXPECT_TRUE(analyzeArrayAffinity(Prof).empty());
+  EXPECT_TRUE(adviseRegrouping(Prof).Groups.empty());
+}
+
+TEST(RegroupAdvice, TransitiveGrouping) {
+  // a-b share loop 0, b-c share loop 1: the union groups all three.
+  Profile Prof;
+  addStream(Prof, "a", 1, 0, 100);
+  addStream(Prof, "b", 2, 0, 100);
+  addStream(Prof, "b", 3, 1, 100);
+  addStream(Prof, "c", 4, 1, 100);
+  RegroupAdvice Advice = adviseRegrouping(Prof);
+  ASSERT_EQ(Advice.Groups.size(), 1u);
+  EXPECT_EQ(Advice.Groups[0].Arrays.size(), 3u);
+}

@@ -1,0 +1,155 @@
+//===- tests/report_test.cpp - Report rendering tests ----------*- C++ -*-===//
+
+#include "core/Report.h"
+#include "ir/ProgramBuilder.h"
+#include "profile/MergeTree.h"
+#include "runtime/ThreadedRuntime.h"
+
+#include <gtest/gtest.h>
+
+using namespace structslim;
+using namespace structslim::core;
+using structslim::ir::Reg;
+
+namespace {
+
+/// A program that heap-allocates through a helper (two-deep allocation
+/// call path) and scans the array in a loop.
+struct AllocProgram {
+  ir::Program P;
+  uint32_t MainId = 0;
+
+  AllocProgram() {
+    ir::Function &Mk = P.addFunction("make_nodes", 1);
+    {
+      ir::ProgramBuilder B(P, Mk);
+      B.setLine(50);
+      B.ret(B.alloc(0, "nodes"));
+    }
+    ir::Function &Main = P.addFunction("main", 0);
+    MainId = Main.Id;
+    P.setEntry(MainId);
+    {
+      ir::ProgramBuilder B(P, Main);
+      B.setLine(7);
+      Reg Bytes = B.constI(64 * 1024);
+      Reg Base = B.call(Mk, {Bytes});
+      Reg Acc = B.constI(0);
+      B.setLine(9);
+      B.forLoopI(0, 200000, 1, [&](Reg I) {
+        B.setLine(10);
+        Reg Idx = B.andI(I, 1023);
+        B.accumulate(Acc, B.load(Base, Idx, 64, 0, 8));
+        B.setLine(9);
+      });
+      B.ret(Acc);
+    }
+  }
+};
+
+} // namespace
+
+TEST(Report, HotObjectsResolveAllocationSites) {
+  AllocProgram Prog;
+  analysis::CodeMap Map(Prog.P);
+  runtime::RunConfig Cfg;
+  Cfg.Sampling.Period = 1000;
+  runtime::ThreadedRuntime RT(Cfg);
+  RT.runPhase(Prog.P, &Map, {runtime::ThreadSpec{Prog.MainId, {}}});
+  runtime::RunResult R = RT.finish();
+  profile::Profile Merged = profile::mergeProfiles(std::move(R.Profiles));
+
+  StructSlimAnalyzer Analyzer(Map);
+  AnalysisResult Result = Analyzer.analyze(Merged);
+  ASSERT_FALSE(Result.Objects.empty());
+  EXPECT_EQ(Result.Objects[0].Name, "nodes");
+
+  // Without a code map: no allocation column.
+  std::string Plain = renderHotObjects(Result);
+  EXPECT_EQ(Plain.find("Allocated at"), std::string::npos);
+
+  // With one: the two-deep call path resolves to function:line.
+  std::string WithSites = renderHotObjects(Result, &Map);
+  EXPECT_NE(WithSites.find("Allocated at"), std::string::npos);
+  EXPECT_NE(WithSites.find("main:L7 > make_nodes:L50"), std::string::npos);
+}
+
+TEST(Report, StaticObjectsMarkedStatic) {
+  AnalysisResult Result;
+  ObjectAnalysis O;
+  O.Name = "globals";
+  O.Key = "globals"; // No '@': a symbol-table object.
+  O.SampleCount = 3;
+  O.LatencySum = 12;
+  O.HotShare = 1.0;
+  Result.Objects.push_back(O);
+  Result.TotalLatency = 12;
+
+  // Any CodeMap works; build a trivial one.
+  ir::Program P;
+  ir::Function &F = P.addFunction("main", 0);
+  ir::ProgramBuilder B(P, F);
+  B.ret();
+  analysis::CodeMap Map(P);
+  std::string Out = renderHotObjects(Result, &Map);
+  EXPECT_NE(Out.find("(static)"), std::string::npos);
+}
+
+TEST(Report, FieldTableRendersShares) {
+  ObjectAnalysis O;
+  O.Name = "s";
+  O.LatencySum = 100;
+  FieldStat F;
+  F.Name = "hot";
+  F.Offset = 8;
+  F.LatencyShare = 0.733;
+  F.SampleCount = 42;
+  O.Fields.push_back(F);
+  std::string Out = renderFieldTable(O);
+  EXPECT_NE(Out.find("hot"), std::string::npos);
+  EXPECT_NE(Out.find("73.3%"), std::string::npos);
+  EXPECT_NE(Out.find("42"), std::string::npos);
+}
+
+TEST(Report, LoopTableNamesFields) {
+  ObjectAnalysis O;
+  O.Name = "s";
+  FieldStat F;
+  F.Name = "P";
+  F.Offset = 40;
+  O.Fields.push_back(F);
+  LoopStat L;
+  L.LoopName = "615-616";
+  L.LatencyShare = 0.5657;
+  L.Offsets = {40, 48}; // 48 has no FieldStat: falls back to offset.
+  O.Loops.push_back(L);
+  std::string Out = renderLoopTable(O);
+  EXPECT_NE(Out.find("615-616"), std::string::npos);
+  EXPECT_NE(Out.find("P, off48"), std::string::npos);
+  EXPECT_NE(Out.find("56.6%"), std::string::npos);
+}
+
+TEST(Report, FieldLevelTableSharesSumAndRender) {
+  ObjectAnalysis O;
+  FieldStat F;
+  F.Name = "dist";
+  F.SampleCount = 10;
+  F.LevelSamples = {5, 2, 2, 1};
+  O.Fields.push_back(F);
+  FieldStat Cold;
+  Cold.Name = "entry";
+  Cold.SampleCount = 0;
+  O.Fields.push_back(Cold);
+  std::string Out = renderFieldLevelTable(O);
+  EXPECT_NE(Out.find("dist"), std::string::npos);
+  EXPECT_NE(Out.find("50.0%"), std::string::npos); // L1 share.
+  EXPECT_NE(Out.find("10.0%"), std::string::npos); // DRAM share.
+  // Zero-sample fields render dashes, not NaNs.
+  EXPECT_NE(Out.find("| entry | -"), std::string::npos);
+}
+
+TEST(Report, EmptyAnalysisRendersHeaderOnly) {
+  AnalysisResult Result;
+  std::string Out = renderHotObjects(Result);
+  EXPECT_NE(Out.find("Data object"), std::string::npos);
+}

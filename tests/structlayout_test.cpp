@@ -1,0 +1,108 @@
+//===- tests/structlayout_test.cpp - StructLayout tests --------*- C++ -*-===//
+
+#include "ir/StructLayout.h"
+
+#include <gtest/gtest.h>
+
+using namespace structslim;
+using namespace structslim::ir;
+
+TEST(StructLayout, SequentialOffsets) {
+  StructLayout L("s");
+  EXPECT_EQ(L.addField("a", 8), 0u);
+  EXPECT_EQ(L.addField("b", 8), 8u);
+  EXPECT_EQ(L.addField("c", 8), 16u);
+  EXPECT_EQ(L.finalize(), 24u);
+}
+
+TEST(StructLayout, NaturalAlignmentInsertsPadding) {
+  StructLayout L("s");
+  EXPECT_EQ(L.addField("c", 1), 0u);
+  EXPECT_EQ(L.addField("i", 4), 4u); // 3 bytes of padding.
+  EXPECT_EQ(L.addField("d", 8), 8u);
+  EXPECT_EQ(L.finalize(), 16u);
+}
+
+TEST(StructLayout, TailPaddingToMaxAlign) {
+  StructLayout L("s");
+  L.addField("d", 8);
+  L.addField("c", 1);
+  EXPECT_EQ(L.finalize(), 16u); // 9 -> 16.
+}
+
+TEST(StructLayout, ExplicitAlignment) {
+  StructLayout L("s");
+  // A char array aligned to 8 (like NN's entry).
+  EXPECT_EQ(L.addField("entry", 56, 8), 0u);
+  EXPECT_EQ(L.addField("dist", 8), 56u);
+  EXPECT_EQ(L.finalize(), 64u);
+}
+
+TEST(StructLayout, FieldContaining) {
+  StructLayout L("s");
+  L.addField("a", 4);
+  L.addField("b", 4);
+  L.finalize();
+  ASSERT_NE(L.fieldContaining(0), nullptr);
+  EXPECT_EQ(L.fieldContaining(0)->Name, "a");
+  EXPECT_EQ(L.fieldContaining(3)->Name, "a");
+  EXPECT_EQ(L.fieldContaining(4)->Name, "b");
+  EXPECT_EQ(L.fieldContaining(8), nullptr); // Past the end.
+}
+
+TEST(StructLayout, FieldContainingPadding) {
+  StructLayout L("s");
+  L.addField("c", 1);
+  L.addField("d", 8);
+  L.finalize();
+  EXPECT_EQ(L.fieldContaining(0)->Name, "c");
+  EXPECT_EQ(L.fieldContaining(3), nullptr); // Padding byte.
+  EXPECT_EQ(L.fieldContaining(8)->Name, "d");
+}
+
+TEST(StructLayout, FieldNamed) {
+  StructLayout L("s");
+  L.addField("x", 8);
+  EXPECT_NE(L.fieldNamed("x"), nullptr);
+  EXPECT_EQ(L.fieldNamed("y"), nullptr);
+}
+
+TEST(StructLayout, ToStringRendersCTypes) {
+  StructLayout L("tree");
+  L.addField("sz", 4);
+  L.addField("x", 8);
+  L.addField("tag", 1);
+  L.addField("blob", 56);
+  L.finalize();
+  std::string S = L.toString();
+  EXPECT_NE(S.find("struct tree {"), std::string::npos);
+  EXPECT_NE(S.find("int sz;"), std::string::npos);
+  EXPECT_NE(S.find("long x;"), std::string::npos);
+  EXPECT_NE(S.find("char tag;"), std::string::npos);
+  EXPECT_NE(S.find("char[56] blob;"), std::string::npos);
+}
+
+TEST(StructLayout, EmptyLayout) {
+  StructLayout L("e");
+  EXPECT_TRUE(L.empty());
+  EXPECT_EQ(L.getSize(), 0u);
+  EXPECT_EQ(L.fieldContaining(0), nullptr);
+}
+
+// The seven paper structures lay out as the paper describes.
+TEST(StructLayout, PaperStructSizes) {
+  StructLayout F1("f1_neuron");
+  for (const char *Name : {"I", "W", "X", "V", "U", "P", "Q", "R"})
+    F1.addField(Name, 8);
+  EXPECT_EQ(F1.finalize(), 64u);
+
+  StructLayout Node("node_t");
+  for (const char *Name : {"parent", "shortcut", "region", "area"})
+    Node.addField(Name, 4);
+  EXPECT_EQ(Node.finalize(), 16u); // Paper: stride 16.
+
+  StructLayout Tree("tree");
+  for (const char *Name : {"sz", "x", "y", "left", "right", "next", "prev"})
+    Tree.addField(Name, 8);
+  EXPECT_EQ(Tree.finalize(), 56u);
+}

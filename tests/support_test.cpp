@@ -1,0 +1,186 @@
+//===- tests/support_test.cpp - support library tests ----------*- C++ -*-===//
+
+#include "support/DotWriter.h"
+#include "support/Error.h"
+#include "support/Format.h"
+#include "support/MathUtil.h"
+#include "support/Random.h"
+#include "support/Stats.h"
+#include "support/TablePrinter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+using namespace structslim;
+
+// --- Format -------------------------------------------------------------
+
+TEST(Format, Double) {
+  EXPECT_EQ(formatDouble(1.2345, 2), "1.23");
+  EXPECT_EQ(formatDouble(1.0, 0), "1");
+  EXPECT_EQ(formatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(formatPercent(0.733, 1), "73.3%");
+  EXPECT_EQ(formatPercent(0.0), "0.0%");
+  EXPECT_EQ(formatPercent(1.0), "100.0%");
+}
+
+TEST(Format, Times) { EXPECT_EQ(formatTimes(1.37), "1.37x"); }
+
+TEST(Format, Hex) {
+  EXPECT_EQ(formatHex(0), "0x0");
+  EXPECT_EQ(formatHex(0x400000), "0x400000");
+  EXPECT_EQ(formatHex(0xdeadbeef), "0xdeadbeef");
+}
+
+TEST(Format, Join) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+// --- MathUtil ------------------------------------------------------------
+
+TEST(MathUtil, Gcd) {
+  EXPECT_EQ(gcd64(0, 0), 0u);
+  EXPECT_EQ(gcd64(0, 7), 7u);
+  EXPECT_EQ(gcd64(48, 32), 16u);
+  EXPECT_EQ(gcd64(56, 63), 7u);
+}
+
+TEST(MathUtil, Primes) {
+  EXPECT_TRUE(primesUpTo(1).empty());
+  EXPECT_EQ(primesUpTo(2), (std::vector<uint64_t>{2}));
+  EXPECT_EQ(primesUpTo(20),
+            (std::vector<uint64_t>{2, 3, 5, 7, 11, 13, 17, 19}));
+  // pi(1000) = 168.
+  EXPECT_EQ(primesUpTo(1000).size(), 168u);
+}
+
+TEST(MathUtil, LogBinomial) {
+  EXPECT_NEAR(std::exp(logBinomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(logBinomial(10, 0)), 1.0, 1e-9);
+  EXPECT_TRUE(std::isinf(logBinomial(3, 5)));
+}
+
+TEST(MathUtil, BinomialRatio) {
+  // C(5,2)/C(10,2) = 10/45.
+  EXPECT_NEAR(binomialRatio(10, 2, 2), 10.0 / 45.0, 1e-9);
+  // n/d < k -> 0.
+  EXPECT_EQ(binomialRatio(10, 5, 3), 0.0);
+}
+
+// --- Stats ----------------------------------------------------------------
+
+TEST(Stats, Mean) {
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_NEAR(mean({1, 2, 3}), 2.0, 1e-12);
+}
+
+TEST(Stats, Geomean) {
+  EXPECT_EQ(geomean({}), 0.0);
+  EXPECT_NEAR(geomean({2, 8}), 4.0, 1e-9);
+  EXPECT_NEAR(geomean({1.37, 1.09, 1.09, 1.03, 1.25, 1.12, 1.33}), 1.18,
+              0.01); // The paper's Table 3 average.
+}
+
+TEST(Stats, Stddev) {
+  EXPECT_EQ(stddev({1.0}), 0.0);
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 0.01);
+}
+
+// --- Rng -------------------------------------------------------------------
+
+TEST(Rng, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 2);
+}
+
+TEST(Rng, BelowBound) {
+  Rng R(7);
+  for (uint64_t Bound : {1ull, 2ull, 3ull, 10ull, 1000ull})
+    for (int I = 0; I < 200; ++I)
+      EXPECT_LT(R.nextBelow(Bound), Bound);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng R(9);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 200; ++I) {
+    uint64_t V = R.nextInRange(5, 8);
+    EXPECT_GE(V, 5u);
+    EXPECT_LE(V, 8u);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 4u); // All values reachable.
+}
+
+TEST(Rng, DoubleUnit) {
+  Rng R(11);
+  double Sum = 0;
+  for (int I = 0; I < 10000; ++I) {
+    double D = R.nextDouble();
+    ASSERT_GE(D, 0.0);
+    ASSERT_LT(D, 1.0);
+    Sum += D;
+  }
+  EXPECT_NEAR(Sum / 10000, 0.5, 0.02);
+}
+
+// --- TablePrinter -----------------------------------------------------------
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter T;
+  T.setHeader({"Name", "Value"});
+  T.addRow({"x", "1"});
+  T.addRow({"longer", "22"});
+  std::string Out = T.toString();
+  EXPECT_NE(Out.find("| Name   | Value |"), std::string::npos);
+  EXPECT_NE(Out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TablePrinter, PadsShortRows) {
+  TablePrinter T;
+  T.setHeader({"A", "B", "C"});
+  T.addRow({"1"});
+  std::string Out = T.toString();
+  EXPECT_NE(Out.find("| 1 |   |   |"), std::string::npos);
+}
+
+// --- DotWriter ----------------------------------------------------------------
+
+TEST(DotWriter, EmitsNodesEdgesClusters) {
+  DotWriter W("g");
+  W.addNode("a", "A", 0);
+  W.addNode("b", "B", 0);
+  W.addNode("c", "C");
+  W.addEdge("a", "b", 0.86);
+  std::string Out = W.toString();
+  EXPECT_NE(Out.find("graph \"g\""), std::string::npos);
+  EXPECT_NE(Out.find("subgraph cluster_0"), std::string::npos);
+  EXPECT_NE(Out.find("\"a\" -- \"b\" [label=\"0.86\"]"), std::string::npos);
+  EXPECT_NE(Out.find("\"c\" [label=\"C\"]"), std::string::npos);
+}
+
+// --- Error -----------------------------------------------------------------
+
+TEST(ErrorDeath, FatalAborts) {
+  EXPECT_DEATH(fatalError("boom"), "structslim fatal error: boom");
+}
+
+TEST(ErrorDeath, UnreachableAborts) {
+  EXPECT_DEATH(unreachable("nope"), "structslim unreachable: nope");
+}

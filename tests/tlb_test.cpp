@@ -1,0 +1,136 @@
+//===- tests/tlb_test.cpp - Data TLB model tests ---------------*- C++ -*-===//
+
+#include "analysis/CodeMap.h"
+#include "cache/Hierarchy.h"
+#include "cache/Tlb.h"
+#include "ir/ProgramBuilder.h"
+#include "mem/DataObjectTable.h"
+#include "profile/ProfileIO.h"
+#include "runtime/ProfileBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace structslim;
+using namespace structslim::cache;
+
+TEST(Tlb, ColdMissThenHit) {
+  Tlb T((TlbConfig()));
+  EXPECT_FALSE(T.access(0x1000));
+  EXPECT_TRUE(T.access(0x1008)); // Same 4 KiB page.
+  EXPECT_FALSE(T.access(0x2000)); // Next page.
+  EXPECT_EQ(T.getMisses(), 2u);
+  EXPECT_EQ(T.getHits(), 1u);
+}
+
+TEST(Tlb, CoversConfiguredReach) {
+  TlbConfig Cfg;
+  Cfg.Entries = 64;
+  Cfg.Assoc = 4;
+  Tlb T(Cfg);
+  // Touch 64 consecutive pages, then re-touch: all hits (64-entry
+  // fully utilized, 16 sets x 4 ways, consecutive pages spread evenly).
+  for (uint64_t P = 0; P != 64; ++P)
+    T.access(P << 12);
+  T.resetCounters();
+  for (uint64_t P = 0; P != 64; ++P)
+    EXPECT_TRUE(T.access(P << 12)) << "page " << P;
+}
+
+TEST(Tlb, EvictsLruBeyondReach) {
+  TlbConfig Cfg;
+  Cfg.Entries = 8;
+  Cfg.Assoc = 2; // 4 sets.
+  Tlb T(Cfg);
+  // Pages 0, 4, 8 map to set 0; capacity 2.
+  T.access(0ull << 12);
+  T.access(4ull << 12);
+  T.access(8ull << 12); // Evicts page 0.
+  EXPECT_FALSE(T.access(0ull << 12));
+}
+
+TEST(Tlb, BadGeometryAborts) {
+  TlbConfig Cfg;
+  Cfg.Entries = 10;
+  Cfg.Assoc = 4;
+  EXPECT_DEATH(Tlb{Cfg}, "multiple of associativity");
+}
+
+TEST(TlbHierarchy, MissAddsWalkLatency) {
+  HierarchyConfig Cfg;
+  Cfg.EnableTlb = true;
+  MemoryHierarchy H(Cfg);
+  AccessResult First = H.access(0, 8, false, 1);
+  EXPECT_TRUE(First.TlbMiss);
+  EXPECT_EQ(First.Latency, Cfg.DramLatency + Cfg.Tlb.WalkLatency);
+  AccessResult Second = H.access(8, 8, false, 1);
+  EXPECT_FALSE(Second.TlbMiss);
+  EXPECT_EQ(Second.Latency, Cfg.L1.HitLatency);
+  EXPECT_EQ(H.tlb().getMisses(), 1u);
+}
+
+TEST(TlbHierarchy, DisabledByDefault) {
+  MemoryHierarchy H((HierarchyConfig()));
+  AccessResult R = H.access(0, 8, false, 1);
+  EXPECT_FALSE(R.TlbMiss);
+  EXPECT_EQ(R.Latency, H.getConfig().DramLatency);
+  EXPECT_EQ(H.tlb().getMisses() + H.tlb().getHits(), 0u);
+}
+
+TEST(TlbHierarchy, LongStridesMissMore) {
+  // The structure-splitting motivation at page granularity: a 4 KiB
+  // stride touches a new page every access; an 8-byte stride touches a
+  // new page every 512 accesses.
+  HierarchyConfig Cfg;
+  Cfg.EnableTlb = true;
+  MemoryHierarchy Wide(Cfg), Dense(Cfg);
+  for (uint64_t I = 0; I != 4096; ++I) {
+    Wide.access(I * 4096, 8, false, 1);
+    Dense.access(I * 8, 8, false, 2);
+  }
+  EXPECT_EQ(Wide.tlb().getMisses(), 4096u);
+  EXPECT_LE(Dense.tlb().getMisses(), 10u);
+}
+
+TEST(TlbSampling, MissFlagReachesProfile) {
+  // End-to-end: a TLB-missing sampled access marks the stream record.
+  ir::Program P;
+  ir::Function &F = P.addFunction("main", 0);
+  ir::ProgramBuilder B(P, F);
+  B.forLoopI(0, 4, 1, [&](ir::Reg) { B.work(0); });
+  B.ret();
+  uint64_t LoopIp = F.Blocks[2]->Instrs.front().Ip; // Body block.
+  analysis::CodeMap Map(P);
+  mem::DataObjectTable Objects;
+  Objects.addHeap("arr", 0x10000, 1 << 20, {});
+  runtime::ProfileBuilder Builder(Map, Objects, 0, 10000);
+
+  pmu::AddressSample S;
+  S.Ip = LoopIp;
+  S.EffAddr = 0x10040;
+  S.Latency = 230;
+  S.AccessSize = 8;
+  S.TlbMiss = true;
+  Builder.onSample(S);
+  S.EffAddr = 0x10080;
+  S.TlbMiss = false;
+  Builder.onSample(S);
+
+  profile::Profile Prof = Builder.take();
+  ASSERT_EQ(Prof.Streams.size(), 1u);
+  EXPECT_EQ(Prof.Streams[0].TlbMissSamples, 1u);
+}
+
+TEST(TlbSampling, SurvivesSerializationAndMerge) {
+  profile::Profile A;
+  uint32_t Obj = A.getOrCreateObject("x");
+  profile::StreamRecord &S = A.getOrCreateStream(5, Obj);
+  S.SampleCount = 3;
+  S.TlbMissSamples = 2;
+  auto Back = profile::profileFromString(profile::profileToString(A));
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->Streams[0].TlbMissSamples, 2u);
+  profile::Profile C;
+  C.merge(A);
+  C.merge(*Back);
+  EXPECT_EQ(C.Streams[0].TlbMissSamples, 4u);
+}

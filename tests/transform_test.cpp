@@ -1,0 +1,311 @@
+//===- tests/transform_test.cpp - FieldMap & StructSplitter ----*- C++ -*-===//
+
+#include "ir/ProgramBuilder.h"
+#include "ir/Verifier.h"
+#include "runtime/Interpreter.h"
+#include "transform/FieldMap.h"
+#include "transform/StructSplitter.h"
+
+#include <gtest/gtest.h>
+
+using namespace structslim;
+using namespace structslim::transform;
+using structslim::ir::NoReg;
+using structslim::ir::Reg;
+
+namespace {
+
+ir::StructLayout abcd() {
+  ir::StructLayout L("s");
+  L.addField("a", 8);
+  L.addField("b", 8);
+  L.addField("c", 8);
+  L.addField("d", 8);
+  L.finalize();
+  return L;
+}
+
+core::SplitPlan acBdPlan() {
+  core::SplitPlan Plan;
+  Plan.ObjectName = "s";
+  Plan.OriginalSize = 32;
+  Plan.ClusterOffsets = {{0, 16}, {8, 24}};
+  return Plan;
+}
+
+} // namespace
+
+// --- FieldMap ---------------------------------------------------------------
+
+TEST(FieldMap, IdentityKeepsOriginalOffsets) {
+  ir::StructLayout L = abcd();
+  FieldMap Map(L);
+  EXPECT_EQ(Map.getNumGroups(), 1u);
+  EXPECT_EQ(Map.getGroupSize(0), 32u);
+  FieldLoc C = Map.locate("c");
+  EXPECT_EQ(C.Group, 0u);
+  EXPECT_EQ(C.Offset, 16u);
+  EXPECT_EQ(C.Size, 8u);
+  EXPECT_EQ(Map.getBytesPerElement(), 32u);
+}
+
+TEST(FieldMap, SplitRepacksDensely) {
+  ir::StructLayout L = abcd();
+  FieldMap Map(L, acBdPlan());
+  EXPECT_EQ(Map.getNumGroups(), 2u);
+  EXPECT_EQ(Map.getGroupSize(0), 16u);
+  EXPECT_EQ(Map.getGroupSize(1), 16u);
+  FieldLoc A = Map.locate("a");
+  FieldLoc C = Map.locate("c");
+  FieldLoc B = Map.locate("b");
+  EXPECT_EQ(A.Group, 0u);
+  EXPECT_EQ(A.Offset, 0u);
+  EXPECT_EQ(C.Group, 0u);
+  EXPECT_EQ(C.Offset, 8u); // Re-packed: c moves from 16 to 8.
+  EXPECT_EQ(B.Group, 1u);
+  EXPECT_EQ(B.Offset, 0u);
+  EXPECT_EQ(Map.groupSuffix(0), "");
+  EXPECT_EQ(Map.groupSuffix(1), "_1");
+}
+
+TEST(FieldMap, GroupLayoutNamesFollowObject) {
+  ir::StructLayout L = abcd();
+  FieldMap Map(L, acBdPlan());
+  EXPECT_EQ(Map.getGroupLayout(0).getName(), "s_0");
+  EXPECT_EQ(Map.getGroupLayout(1).getName(), "s_1");
+}
+
+TEST(FieldMapDeath, UnknownFieldAborts) {
+  ir::StructLayout L = abcd();
+  FieldMap Map(L);
+  EXPECT_DEATH(Map.locate("nope"), "unknown field");
+}
+
+TEST(FieldMapDeath, PlanDroppingFieldAborts) {
+  ir::StructLayout L = abcd();
+  core::SplitPlan Plan;
+  Plan.ObjectName = "s";
+  Plan.OriginalSize = 32;
+  Plan.ClusterOffsets = {{0, 16}}; // b and d homeless.
+  EXPECT_DEATH(FieldMap(L, Plan), "drops field");
+}
+
+// --- StructSplitter ------------------------------------------------------------
+
+namespace {
+
+/// The Fig. 1 program: init all fields, sum a+c in one loop, b+d in
+/// another; returns the grand total. Token-annotated for the splitter.
+struct TokenProgram {
+  std::unique_ptr<ir::Program> P;
+  uint32_t Token;
+};
+
+TokenProgram buildTokenProgram(int64_t N, bool FreeAtEnd = false) {
+  TokenProgram T;
+  T.P = std::make_unique<ir::Program>();
+  T.Token = T.P->makeToken("s");
+  ir::Function &F = T.P->addFunction("main", 0);
+  ir::ProgramBuilder B(*T.P, F);
+  Reg Bytes = B.constI(N * 32);
+  Reg Base = B.alloc(Bytes, "s", T.Token);
+  B.forLoopI(0, N, 1, [&](Reg I) {
+    B.store(I, Base, I, 32, 0, 8, T.Token);
+    Reg I2 = B.mulI(I, 2);
+    B.store(I2, Base, I, 32, 8, 8, T.Token);
+    Reg I3 = B.mulI(I, 3);
+    B.store(I3, Base, I, 32, 16, 8, T.Token);
+    Reg I4 = B.mulI(I, 4);
+    B.store(I4, Base, I, 32, 24, 8, T.Token);
+  });
+  Reg Acc = B.constI(0);
+  B.forLoopI(0, N, 1, [&](Reg I) {
+    Reg A = B.load(Base, I, 32, 0, 8, T.Token);
+    Reg C = B.load(Base, I, 32, 16, 8, T.Token);
+    B.accumulate(Acc, B.add(A, C));
+  });
+  B.forLoopI(0, N, 1, [&](Reg I) {
+    Reg Bv = B.load(Base, I, 32, 8, 8, T.Token);
+    Reg D = B.load(Base, I, 32, 24, 8, T.Token);
+    B.accumulate(Acc, B.add(Bv, D));
+  });
+  if (FreeAtEnd)
+    B.free(Base);
+  B.ret(Acc);
+  return T;
+}
+
+uint64_t runProgram(const ir::Program &P) {
+  EXPECT_EQ(ir::verify(P), "");
+  runtime::Machine M;
+  cache::MemoryHierarchy H(cache::HierarchyConfig{});
+  runtime::Interpreter I(P, M, H, nullptr, 0);
+  return I.run(P.getEntry(), {});
+}
+
+} // namespace
+
+TEST(CloneProgram, PreservesEverything) {
+  TokenProgram T = buildTokenProgram(10);
+  auto Clone = cloneProgram(*T.P);
+  EXPECT_EQ(Clone->toString(), T.P->toString());
+  EXPECT_EQ(Clone->getIpEnd(), T.P->getIpEnd());
+  EXPECT_EQ(runProgram(*Clone), runProgram(*T.P));
+}
+
+TEST(StructSplitter, PreservesSemantics) {
+  TokenProgram T = buildTokenProgram(100);
+  ir::StructLayout L = abcd();
+  std::string Error;
+  auto Split = splitArrayOfStructs(*T.P, T.Token, L, acBdPlan(), &Error);
+  ASSERT_NE(Split, nullptr) << Error;
+  EXPECT_EQ(ir::verify(*Split), "");
+  EXPECT_EQ(runProgram(*Split), runProgram(*T.P));
+}
+
+TEST(StructSplitter, FissionsAllocation) {
+  TokenProgram T = buildTokenProgram(50);
+  ir::StructLayout L = abcd();
+  std::string Error;
+  auto Split = splitArrayOfStructs(*T.P, T.Token, L, acBdPlan(), &Error);
+  ASSERT_NE(Split, nullptr) << Error;
+  // Two allocations now exist: "s" and "s_1".
+  runtime::Machine M;
+  cache::MemoryHierarchy H(cache::HierarchyConfig{});
+  runtime::Interpreter I(*Split, M, H, nullptr, 0);
+  I.run(Split->getEntry(), {});
+  bool SawBase = false, SawSecond = false;
+  for (const mem::DataObject &O : M.Objects.all()) {
+    SawBase |= O.Name == "s" && O.Size == 50 * 16;
+    SawSecond |= O.Name == "s_1" && O.Size == 50 * 16;
+  }
+  EXPECT_TRUE(SawBase);
+  EXPECT_TRUE(SawSecond);
+}
+
+TEST(StructSplitter, RewritesScaleAndDisp) {
+  TokenProgram T = buildTokenProgram(10);
+  ir::StructLayout L = abcd();
+  std::string Error;
+  auto Split = splitArrayOfStructs(*T.P, T.Token, L, acBdPlan(), &Error);
+  ASSERT_NE(Split, nullptr) << Error;
+  // Every annotated memory op now has scale 16 and disp in {0, 8}.
+  for (const auto &F : Split->functions())
+    for (const auto &BB : F->Blocks)
+      for (const ir::Instr &I : BB->Instrs) {
+        if (!ir::isMemoryOp(I.Op) || I.Token != T.Token)
+          continue;
+        EXPECT_EQ(I.Scale, 16u);
+        EXPECT_TRUE(I.Disp == 0 || I.Disp == 8) << "disp " << I.Disp;
+      }
+}
+
+TEST(StructSplitter, FreesEveryGroup) {
+  TokenProgram T = buildTokenProgram(20, /*FreeAtEnd=*/true);
+  ir::StructLayout L = abcd();
+  std::string Error;
+  auto Split = splitArrayOfStructs(*T.P, T.Token, L, acBdPlan(), &Error);
+  ASSERT_NE(Split, nullptr) << Error;
+  runtime::Machine M;
+  cache::MemoryHierarchy H(cache::HierarchyConfig{});
+  runtime::Interpreter I(*Split, M, H, nullptr, 0);
+  I.run(Split->getEntry(), {});
+  EXPECT_EQ(M.Allocator.getBytesLive(), 0u);
+}
+
+TEST(StructSplitter, ThreeWaySplitSemantics) {
+  TokenProgram T = buildTokenProgram(64);
+  ir::StructLayout L = abcd();
+  core::SplitPlan Plan;
+  Plan.ObjectName = "s";
+  Plan.OriginalSize = 32;
+  Plan.ClusterOffsets = {{0}, {8, 16}, {24}};
+  std::string Error;
+  auto Split = splitArrayOfStructs(*T.P, T.Token, L, Plan, &Error);
+  ASSERT_NE(Split, nullptr) << Error;
+  EXPECT_EQ(runProgram(*Split), runProgram(*T.P));
+}
+
+TEST(StructSplitter, RejectsNonSplitPlan) {
+  TokenProgram T = buildTokenProgram(10);
+  ir::StructLayout L = abcd();
+  core::SplitPlan Plan;
+  Plan.ObjectName = "s";
+  Plan.OriginalSize = 32;
+  Plan.ClusterOffsets = {{0, 8, 16, 24}};
+  std::string Error;
+  EXPECT_EQ(splitArrayOfStructs(*T.P, T.Token, L, Plan, &Error), nullptr);
+  EXPECT_NE(Error.find("nothing to do"), std::string::npos);
+}
+
+TEST(StructSplitter, RejectsForeignBaseRegister) {
+  // An annotated access whose base is not the annotated allocation.
+  ir::Program P;
+  uint32_t Token = P.makeToken("s");
+  ir::Function &F = P.addFunction("main", 0);
+  ir::ProgramBuilder B(P, F);
+  Reg Bytes = B.constI(320);
+  Reg Base = B.alloc(Bytes, "s", Token);
+  Reg Alias = B.move(Base); // Copies defeat the rewriter.
+  Reg Zero = B.constI(0);
+  B.load(Alias, Zero, 32, 0, 8, Token);
+  B.ret();
+  std::string Error;
+  EXPECT_EQ(splitArrayOfStructs(P, Token, abcd(), acBdPlan(), &Error),
+            nullptr);
+  EXPECT_NE(Error.find("base register"), std::string::npos);
+}
+
+TEST(StructSplitter, RejectsMisalignedScale) {
+  ir::Program P;
+  uint32_t Token = P.makeToken("s");
+  ir::Function &F = P.addFunction("main", 0);
+  ir::ProgramBuilder B(P, F);
+  Reg Bytes = B.constI(320);
+  Reg Base = B.alloc(Bytes, "s", Token);
+  Reg Zero = B.constI(0);
+  B.load(Base, Zero, 24, 0, 8, Token); // 24 is not a multiple of 32.
+  B.ret();
+  std::string Error;
+  EXPECT_EQ(splitArrayOfStructs(P, Token, abcd(), acBdPlan(), &Error),
+            nullptr);
+  EXPECT_NE(Error.find("multiple of the structure size"),
+            std::string::npos);
+}
+
+TEST(StructSplitter, RejectsPaddingAccess) {
+  ir::StructLayout L("s");
+  L.addField("c", 1);
+  L.addField("d", 8);
+  L.finalize(); // Padding at 1..7.
+  ir::Program P;
+  uint32_t Token = P.makeToken("s");
+  ir::Function &F = P.addFunction("main", 0);
+  ir::ProgramBuilder B(P, F);
+  Reg Bytes = B.constI(160);
+  Reg Base = B.alloc(Bytes, "s", Token);
+  Reg Zero = B.constI(0);
+  B.load(Base, Zero, 16, 4, 1, Token); // Hits padding.
+  B.ret();
+  core::SplitPlan Plan;
+  Plan.ObjectName = "s";
+  Plan.OriginalSize = 16;
+  Plan.ClusterOffsets = {{0}, {8}};
+  std::string Error;
+  EXPECT_EQ(splitArrayOfStructs(P, Token, L, Plan, &Error), nullptr);
+  EXPECT_NE(Error.find("padding"), std::string::npos);
+}
+
+TEST(StructSplitter, UnannotatedCodeUntouched) {
+  TokenProgram T = buildTokenProgram(10);
+  // Add a second, unannotated array in the same function.
+  ir::Function &F = *T.P->functions()[0];
+  (void)F;
+  ir::StructLayout L = abcd();
+  std::string Error;
+  auto Split = splitArrayOfStructs(*T.P, T.Token, L, acBdPlan(), &Error);
+  ASSERT_NE(Split, nullptr) << Error;
+  // Function and token tables intact.
+  EXPECT_EQ(Split->getNumFunctions(), T.P->getNumFunctions());
+  EXPECT_EQ(Split->getNumTokens(), T.P->getNumTokens());
+}

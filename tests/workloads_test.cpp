@@ -1,0 +1,296 @@
+//===- tests/workloads_test.cpp - Benchmark model tests --------*- C++ -*-===//
+//
+// Integration checks: every paper workload builds valid IR, runs under
+// the profiler, and yields the qualitative analysis results the paper
+// reports for it (hot object, field mix, affinity clusters).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Advice.h"
+#include "ir/Verifier.h"
+#include "workloads/Driver.h"
+#include "workloads/Registry.h"
+#include "workloads/Synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace structslim;
+using namespace structslim::workloads;
+
+namespace {
+
+DriverConfig testConfig(double Scale = 0.12) {
+  DriverConfig Cfg;
+  Cfg.Scale = Scale;
+  // Denser sampling keeps small-scale runs statistically stable.
+  Cfg.Run.Sampling.Period = 2000;
+  return Cfg;
+}
+
+/// Runs the workload profiled under its original layout and analyzes.
+core::AnalysisResult analyzeOriginal(const Workload &W,
+                                     const DriverConfig &Cfg) {
+  transform::FieldMap Map(W.hotLayout());
+  WorkloadRun Run = runWorkload(W, Map, Cfg, /*Attach=*/true);
+  core::StructSlimAnalyzer Analyzer(*Run.CodeMap, Cfg.Analysis);
+  Analyzer.registerLayout(W.hotObjectName(), W.hotLayout());
+  return Analyzer.analyze(Run.Merged);
+}
+
+/// Names of the fields in the same cluster as \p Field.
+std::set<std::string> clusterOf(const core::ObjectAnalysis &O,
+                                const std::string &Field) {
+  for (const auto &Cluster : O.Clusters) {
+    std::set<std::string> Names;
+    bool Found = false;
+    for (uint32_t Idx : Cluster) {
+      Names.insert(O.Fields[Idx].Name);
+      Found |= O.Fields[Idx].Name == Field;
+    }
+    if (Found)
+      return Names;
+  }
+  return {};
+}
+
+} // namespace
+
+TEST(Workloads, AllBuildValidIr) {
+  for (const auto &W : makePaperWorkloads()) {
+    runtime::RunConfig RunCfg;
+    runtime::ThreadedRuntime RT(RunCfg);
+    transform::FieldMap Map(W->hotLayout());
+    BuiltWorkload Built = W->build(RT.machine(), Map, 0.05);
+    EXPECT_EQ(ir::verify(*Built.Program), "") << W->name();
+    EXPECT_FALSE(Built.Phases.empty()) << W->name();
+  }
+}
+
+TEST(Workloads, SplitLayoutsAlsoBuildValidIr) {
+  for (const auto &W : makePaperWorkloads()) {
+    // A maximal split: every field its own structure.
+    core::SplitPlan Plan;
+    Plan.ObjectName = W->hotObjectName();
+    ir::StructLayout L = W->hotLayout();
+    Plan.OriginalSize = L.getSize();
+    for (const ir::FieldDesc &F : L.fields())
+      Plan.ClusterOffsets.push_back({F.Offset});
+    transform::FieldMap Map(L, Plan);
+    runtime::RunConfig RunCfg;
+    runtime::ThreadedRuntime RT(RunCfg);
+    BuiltWorkload Built = W->build(RT.machine(), Map, 0.05);
+    EXPECT_EQ(ir::verify(*Built.Program), "") << W->name();
+  }
+}
+
+TEST(Workloads, RegistryRoundTrip) {
+  auto All = makePaperWorkloads();
+  EXPECT_EQ(All.size(), 7u);
+  for (const auto &W : All) {
+    auto Again = makeWorkload(W->name());
+    ASSERT_NE(Again, nullptr) << W->name();
+    EXPECT_EQ(Again->name(), W->name());
+    EXPECT_EQ(Again->suite(), W->suite());
+  }
+  EXPECT_EQ(makeWorkload("nope"), nullptr);
+}
+
+TEST(Workloads, ParallelFlagsMatchPaperTable2) {
+  std::map<std::string, bool> Expected = {
+      {"179.ART", false},  {"462.libquantum", false}, {"TSP", false},
+      {"Mser", false},     {"CLOMP 1.2", true},       {"Health", true},
+      {"NN", true},
+  };
+  for (const auto &W : makePaperWorkloads()) {
+    EXPECT_EQ(W->isParallel(), Expected[W->name()]) << W->name();
+    EXPECT_EQ(W->numThreads(), W->isParallel() ? 4u : 1u);
+  }
+}
+
+TEST(Workloads, ArtAnalysisMatchesPaperSection61) {
+  auto W = makeArt();
+  core::AnalysisResult R = analyzeOriginal(*W, testConfig(0.3));
+  const core::ObjectAnalysis *Hot = R.findObject("f1_neuron");
+  ASSERT_NE(Hot, nullptr);
+  // f1_neuron dominates total latency (paper: 80.4%).
+  EXPECT_GT(Hot->HotShare, 0.5);
+  EXPECT_EQ(Hot->StructSize, 64u);
+  // P is the hottest field (paper: 73.3%).
+  const core::FieldStat *P = nullptr;
+  for (const core::FieldStat &F : Hot->Fields)
+    if (F.Name == "P")
+      P = &F;
+  ASSERT_NE(P, nullptr);
+  EXPECT_GT(P->LatencyShare, 0.5);
+  // R is never observed (paper: 0%).
+  for (const core::FieldStat &F : Hot->Fields)
+    EXPECT_NE(F.Name, "R");
+  // The Fig. 7 clusters: {I,U}, {X,Q}, P alone.
+  EXPECT_EQ(clusterOf(*Hot, "U"), (std::set<std::string>{"I", "U"}));
+  EXPECT_EQ(clusterOf(*Hot, "X"), (std::set<std::string>{"X", "Q"}));
+  EXPECT_EQ(clusterOf(*Hot, "P"), (std::set<std::string>{"P"}));
+  // The hottest loop is the P-only loop at lines 615-616 (~56%).
+  ASSERT_FALSE(Hot->Loops.empty());
+  EXPECT_EQ(Hot->Loops[0].LoopName, "615-616");
+  EXPECT_GT(Hot->Loops[0].LatencyShare, 0.4);
+}
+
+TEST(Workloads, LibquantumStateDominatesAndSplitsFromAmplitude) {
+  auto W = makeLibquantum();
+  core::AnalysisResult R = analyzeOriginal(*W, testConfig(0.2));
+  const core::ObjectAnalysis *Hot = R.findObject("quantum_reg_node_struct");
+  ASSERT_NE(Hot, nullptr);
+  EXPECT_GT(Hot->HotShare, 0.9); // Paper: 99.9%.
+  EXPECT_EQ(Hot->StructSize, 16u);
+  const core::FieldStat *State = nullptr;
+  for (const core::FieldStat &F : Hot->Fields)
+    if (F.Name == "state")
+      State = &F;
+  ASSERT_NE(State, nullptr);
+  EXPECT_GT(State->LatencyShare, 0.95); // Paper: ~100%.
+  // amplitude never clusters with state.
+  EXPECT_EQ(clusterOf(*Hot, "state"), (std::set<std::string>{"state"}));
+}
+
+TEST(Workloads, TspClustersMatchFig9) {
+  auto W = makeTsp();
+  core::AnalysisResult R = analyzeOriginal(*W, testConfig(0.3));
+  const core::ObjectAnalysis *Hot = R.findObject("tree");
+  ASSERT_NE(Hot, nullptr);
+  EXPECT_EQ(Hot->StructSize, 56u); // Non-power-of-two stride.
+  EXPECT_EQ(clusterOf(*Hot, "next"),
+            (std::set<std::string>{"x", "y", "next"}));
+  EXPECT_EQ(clusterOf(*Hot, "sz"),
+            (std::set<std::string>{"sz", "left", "right", "prev"}));
+}
+
+TEST(Workloads, MserParentSplitsAlone) {
+  auto W = makeMser();
+  core::AnalysisResult R = analyzeOriginal(*W, testConfig(0.3));
+  const core::ObjectAnalysis *Hot = R.findObject("node_t");
+  ASSERT_NE(Hot, nullptr);
+  EXPECT_EQ(Hot->StructSize, 16u); // Paper: stride 16.
+  EXPECT_EQ(clusterOf(*Hot, "parent"), (std::set<std::string>{"parent"}));
+  // node_t is significant but not dominant (paper: 21.2%).
+  EXPECT_GT(Hot->HotShare, 0.05);
+  EXPECT_LT(Hot->HotShare, 0.6);
+}
+
+TEST(Workloads, ClompValueNextZoneAffinityOne) {
+  auto W = makeClomp();
+  core::AnalysisResult R = analyzeOriginal(*W, testConfig(0.15));
+  const core::ObjectAnalysis *Hot = R.findObject("_Zone");
+  ASSERT_NE(Hot, nullptr);
+  EXPECT_GT(Hot->HotShare, 0.6); // Paper: 89.1%.
+  EXPECT_EQ(Hot->StructSize, 32u);
+  EXPECT_EQ(clusterOf(*Hot, "value"),
+            (std::set<std::string>{"value", "nextZone"}));
+  // zoneId/partId never cluster with the hot pair (affinity 0).
+  auto Header = clusterOf(*Hot, "zoneId");
+  EXPECT_EQ(Header.count("value"), 0u);
+}
+
+TEST(Workloads, HealthForwardSplitsOut) {
+  auto W = makeHealth();
+  core::AnalysisResult R = analyzeOriginal(*W, testConfig(0.15));
+  const core::ObjectAnalysis *Hot = R.findObject("Patient");
+  ASSERT_NE(Hot, nullptr);
+  EXPECT_GT(Hot->HotShare, 0.8); // Paper: 95.2%.
+  EXPECT_EQ(clusterOf(*Hot, "forward"), (std::set<std::string>{"forward"}));
+  const core::FieldStat *Fwd = nullptr;
+  for (const core::FieldStat &F : Hot->Fields)
+    if (F.Name == "forward")
+      Fwd = &F;
+  ASSERT_NE(Fwd, nullptr);
+  EXPECT_GT(Fwd->LatencyShare, 0.8);
+}
+
+TEST(Workloads, NnDistSplitsFromEntry) {
+  auto W = makeNn();
+  core::AnalysisResult R = analyzeOriginal(*W, testConfig(0.2));
+  const core::ObjectAnalysis *Hot = R.findObject("neighbor");
+  ASSERT_NE(Hot, nullptr);
+  EXPECT_GT(Hot->HotShare, 0.9); // Paper: ~100%.
+  const core::FieldStat *Dist = nullptr;
+  for (const core::FieldStat &F : Hot->Fields)
+    if (F.Name == "dist")
+      Dist = &F;
+  ASSERT_NE(Dist, nullptr);
+  EXPECT_GT(Dist->LatencyShare, 0.9); // Paper: 99.1%.
+  EXPECT_EQ(clusterOf(*Hot, "dist"), (std::set<std::string>{"dist"}));
+}
+
+TEST(Workloads, PerThreadProfilesAreMergedForParallel) {
+  auto W = makeClomp();
+  DriverConfig Cfg = testConfig(0.1);
+  transform::FieldMap Map(W->hotLayout());
+  WorkloadRun Run = runWorkload(*W, Map, Cfg, /*Attach=*/true);
+  // Four workers + one setup thread.
+  EXPECT_EQ(Run.Merged.TotalSamples, Run.Result.Samples);
+  EXPECT_GT(Run.Result.Samples, 0u);
+}
+
+TEST(Workloads, ExtraCaseStudiesBuildAndAnalyze) {
+  for (const auto &W : makeExtraWorkloads()) {
+    core::AnalysisResult R = analyzeOriginal(*W, testConfig(0.15));
+    const core::ObjectAnalysis *Hot = R.findObject(W->hotObjectName());
+    ASSERT_NE(Hot, nullptr) << W->name();
+    EXPECT_EQ(Hot->StructSize, W->hotLayout().getSize()) << W->name();
+  }
+}
+
+TEST(Workloads, McfCostIdentCluster) {
+  auto W = makeMcf();
+  core::AnalysisResult R = analyzeOriginal(*W, testConfig(0.3));
+  const core::ObjectAnalysis *Hot = R.findObject("arc");
+  ASSERT_NE(Hot, nullptr);
+  // The price-out pair clusters; the pointer fields do not join it.
+  auto CostCluster = clusterOf(*Hot, "cost");
+  EXPECT_EQ(CostCluster.count("ident"), 1u);
+  EXPECT_EQ(CostCluster.count("nextout"), 0u);
+}
+
+TEST(Workloads, StreamclusterCoordinatesCluster) {
+  auto W = makeStreamcluster();
+  core::AnalysisResult R = analyzeOriginal(*W, testConfig(0.3));
+  const core::ObjectAnalysis *Hot = R.findObject("point");
+  ASSERT_NE(Hot, nullptr);
+  EXPECT_EQ(clusterOf(*Hot, "x"), (std::set<std::string>{"x", "y", "z"}));
+  auto WeightCluster = clusterOf(*Hot, "weight");
+  EXPECT_EQ(WeightCluster.count("x"), 0u);
+}
+
+TEST(Workloads, RegistryFindsExtras) {
+  EXPECT_NE(makeWorkload("429.mcf"), nullptr);
+  EXPECT_NE(makeWorkload("streamcluster"), nullptr);
+}
+
+TEST(Workloads, SyntheticSuitesBuildAndRun) {
+  for (const auto &Suites : {rodiniaSuite(), specCpu2006Suite()}) {
+    EXPECT_GE(Suites.size(), 12u);
+    for (const SyntheticSpec &Spec : Suites) {
+      BuiltWorkload Built = buildSynthetic(Spec, 0.02);
+      ASSERT_EQ(ir::verify(*Built.Program), "") << Spec.Name;
+      runtime::RunConfig RunCfg;
+      RunCfg.AttachProfiler = false;
+      runtime::ThreadedRuntime RT(RunCfg);
+      RT.runPhase(*Built.Program, nullptr, Built.Phases.front());
+      runtime::RunResult R = RT.finish();
+      EXPECT_GT(R.MemoryAccesses, 0u) << Spec.Name;
+    }
+  }
+}
+
+TEST(Workloads, ScaleControlsWorkingSet) {
+  auto W = makeArt();
+  transform::FieldMap Map(W->hotLayout());
+  DriverConfig Small = testConfig(0.05);
+  DriverConfig Large = testConfig(0.2);
+  auto RunSmall = runWorkload(*W, Map, Small, false);
+  auto RunLarge = runWorkload(*W, Map, Large, false);
+  EXPECT_GT(RunLarge.Result.MemoryAccesses,
+            2 * RunSmall.Result.MemoryAccesses);
+}

@@ -1,0 +1,158 @@
+//===- tools/structslim-report.cpp - Offline analyzer CLI ------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+//
+// The offline analyzer as a command-line tool (the paper's Sec. 5.2
+// component): reads the per-thread profile files the online profiler
+// wrote, merges them with the reduction tree, and prints the hot-data
+// ranking, per-object field/loop decompositions, affinity matrices and
+// splitting advice. Optionally emits the affinity graph as Graphviz
+// dot and the array-regrouping extension's advice.
+//
+// Usage:
+//   structslim-report [options] <profile files...>
+//     --top=N          analyze the N hottest objects (default 3)
+//     --threshold=T    affinity clustering threshold (default 0.5)
+//     --dot=<object>   print the object's affinity graph as dot
+//     --regroup        also print array-regrouping advice
+//     --jobs=N         merge worker threads (default 4)
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Advice.h"
+#include "core/Regrouping.h"
+#include "core/Report.h"
+#include "profile/MergeTree.h"
+#include "profile/ProfileIO.h"
+#include "support/Format.h"
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace structslim;
+
+namespace {
+
+struct Options {
+  core::AnalysisConfig Analysis;
+  std::string DotObject;
+  bool Regroup = false;
+  bool Contexts = false;
+  unsigned Jobs = 4;
+  std::vector<std::string> Files;
+};
+
+int usage() {
+  std::cerr << "usage: structslim-report [--top=N] [--threshold=T] "
+               "[--dot=<object>] [--regroup] [--contexts] [--jobs=N] "
+               "<profile files...>\n";
+  return 2;
+}
+
+bool parseArgs(int argc, char **argv, Options &Opts) {
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--top=", 0) == 0)
+      Opts.Analysis.TopObjects =
+          static_cast<unsigned>(std::stoul(Arg.substr(6)));
+    else if (Arg.rfind("--threshold=", 0) == 0)
+      Opts.Analysis.AffinityThreshold = std::stod(Arg.substr(12));
+    else if (Arg.rfind("--dot=", 0) == 0)
+      Opts.DotObject = Arg.substr(6);
+    else if (Arg == "--regroup")
+      Opts.Regroup = true;
+    else if (Arg == "--contexts")
+      Opts.Contexts = true;
+    else if (Arg.rfind("--jobs=", 0) == 0)
+      Opts.Jobs = static_cast<unsigned>(std::stoul(Arg.substr(7)));
+    else if (Arg.rfind("--", 0) == 0)
+      return false;
+    else
+      Opts.Files.push_back(Arg);
+  }
+  return !Opts.Files.empty();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options Opts;
+  if (!parseArgs(argc, argv, Opts))
+    return usage();
+
+  std::vector<profile::Profile> Profiles;
+  for (const std::string &Name : Opts.Files) {
+    std::ifstream In(Name);
+    if (!In) {
+      std::cerr << "error: cannot open '" << Name << "'\n";
+      return 1;
+    }
+    std::string Error;
+    auto P = profile::readProfile(In, &Error);
+    if (!P) {
+      std::cerr << "error: " << Name << ": " << Error << "\n";
+      return 1;
+    }
+    Profiles.push_back(std::move(*P));
+  }
+  std::cout << "merged " << Profiles.size() << " profile(s)\n";
+  profile::Profile Merged =
+      profile::mergeProfiles(std::move(Profiles), Opts.Jobs);
+  std::cout << "samples: " << Merged.TotalSamples
+            << "  total sampled latency: " << Merged.TotalLatency
+            << "  period: 1/" << Merged.SamplePeriod << "\n\n";
+
+  core::StructSlimAnalyzer Analyzer(Opts.Analysis);
+  core::AnalysisResult Result = Analyzer.analyze(Merged);
+
+  if (!Opts.DotObject.empty()) {
+    const core::ObjectAnalysis *Hot = Result.findObject(Opts.DotObject);
+    if (!Hot) {
+      std::cerr << "error: object '" << Opts.DotObject
+                << "' is not among the analyzed hot objects\n";
+      return 1;
+    }
+    std::cout << core::affinityGraphDot(*Hot);
+    return 0;
+  }
+
+  std::cout << "=== Hot data objects (l_d) ===\n"
+            << core::renderHotObjects(Result) << "\n";
+  for (const core::ObjectAnalysis &Hot : Result.Objects) {
+    std::cout << "=== " << Hot.Name << " ===\n";
+    std::cout << core::renderFieldTable(Hot) << "\n"
+              << core::renderFieldLevelTable(Hot) << "\n"
+              << core::renderLoopTable(Hot) << "\n"
+              << core::renderAffinityMatrix(Hot) << "\n";
+    core::SplitPlan Plan = core::makeSplitPlan(Hot);
+    std::cout << core::renderAdviceText(Plan, Hot) << "\n";
+  }
+
+  if (Opts.Contexts) {
+    std::cout << "=== Hottest sampled calling contexts ===\n"
+              << core::renderHotContexts(Merged, nullptr) << "\n";
+  }
+
+  if (Opts.Regroup) {
+    std::cout << "=== Array-regrouping advice (extension) ===\n";
+    core::RegroupAdvice Advice =
+        core::adviseRegrouping(Merged, Opts.Analysis);
+    if (Advice.Groups.empty()) {
+      std::cout << "no profitable regrouping found\n";
+    } else {
+      for (const auto &Group : Advice.Groups) {
+        std::cout << "regroup { " << join(Group.Arrays, ", ")
+                  << " } into one array of structures (latency "
+                  << Group.LatencySum << ", strides:";
+        for (uint64_t S : Group.Strides)
+          std::cout << " " << S;
+        std::cout << ")\n";
+      }
+    }
+  }
+  return 0;
+}

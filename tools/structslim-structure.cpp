@@ -1,0 +1,138 @@
+//===- tools/structslim-structure.cpp - hpcstruct analogue -----*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+//
+// The program-structure dumper — the role hpcstruct plays for
+// StructSlim's code-centric attribution (paper Sec. 5.1): recovers and
+// prints each function's loop-nesting forest (Havlak interval
+// analysis) with header blocks, nesting depth, source-line ranges and
+// instruction counts, plus the data-object tokens the program declares.
+//
+// Usage:
+//   structslim-structure <workload>     one of the Table 2 benchmarks
+//   structslim-structure --list         list known workloads
+//   structslim-structure --demo         the built-in Fig. 1 program
+//   add --ir to also dump the full instruction listing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CodeMap.h"
+#include "analysis/LoopNest.h"
+#include "ir/ProgramBuilder.h"
+#include "runtime/ThreadedRuntime.h"
+#include "support/TablePrinter.h"
+#include "workloads/Registry.h"
+
+#include <iostream>
+
+using namespace structslim;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: structslim-structure [--ir] "
+               "(<workload>|--demo|--list)\n";
+  return 2;
+}
+
+std::unique_ptr<ir::Program> buildDemo() {
+  auto P = std::make_unique<ir::Program>();
+  ir::Function &F = P->addFunction("main", 0);
+  ir::ProgramBuilder B(*P, F);
+  ir::Reg Bytes = B.constI(1024);
+  ir::Reg Arr = B.alloc(Bytes, "Arr", P->makeToken("Arr"));
+  B.setLine(2);
+  B.forLoopI(0, 8, 1, [&](ir::Reg I) {
+    B.setLine(3);
+    B.forLoopI(0, 4, 1, [&](ir::Reg J) {
+      B.setLine(4);
+      B.store(J, Arr, I, 32, 0, 8);
+      B.setLine(3);
+    });
+    B.setLine(2);
+  });
+  B.ret();
+  return P;
+}
+
+void dumpStructure(const ir::Program &P, bool DumpIr) {
+  for (const auto &F : P.functions()) {
+    size_t Instrs = 0;
+    for (const auto &BB : F->Blocks)
+      Instrs += BB->Instrs.size();
+    std::cout << "function @" << F->Name << "  blocks=" << F->Blocks.size()
+              << "  instructions=" << Instrs << "\n";
+
+    analysis::LoopNest Nest(*F);
+    if (Nest.loops().empty()) {
+      std::cout << "  (no loops)\n";
+      continue;
+    }
+    TablePrinter Table;
+    Table.setHeader({"Loop", "Lines", "Header bb", "Depth", "Parent",
+                     "Blocks", "Kind"});
+    for (const analysis::Loop &L : Nest.loops())
+      Table.addRow({"L" + std::to_string(L.Id), L.name(),
+                    "bb" + std::to_string(L.Header),
+                    std::to_string(L.Depth),
+                    L.Parent < 0 ? "-" : "L" + std::to_string(L.Parent),
+                    std::to_string(L.Blocks.size()),
+                    L.Irreducible ? "irreducible" : "natural"});
+    Table.print(std::cout);
+  }
+
+  if (P.getNumTokens() > 1) {
+    std::cout << "data-object tokens:";
+    for (uint32_t T = 1; T < P.getNumTokens(); ++T)
+      std::cout << " " << P.getTokenName(T);
+    std::cout << "\n";
+  }
+  if (DumpIr)
+    std::cout << "\n" << P.toString();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool DumpIr = false;
+  std::string Target;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--ir")
+      DumpIr = true;
+    else if (Target.empty())
+      Target = Arg;
+    else
+      return usage();
+  }
+  if (Target.empty())
+    return usage();
+
+  if (Target == "--list") {
+    for (const auto &W : workloads::makePaperWorkloads())
+      std::cout << W->name() << "  (" << W->suite() << ")\n";
+    return 0;
+  }
+
+  if (Target == "--demo") {
+    dumpStructure(*buildDemo(), DumpIr);
+    return 0;
+  }
+
+  auto W = workloads::makeWorkload(Target);
+  if (!W) {
+    std::cerr << "error: unknown workload '" << Target
+              << "' (try --list)\n";
+    return 1;
+  }
+  runtime::RunConfig Cfg;
+  runtime::ThreadedRuntime RT(Cfg); // Supplies the Machine for statics.
+  transform::FieldMap Map(W->hotLayout());
+  workloads::BuiltWorkload Built = W->build(RT.machine(), Map, 0.05);
+  std::cout << "workload " << W->name() << " (" << W->suite() << "), hot "
+            << "structure " << W->hotLayout().toString() << "\n\n";
+  dumpStructure(*Built.Program, DumpIr);
+  return 0;
+}
