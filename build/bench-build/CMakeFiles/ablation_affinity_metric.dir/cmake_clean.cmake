@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_affinity_metric"
+  "../bench/ablation_affinity_metric.pdb"
+  "CMakeFiles/ablation_affinity_metric.dir/ablation_affinity_metric.cpp.o"
+  "CMakeFiles/ablation_affinity_metric.dir/ablation_affinity_metric.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_affinity_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

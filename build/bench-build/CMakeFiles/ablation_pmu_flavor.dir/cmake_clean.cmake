@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_pmu_flavor"
+  "../bench/ablation_pmu_flavor.pdb"
+  "CMakeFiles/ablation_pmu_flavor.dir/ablation_pmu_flavor.cpp.o"
+  "CMakeFiles/ablation_pmu_flavor.dir/ablation_pmu_flavor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pmu_flavor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

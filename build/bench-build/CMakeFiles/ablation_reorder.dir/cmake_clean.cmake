@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_reorder"
+  "../bench/ablation_reorder.pdb"
+  "CMakeFiles/ablation_reorder.dir/ablation_reorder.cpp.o"
+  "CMakeFiles/ablation_reorder.dir/ablation_reorder.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

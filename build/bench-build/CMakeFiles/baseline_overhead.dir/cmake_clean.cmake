@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_overhead"
+  "../bench/baseline_overhead.pdb"
+  "CMakeFiles/baseline_overhead.dir/baseline_overhead.cpp.o"
+  "CMakeFiles/baseline_overhead.dir/baseline_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

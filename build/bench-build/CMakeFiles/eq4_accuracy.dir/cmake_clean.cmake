@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/eq4_accuracy"
+  "../bench/eq4_accuracy.pdb"
+  "CMakeFiles/eq4_accuracy.dir/eq4_accuracy.cpp.o"
+  "CMakeFiles/eq4_accuracy.dir/eq4_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eq4_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_benefit_model"
+  "../bench/ext_benefit_model.pdb"
+  "CMakeFiles/ext_benefit_model.dir/ext_benefit_model.cpp.o"
+  "CMakeFiles/ext_benefit_model.dir/ext_benefit_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_benefit_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

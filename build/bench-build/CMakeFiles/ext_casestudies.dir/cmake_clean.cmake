@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_casestudies"
+  "../bench/ext_casestudies.pdb"
+  "CMakeFiles/ext_casestudies.dir/ext_casestudies.cpp.o"
+  "CMakeFiles/ext_casestudies.dir/ext_casestudies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_casestudies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

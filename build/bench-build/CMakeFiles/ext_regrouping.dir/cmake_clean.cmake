@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_regrouping"
+  "../bench/ext_regrouping.pdb"
+  "CMakeFiles/ext_regrouping.dir/ext_regrouping.cpp.o"
+  "CMakeFiles/ext_regrouping.dir/ext_regrouping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_regrouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_thread_scaling"
+  "../bench/ext_thread_scaling.pdb"
+  "CMakeFiles/ext_thread_scaling.dir/ext_thread_scaling.cpp.o"
+  "CMakeFiles/ext_thread_scaling.dir/ext_thread_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_thread_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

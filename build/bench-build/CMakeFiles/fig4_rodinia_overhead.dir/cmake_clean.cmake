@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_rodinia_overhead"
+  "../bench/fig4_rodinia_overhead.pdb"
+  "CMakeFiles/fig4_rodinia_overhead.dir/fig4_rodinia_overhead.cpp.o"
+  "CMakeFiles/fig4_rodinia_overhead.dir/fig4_rodinia_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_rodinia_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

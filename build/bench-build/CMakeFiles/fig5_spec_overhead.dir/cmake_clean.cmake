@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_spec_overhead"
+  "../bench/fig5_spec_overhead.pdb"
+  "CMakeFiles/fig5_spec_overhead.dir/fig5_spec_overhead.cpp.o"
+  "CMakeFiles/fig5_spec_overhead.dir/fig5_spec_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_spec_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_affinity_graph"
+  "../bench/fig6_affinity_graph.pdb"
+  "CMakeFiles/fig6_affinity_graph.dir/fig6_affinity_graph.cpp.o"
+  "CMakeFiles/fig6_affinity_graph.dir/fig6_affinity_graph.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_affinity_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

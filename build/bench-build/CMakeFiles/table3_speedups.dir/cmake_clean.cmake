@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_speedups"
+  "../bench/table3_speedups.pdb"
+  "CMakeFiles/table3_speedups.dir/table3_speedups.cpp.o"
+  "CMakeFiles/table3_speedups.dir/table3_speedups.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_cachemiss"
+  "../bench/table4_cachemiss.pdb"
+  "CMakeFiles/table4_cachemiss.dir/table4_cachemiss.cpp.o"
+  "CMakeFiles/table4_cachemiss.dir/table4_cachemiss.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_cachemiss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

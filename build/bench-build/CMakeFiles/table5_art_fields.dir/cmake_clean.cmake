@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_art_fields"
+  "../bench/table5_art_fields.pdb"
+  "CMakeFiles/table5_art_fields.dir/table5_art_fields.cpp.o"
+  "CMakeFiles/table5_art_fields.dir/table5_art_fields.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_art_fields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

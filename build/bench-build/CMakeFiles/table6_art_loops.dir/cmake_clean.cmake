@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_art_loops"
+  "../bench/table6_art_loops.pdb"
+  "CMakeFiles/table6_art_loops.dir/table6_art_loops.cpp.o"
+  "CMakeFiles/table6_art_loops.dir/table6_art_loops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_art_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

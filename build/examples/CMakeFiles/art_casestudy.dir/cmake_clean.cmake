@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/art_casestudy.dir/art_casestudy.cpp.o"
+  "CMakeFiles/art_casestudy.dir/art_casestudy.cpp.o.d"
+  "art_casestudy"
+  "art_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/art_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

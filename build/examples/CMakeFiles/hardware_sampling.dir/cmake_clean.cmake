@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_sampling.dir/hardware_sampling.cpp.o"
+  "CMakeFiles/hardware_sampling.dir/hardware_sampling.cpp.o.d"
+  "hardware_sampling"
+  "hardware_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

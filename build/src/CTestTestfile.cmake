@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("analysis")
+subdirs("mem")
+subdirs("cache")
+subdirs("pmu")
+subdirs("profile")
+subdirs("runtime")
+subdirs("core")
+subdirs("transform")
+subdirs("baseline")
+subdirs("workloads")

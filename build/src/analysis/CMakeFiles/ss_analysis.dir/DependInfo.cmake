@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CodeMap.cpp" "src/analysis/CMakeFiles/ss_analysis.dir/CodeMap.cpp.o" "gcc" "src/analysis/CMakeFiles/ss_analysis.dir/CodeMap.cpp.o.d"
+  "/root/repo/src/analysis/Dominators.cpp" "src/analysis/CMakeFiles/ss_analysis.dir/Dominators.cpp.o" "gcc" "src/analysis/CMakeFiles/ss_analysis.dir/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/LoopNest.cpp" "src/analysis/CMakeFiles/ss_analysis.dir/LoopNest.cpp.o" "gcc" "src/analysis/CMakeFiles/ss_analysis.dir/LoopNest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ss_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

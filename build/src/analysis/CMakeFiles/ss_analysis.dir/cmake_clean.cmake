@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_analysis.dir/CodeMap.cpp.o"
+  "CMakeFiles/ss_analysis.dir/CodeMap.cpp.o.d"
+  "CMakeFiles/ss_analysis.dir/Dominators.cpp.o"
+  "CMakeFiles/ss_analysis.dir/Dominators.cpp.o.d"
+  "CMakeFiles/ss_analysis.dir/LoopNest.cpp.o"
+  "CMakeFiles/ss_analysis.dir/LoopNest.cpp.o.d"
+  "libss_analysis.a"
+  "libss_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_baseline.dir/AslopCounting.cpp.o"
+  "CMakeFiles/ss_baseline.dir/AslopCounting.cpp.o.d"
+  "CMakeFiles/ss_baseline.dir/BurstySampling.cpp.o"
+  "CMakeFiles/ss_baseline.dir/BurstySampling.cpp.o.d"
+  "CMakeFiles/ss_baseline.dir/FullTraceAffinity.cpp.o"
+  "CMakeFiles/ss_baseline.dir/FullTraceAffinity.cpp.o.d"
+  "CMakeFiles/ss_baseline.dir/ReuseDistance.cpp.o"
+  "CMakeFiles/ss_baseline.dir/ReuseDistance.cpp.o.d"
+  "libss_baseline.a"
+  "libss_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

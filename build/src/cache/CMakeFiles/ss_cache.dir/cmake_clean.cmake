@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_cache.dir/Cache.cpp.o"
+  "CMakeFiles/ss_cache.dir/Cache.cpp.o.d"
+  "CMakeFiles/ss_cache.dir/Hierarchy.cpp.o"
+  "CMakeFiles/ss_cache.dir/Hierarchy.cpp.o.d"
+  "CMakeFiles/ss_cache.dir/Tlb.cpp.o"
+  "CMakeFiles/ss_cache.dir/Tlb.cpp.o.d"
+  "libss_cache.a"
+  "libss_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

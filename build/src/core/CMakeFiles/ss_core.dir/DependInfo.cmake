@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/AccuracyModel.cpp" "src/core/CMakeFiles/ss_core.dir/AccuracyModel.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/AccuracyModel.cpp.o.d"
+  "/root/repo/src/core/Advice.cpp" "src/core/CMakeFiles/ss_core.dir/Advice.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/Advice.cpp.o.d"
+  "/root/repo/src/core/Analyzer.cpp" "src/core/CMakeFiles/ss_core.dir/Analyzer.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/Analyzer.cpp.o.d"
+  "/root/repo/src/core/BenefitModel.cpp" "src/core/CMakeFiles/ss_core.dir/BenefitModel.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/BenefitModel.cpp.o.d"
+  "/root/repo/src/core/Regrouping.cpp" "src/core/CMakeFiles/ss_core.dir/Regrouping.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/Regrouping.cpp.o.d"
+  "/root/repo/src/core/Report.cpp" "src/core/CMakeFiles/ss_core.dir/Report.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/Report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profile/CMakeFiles/ss_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ss_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ss_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_core.dir/AccuracyModel.cpp.o"
+  "CMakeFiles/ss_core.dir/AccuracyModel.cpp.o.d"
+  "CMakeFiles/ss_core.dir/Advice.cpp.o"
+  "CMakeFiles/ss_core.dir/Advice.cpp.o.d"
+  "CMakeFiles/ss_core.dir/Analyzer.cpp.o"
+  "CMakeFiles/ss_core.dir/Analyzer.cpp.o.d"
+  "CMakeFiles/ss_core.dir/BenefitModel.cpp.o"
+  "CMakeFiles/ss_core.dir/BenefitModel.cpp.o.d"
+  "CMakeFiles/ss_core.dir/Regrouping.cpp.o"
+  "CMakeFiles/ss_core.dir/Regrouping.cpp.o.d"
+  "CMakeFiles/ss_core.dir/Report.cpp.o"
+  "CMakeFiles/ss_core.dir/Report.cpp.o.d"
+  "libss_core.a"
+  "libss_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_ir.dir/Program.cpp.o"
+  "CMakeFiles/ss_ir.dir/Program.cpp.o.d"
+  "CMakeFiles/ss_ir.dir/ProgramBuilder.cpp.o"
+  "CMakeFiles/ss_ir.dir/ProgramBuilder.cpp.o.d"
+  "CMakeFiles/ss_ir.dir/StructLayout.cpp.o"
+  "CMakeFiles/ss_ir.dir/StructLayout.cpp.o.d"
+  "CMakeFiles/ss_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/ss_ir.dir/Verifier.cpp.o.d"
+  "libss_ir.a"
+  "libss_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_mem.dir/DataObjectTable.cpp.o"
+  "CMakeFiles/ss_mem.dir/DataObjectTable.cpp.o.d"
+  "CMakeFiles/ss_mem.dir/SimMemory.cpp.o"
+  "CMakeFiles/ss_mem.dir/SimMemory.cpp.o.d"
+  "CMakeFiles/ss_mem.dir/TrackingAllocator.cpp.o"
+  "CMakeFiles/ss_mem.dir/TrackingAllocator.cpp.o.d"
+  "libss_mem.a"
+  "libss_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmu/AddressSampling.cpp" "src/pmu/CMakeFiles/ss_pmu.dir/AddressSampling.cpp.o" "gcc" "src/pmu/CMakeFiles/ss_pmu.dir/AddressSampling.cpp.o.d"
+  "/root/repo/src/pmu/PerfEventBackend.cpp" "src/pmu/CMakeFiles/ss_pmu.dir/PerfEventBackend.cpp.o" "gcc" "src/pmu/CMakeFiles/ss_pmu.dir/PerfEventBackend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/ss_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

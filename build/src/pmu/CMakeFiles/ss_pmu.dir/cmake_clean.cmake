@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_pmu.dir/AddressSampling.cpp.o"
+  "CMakeFiles/ss_pmu.dir/AddressSampling.cpp.o.d"
+  "CMakeFiles/ss_pmu.dir/PerfEventBackend.cpp.o"
+  "CMakeFiles/ss_pmu.dir/PerfEventBackend.cpp.o.d"
+  "libss_pmu.a"
+  "libss_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/Cct.cpp" "src/profile/CMakeFiles/ss_profile.dir/Cct.cpp.o" "gcc" "src/profile/CMakeFiles/ss_profile.dir/Cct.cpp.o.d"
+  "/root/repo/src/profile/MergeTree.cpp" "src/profile/CMakeFiles/ss_profile.dir/MergeTree.cpp.o" "gcc" "src/profile/CMakeFiles/ss_profile.dir/MergeTree.cpp.o.d"
+  "/root/repo/src/profile/Profile.cpp" "src/profile/CMakeFiles/ss_profile.dir/Profile.cpp.o" "gcc" "src/profile/CMakeFiles/ss_profile.dir/Profile.cpp.o.d"
+  "/root/repo/src/profile/ProfileIO.cpp" "src/profile/CMakeFiles/ss_profile.dir/ProfileIO.cpp.o" "gcc" "src/profile/CMakeFiles/ss_profile.dir/ProfileIO.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

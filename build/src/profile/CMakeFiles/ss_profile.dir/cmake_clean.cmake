@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_profile.dir/Cct.cpp.o"
+  "CMakeFiles/ss_profile.dir/Cct.cpp.o.d"
+  "CMakeFiles/ss_profile.dir/MergeTree.cpp.o"
+  "CMakeFiles/ss_profile.dir/MergeTree.cpp.o.d"
+  "CMakeFiles/ss_profile.dir/Profile.cpp.o"
+  "CMakeFiles/ss_profile.dir/Profile.cpp.o.d"
+  "CMakeFiles/ss_profile.dir/ProfileIO.cpp.o"
+  "CMakeFiles/ss_profile.dir/ProfileIO.cpp.o.d"
+  "libss_profile.a"
+  "libss_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/Interpreter.cpp" "src/runtime/CMakeFiles/ss_runtime.dir/Interpreter.cpp.o" "gcc" "src/runtime/CMakeFiles/ss_runtime.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/runtime/ProfileBuilder.cpp" "src/runtime/CMakeFiles/ss_runtime.dir/ProfileBuilder.cpp.o" "gcc" "src/runtime/CMakeFiles/ss_runtime.dir/ProfileBuilder.cpp.o.d"
+  "/root/repo/src/runtime/ThreadedRuntime.cpp" "src/runtime/CMakeFiles/ss_runtime.dir/ThreadedRuntime.cpp.o" "gcc" "src/runtime/CMakeFiles/ss_runtime.dir/ThreadedRuntime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ss_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ss_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ss_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ss_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/ss_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/ss_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

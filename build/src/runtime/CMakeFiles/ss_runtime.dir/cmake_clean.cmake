@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_runtime.dir/Interpreter.cpp.o"
+  "CMakeFiles/ss_runtime.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/ss_runtime.dir/ProfileBuilder.cpp.o"
+  "CMakeFiles/ss_runtime.dir/ProfileBuilder.cpp.o.d"
+  "CMakeFiles/ss_runtime.dir/ThreadedRuntime.cpp.o"
+  "CMakeFiles/ss_runtime.dir/ThreadedRuntime.cpp.o.d"
+  "libss_runtime.a"
+  "libss_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_support.dir/DotWriter.cpp.o"
+  "CMakeFiles/ss_support.dir/DotWriter.cpp.o.d"
+  "CMakeFiles/ss_support.dir/Error.cpp.o"
+  "CMakeFiles/ss_support.dir/Error.cpp.o.d"
+  "CMakeFiles/ss_support.dir/Format.cpp.o"
+  "CMakeFiles/ss_support.dir/Format.cpp.o.d"
+  "CMakeFiles/ss_support.dir/MathUtil.cpp.o"
+  "CMakeFiles/ss_support.dir/MathUtil.cpp.o.d"
+  "CMakeFiles/ss_support.dir/Stats.cpp.o"
+  "CMakeFiles/ss_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/ss_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/ss_support.dir/TablePrinter.cpp.o.d"
+  "libss_support.a"
+  "libss_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_transform.dir/FieldMap.cpp.o"
+  "CMakeFiles/ss_transform.dir/FieldMap.cpp.o.d"
+  "CMakeFiles/ss_transform.dir/StructSplitter.cpp.o"
+  "CMakeFiles/ss_transform.dir/StructSplitter.cpp.o.d"
+  "libss_transform.a"
+  "libss_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Art.cpp" "src/workloads/CMakeFiles/ss_workloads.dir/Art.cpp.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/Art.cpp.o.d"
+  "/root/repo/src/workloads/Clomp.cpp" "src/workloads/CMakeFiles/ss_workloads.dir/Clomp.cpp.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/Clomp.cpp.o.d"
+  "/root/repo/src/workloads/Driver.cpp" "src/workloads/CMakeFiles/ss_workloads.dir/Driver.cpp.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/Driver.cpp.o.d"
+  "/root/repo/src/workloads/ExtraCaseStudies.cpp" "src/workloads/CMakeFiles/ss_workloads.dir/ExtraCaseStudies.cpp.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/ExtraCaseStudies.cpp.o.d"
+  "/root/repo/src/workloads/Health.cpp" "src/workloads/CMakeFiles/ss_workloads.dir/Health.cpp.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/Health.cpp.o.d"
+  "/root/repo/src/workloads/Libquantum.cpp" "src/workloads/CMakeFiles/ss_workloads.dir/Libquantum.cpp.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/Libquantum.cpp.o.d"
+  "/root/repo/src/workloads/Mser.cpp" "src/workloads/CMakeFiles/ss_workloads.dir/Mser.cpp.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/Mser.cpp.o.d"
+  "/root/repo/src/workloads/Nn.cpp" "src/workloads/CMakeFiles/ss_workloads.dir/Nn.cpp.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/Nn.cpp.o.d"
+  "/root/repo/src/workloads/Registry.cpp" "src/workloads/CMakeFiles/ss_workloads.dir/Registry.cpp.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/Registry.cpp.o.d"
+  "/root/repo/src/workloads/Synthetic.cpp" "src/workloads/CMakeFiles/ss_workloads.dir/Synthetic.cpp.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/Synthetic.cpp.o.d"
+  "/root/repo/src/workloads/Tsp.cpp" "src/workloads/CMakeFiles/ss_workloads.dir/Tsp.cpp.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/Tsp.cpp.o.d"
+  "/root/repo/src/workloads/Workload.cpp" "src/workloads/CMakeFiles/ss_workloads.dir/Workload.cpp.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/Workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transform/CMakeFiles/ss_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ss_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ss_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/ss_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ss_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ss_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/ss_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ss_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

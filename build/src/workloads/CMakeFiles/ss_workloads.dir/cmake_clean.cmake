@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_workloads.dir/Art.cpp.o"
+  "CMakeFiles/ss_workloads.dir/Art.cpp.o.d"
+  "CMakeFiles/ss_workloads.dir/Clomp.cpp.o"
+  "CMakeFiles/ss_workloads.dir/Clomp.cpp.o.d"
+  "CMakeFiles/ss_workloads.dir/Driver.cpp.o"
+  "CMakeFiles/ss_workloads.dir/Driver.cpp.o.d"
+  "CMakeFiles/ss_workloads.dir/ExtraCaseStudies.cpp.o"
+  "CMakeFiles/ss_workloads.dir/ExtraCaseStudies.cpp.o.d"
+  "CMakeFiles/ss_workloads.dir/Health.cpp.o"
+  "CMakeFiles/ss_workloads.dir/Health.cpp.o.d"
+  "CMakeFiles/ss_workloads.dir/Libquantum.cpp.o"
+  "CMakeFiles/ss_workloads.dir/Libquantum.cpp.o.d"
+  "CMakeFiles/ss_workloads.dir/Mser.cpp.o"
+  "CMakeFiles/ss_workloads.dir/Mser.cpp.o.d"
+  "CMakeFiles/ss_workloads.dir/Nn.cpp.o"
+  "CMakeFiles/ss_workloads.dir/Nn.cpp.o.d"
+  "CMakeFiles/ss_workloads.dir/Registry.cpp.o"
+  "CMakeFiles/ss_workloads.dir/Registry.cpp.o.d"
+  "CMakeFiles/ss_workloads.dir/Synthetic.cpp.o"
+  "CMakeFiles/ss_workloads.dir/Synthetic.cpp.o.d"
+  "CMakeFiles/ss_workloads.dir/Tsp.cpp.o"
+  "CMakeFiles/ss_workloads.dir/Tsp.cpp.o.d"
+  "CMakeFiles/ss_workloads.dir/Workload.cpp.o"
+  "CMakeFiles/ss_workloads.dir/Workload.cpp.o.d"
+  "libss_workloads.a"
+  "libss_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benefitmodel_test.dir/benefitmodel_test.cpp.o"
+  "CMakeFiles/benefitmodel_test.dir/benefitmodel_test.cpp.o.d"
+  "benefitmodel_test"
+  "benefitmodel_test.pdb"
+  "benefitmodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benefitmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cct_test.dir/cct_test.cpp.o"
+  "CMakeFiles/cct_test.dir/cct_test.cpp.o.d"
+  "cct_test"
+  "cct_test.pdb"
+  "cct_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

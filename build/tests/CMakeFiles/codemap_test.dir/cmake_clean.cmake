@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codemap_test.dir/codemap_test.cpp.o"
+  "CMakeFiles/codemap_test.dir/codemap_test.cpp.o.d"
+  "codemap_test"
+  "codemap_test.pdb"
+  "codemap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codemap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

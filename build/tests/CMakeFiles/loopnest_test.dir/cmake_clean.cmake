@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loopnest_test.dir/loopnest_test.cpp.o"
+  "CMakeFiles/loopnest_test.dir/loopnest_test.cpp.o.d"
+  "loopnest_test"
+  "loopnest_test.pdb"
+  "loopnest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loopnest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_objects_test.dir/mem_objects_test.cpp.o"
+  "CMakeFiles/mem_objects_test.dir/mem_objects_test.cpp.o.d"
+  "mem_objects_test"
+  "mem_objects_test.pdb"
+  "mem_objects_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_objects_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprocess_test.dir/multiprocess_test.cpp.o"
+  "CMakeFiles/multiprocess_test.dir/multiprocess_test.cpp.o.d"
+  "multiprocess_test"
+  "multiprocess_test.pdb"
+  "multiprocess_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprocess_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfevent_test.dir/perfevent_test.cpp.o"
+  "CMakeFiles/perfevent_test.dir/perfevent_test.cpp.o.d"
+  "perfevent_test"
+  "perfevent_test.pdb"
+  "perfevent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfevent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profilebuilder_test.dir/profilebuilder_test.cpp.o"
+  "CMakeFiles/profilebuilder_test.dir/profilebuilder_test.cpp.o.d"
+  "profilebuilder_test"
+  "profilebuilder_test.pdb"
+  "profilebuilder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profilebuilder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regrouping_test.dir/regrouping_test.cpp.o"
+  "CMakeFiles/regrouping_test.dir/regrouping_test.cpp.o.d"
+  "regrouping_test"
+  "regrouping_test.pdb"
+  "regrouping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regrouping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

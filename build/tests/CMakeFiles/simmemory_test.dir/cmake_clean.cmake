@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmemory_test.dir/simmemory_test.cpp.o"
+  "CMakeFiles/simmemory_test.dir/simmemory_test.cpp.o.d"
+  "simmemory_test"
+  "simmemory_test.pdb"
+  "simmemory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmemory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structlayout_test.dir/structlayout_test.cpp.o"
+  "CMakeFiles/structlayout_test.dir/structlayout_test.cpp.o.d"
+  "structlayout_test"
+  "structlayout_test.pdb"
+  "structlayout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structlayout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

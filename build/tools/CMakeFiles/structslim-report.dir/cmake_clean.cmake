@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structslim-report.dir/structslim-report.cpp.o"
+  "CMakeFiles/structslim-report.dir/structslim-report.cpp.o.d"
+  "structslim-report"
+  "structslim-report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structslim-report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structslim-structure.dir/structslim-structure.cpp.o"
+  "CMakeFiles/structslim-structure.dir/structslim-structure.cpp.o.d"
+  "structslim-structure"
+  "structslim-structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structslim-structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
