@@ -223,10 +223,11 @@ bench-build/CMakeFiles/ablation_affinity_metric.dir/ablation_affinity_metric.cpp
  /root/repo/src/runtime/ThreadedRuntime.h \
  /root/repo/src/pmu/AddressSampling.h /root/repo/src/support/Random.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
- /root/repo/src/runtime/Interpreter.h /root/repo/src/runtime/Machine.h \
+ /root/repo/src/runtime/Interpreter.h \
+ /root/repo/src/runtime/DeferredRound.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/runtime/Machine.h \
  /root/repo/src/mem/SimMemory.h /root/repo/src/mem/TrackingAllocator.h \
- /root/repo/src/runtime/ProfileBuilder.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/support/Format.h \
+ /root/repo/src/runtime/ProfileBuilder.h /root/repo/src/support/Format.h \
  /root/repo/src/support/TablePrinter.h /usr/include/c++/12/iostream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc

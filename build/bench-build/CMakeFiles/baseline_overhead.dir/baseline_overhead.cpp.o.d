@@ -227,11 +227,12 @@ bench-build/CMakeFiles/baseline_overhead.dir/baseline_overhead.cpp.o: \
  /root/repo/src/pmu/AddressSampling.h /root/repo/src/support/Random.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/profile/Profile.h /root/repo/src/profile/Cct.h \
- /root/repo/src/runtime/Interpreter.h /root/repo/src/runtime/Machine.h \
+ /root/repo/src/runtime/Interpreter.h \
+ /root/repo/src/runtime/DeferredRound.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/runtime/Machine.h \
  /root/repo/src/mem/SimMemory.h /root/repo/src/mem/TrackingAllocator.h \
- /root/repo/src/runtime/ProfileBuilder.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/support/Format.h \
+ /root/repo/src/runtime/ProfileBuilder.h /root/repo/src/support/Format.h \
  /root/repo/src/support/TablePrinter.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \

@@ -221,11 +221,12 @@ bench-build/CMakeFiles/ext_thread_scaling.dir/ext_thread_scaling.cpp.o: \
  /root/repo/src/cache/Tlb.h /root/repo/src/pmu/AddressSampling.h \
  /root/repo/src/support/Random.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /root/repo/src/runtime/Interpreter.h \
- /root/repo/src/runtime/Machine.h /root/repo/src/mem/DataObjectTable.h \
- /root/repo/src/mem/SimMemory.h /root/repo/src/mem/TrackingAllocator.h \
+ /root/repo/src/runtime/DeferredRound.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/runtime/Machine.h \
+ /root/repo/src/mem/DataObjectTable.h /root/repo/src/mem/SimMemory.h \
+ /root/repo/src/mem/TrackingAllocator.h \
  /root/repo/src/runtime/ProfileBuilder.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/runtime/TraceSink.h /root/repo/src/support/Format.h \
  /root/repo/src/support/TablePrinter.h \
  /root/repo/src/workloads/Workload.h /root/repo/src/transform/FieldMap.h \

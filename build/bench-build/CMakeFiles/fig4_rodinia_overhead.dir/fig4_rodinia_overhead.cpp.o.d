@@ -214,11 +214,12 @@ bench-build/CMakeFiles/fig4_rodinia_overhead.dir/fig4_rodinia_overhead.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/runtime/Interpreter.h /root/repo/src/ir/Program.h \
- /root/repo/src/runtime/Machine.h /root/repo/src/mem/DataObjectTable.h \
- /root/repo/src/mem/SimMemory.h /root/repo/src/mem/TrackingAllocator.h \
+ /root/repo/src/runtime/DeferredRound.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/runtime/Machine.h \
+ /root/repo/src/mem/DataObjectTable.h /root/repo/src/mem/SimMemory.h \
+ /root/repo/src/mem/TrackingAllocator.h \
  /root/repo/src/runtime/ProfileBuilder.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/runtime/TraceSink.h /root/repo/src/support/Format.h \
  /root/repo/src/support/Stats.h /root/repo/src/support/TablePrinter.h \
  /root/repo/src/workloads/Synthetic.h /root/repo/src/workloads/Workload.h \

@@ -218,11 +218,11 @@ bench-build/CMakeFiles/micro_analysis.dir/micro_analysis.cpp.o: \
  /root/repo/src/profile/Cct.h /root/repo/src/runtime/Interpreter.h \
  /root/repo/src/pmu/AddressSampling.h /root/repo/src/support/Random.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
- /root/repo/src/runtime/Machine.h /root/repo/src/mem/SimMemory.h \
- /root/repo/src/mem/TrackingAllocator.h \
+ /root/repo/src/runtime/DeferredRound.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/runtime/Machine.h \
+ /root/repo/src/mem/SimMemory.h /root/repo/src/mem/TrackingAllocator.h \
  /root/repo/src/runtime/ProfileBuilder.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/runtime/TraceSink.h /root/repo/src/support/MathUtil.h \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/limits /usr/include/c++/12/pstl/glue_numeric_defs.h \
@@ -232,6 +232,5 @@ bench-build/CMakeFiles/micro_analysis.dir/micro_analysis.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/cstddef /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /usr/include/benchmark/export.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/benchmark/export.h \
  /usr/include/c++/12/atomic

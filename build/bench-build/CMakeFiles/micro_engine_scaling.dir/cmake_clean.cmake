@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_engine_scaling"
+  "../bench/micro_engine_scaling.pdb"
+  "CMakeFiles/micro_engine_scaling.dir/micro_engine_scaling.cpp.o"
+  "CMakeFiles/micro_engine_scaling.dir/micro_engine_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_engine_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -121,5 +121,4 @@ src/cache/CMakeFiles/ss_cache.dir/Cache.cpp.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/support/Error.h \
- /usr/include/c++/12/cassert /usr/include/assert.h
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/support/Error.h

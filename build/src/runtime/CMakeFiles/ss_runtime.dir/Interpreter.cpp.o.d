@@ -201,20 +201,20 @@ src/runtime/CMakeFiles/ss_runtime.dir/Interpreter.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/ir/Program.h \
  /root/repo/src/pmu/AddressSampling.h /root/repo/src/support/Random.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
- /root/repo/src/runtime/Machine.h /root/repo/src/mem/DataObjectTable.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/mem/SimMemory.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/runtime/DeferredRound.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/runtime/Machine.h \
+ /root/repo/src/mem/DataObjectTable.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/mem/SimMemory.h \
  /root/repo/src/mem/TrackingAllocator.h \
  /root/repo/src/runtime/ProfileBuilder.h \
  /root/repo/src/analysis/CodeMap.h /root/repo/src/analysis/LoopNest.h \
  /root/repo/src/profile/Profile.h /root/repo/src/profile/Cct.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/runtime/TraceSink.h /root/repo/src/support/Error.h

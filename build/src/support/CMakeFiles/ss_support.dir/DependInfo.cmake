@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/MathUtil.cpp" "src/support/CMakeFiles/ss_support.dir/MathUtil.cpp.o" "gcc" "src/support/CMakeFiles/ss_support.dir/MathUtil.cpp.o.d"
   "/root/repo/src/support/Stats.cpp" "src/support/CMakeFiles/ss_support.dir/Stats.cpp.o" "gcc" "src/support/CMakeFiles/ss_support.dir/Stats.cpp.o.d"
   "/root/repo/src/support/TablePrinter.cpp" "src/support/CMakeFiles/ss_support.dir/TablePrinter.cpp.o" "gcc" "src/support/CMakeFiles/ss_support.dir/TablePrinter.cpp.o.d"
+  "/root/repo/src/support/ThreadPool.cpp" "src/support/CMakeFiles/ss_support.dir/ThreadPool.cpp.o" "gcc" "src/support/CMakeFiles/ss_support.dir/ThreadPool.cpp.o.d"
   )
 
 # Targets to which this target links.

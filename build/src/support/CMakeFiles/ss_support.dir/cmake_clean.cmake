@@ -11,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/ss_support.dir/Stats.cpp.o.d"
   "CMakeFiles/ss_support.dir/TablePrinter.cpp.o"
   "CMakeFiles/ss_support.dir/TablePrinter.cpp.o.d"
+  "CMakeFiles/ss_support.dir/ThreadPool.cpp.o"
+  "CMakeFiles/ss_support.dir/ThreadPool.cpp.o.d"
   "libss_support.a"
   "libss_support.pdb"
 )

@@ -223,8 +223,9 @@ src/workloads/CMakeFiles/ss_workloads.dir/Libquantum.cpp.o: \
  /root/repo/src/support/Random.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /root/repo/src/profile/Profile.h \
  /root/repo/src/profile/Cct.h /root/repo/src/runtime/Interpreter.h \
+ /root/repo/src/runtime/DeferredRound.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/runtime/ProfileBuilder.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/runtime/TraceSink.h /root/repo/src/transform/FieldMap.h \
  /root/repo/src/core/Advice.h /root/repo/src/core/Analyzer.h

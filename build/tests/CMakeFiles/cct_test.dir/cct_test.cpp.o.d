@@ -221,11 +221,12 @@ tests/CMakeFiles/cct_test.dir/cct_test.cpp.o: \
  /root/repo/src/cache/Tlb.h /root/repo/src/pmu/AddressSampling.h \
  /root/repo/src/support/Random.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /root/repo/src/runtime/Interpreter.h \
- /root/repo/src/runtime/Machine.h /root/repo/src/mem/DataObjectTable.h \
- /root/repo/src/mem/SimMemory.h /root/repo/src/mem/TrackingAllocator.h \
+ /root/repo/src/runtime/DeferredRound.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/runtime/Machine.h \
+ /root/repo/src/mem/DataObjectTable.h /root/repo/src/mem/SimMemory.h \
+ /root/repo/src/mem/TrackingAllocator.h \
  /root/repo/src/runtime/ProfileBuilder.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/runtime/TraceSink.h /root/miniconda/include/gtest/gtest.h \
  /usr/include/c++/12/cstddef /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
@@ -297,7 +298,6 @@ tests/CMakeFiles/cct_test.dir/cct_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-matchers.h \
  /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \

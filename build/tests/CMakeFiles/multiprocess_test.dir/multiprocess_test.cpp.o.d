@@ -216,11 +216,12 @@ tests/CMakeFiles/multiprocess_test.dir/multiprocess_test.cpp.o: \
  /root/repo/src/pmu/AddressSampling.h /root/repo/src/support/Random.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/runtime/Interpreter.h /root/repo/src/ir/Program.h \
- /root/repo/src/runtime/Machine.h /root/repo/src/mem/DataObjectTable.h \
- /root/repo/src/mem/SimMemory.h /root/repo/src/mem/TrackingAllocator.h \
+ /root/repo/src/runtime/DeferredRound.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/runtime/Machine.h \
+ /root/repo/src/mem/DataObjectTable.h /root/repo/src/mem/SimMemory.h \
+ /root/repo/src/mem/TrackingAllocator.h \
  /root/repo/src/runtime/ProfileBuilder.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/runtime/TraceSink.h /root/repo/src/workloads/Workload.h \
  /root/repo/src/ir/ProgramBuilder.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
@@ -301,7 +302,6 @@ tests/CMakeFiles/multiprocess_test.dir/multiprocess_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-matchers.h \
  /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parallel_runtime_test.cpp" "tests/CMakeFiles/parallel_runtime_test.dir/parallel_runtime_test.cpp.o" "gcc" "tests/CMakeFiles/parallel_runtime_test.dir/parallel_runtime_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/ss_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ss_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/ss_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ss_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/ss_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/ss_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ss_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ss_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ss_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ss_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_runtime_test.dir/parallel_runtime_test.cpp.o"
+  "CMakeFiles/parallel_runtime_test.dir/parallel_runtime_test.cpp.o.d"
+  "parallel_runtime_test"
+  "parallel_runtime_test.pdb"
+  "parallel_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

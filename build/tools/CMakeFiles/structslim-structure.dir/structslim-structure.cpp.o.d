@@ -218,12 +218,13 @@ tools/CMakeFiles/structslim-structure.dir/structslim-structure.cpp.o: \
  /root/repo/src/profile/Cct.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/runtime/Interpreter.h /root/repo/src/runtime/Machine.h \
+ /root/repo/src/runtime/Interpreter.h \
+ /root/repo/src/runtime/DeferredRound.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/runtime/Machine.h \
  /root/repo/src/mem/DataObjectTable.h /root/repo/src/mem/SimMemory.h \
  /root/repo/src/mem/TrackingAllocator.h \
  /root/repo/src/runtime/ProfileBuilder.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/runtime/TraceSink.h /root/repo/src/support/TablePrinter.h \
  /root/repo/src/workloads/Registry.h /root/repo/src/workloads/Workload.h \
  /root/repo/src/ir/StructLayout.h /root/repo/src/transform/FieldMap.h \

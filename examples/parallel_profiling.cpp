@@ -80,7 +80,7 @@ int main(int argc, char **argv) {
     Loaded.push_back(std::move(*P));
   }
   profile::Profile Merged =
-      profile::mergeProfiles(std::move(Loaded), /*WorkerThreads=*/4);
+      profile::mergeProfiles(std::move(Loaded), /*WorkerThreads=*/0);
   std::cout << "\nmerged profile: " << Merged.TotalSamples
             << " samples across all threads\n\n";
 

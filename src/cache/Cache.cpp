@@ -4,8 +4,6 @@
 
 #include "support/Error.h"
 
-#include <cassert>
-
 using namespace structslim;
 using namespace structslim::cache;
 
@@ -16,59 +14,15 @@ SetAssocCache::SetAssocCache(const CacheConfig &Config) : Config(Config) {
   if (Lines == 0 || Lines % Config.Assoc != 0)
     fatalError("cache size must be a multiple of assoc * line size");
   NumSets = Lines / Config.Assoc;
-  Ways.assign(NumSets * Config.Assoc, Way{});
-}
-
-int SetAssocCache::lookupAndTouch(uint64_t LineAddr) {
-  size_t Base = setIndex(LineAddr) * Config.Assoc;
-  uint64_t Tag = tagOf(LineAddr);
-  for (unsigned W = 0; W != Config.Assoc; ++W) {
-    Way &Candidate = Ways[Base + W];
-    if (!Candidate.Valid || Candidate.Tag != Tag)
-      continue;
-    // Move to front (MRU).
-    for (unsigned Shift = W; Shift > 0; --Shift)
-      Ways[Base + Shift] = Ways[Base + Shift - 1];
-    Ways[Base].Tag = Tag;
-    Ways[Base].Valid = true;
-    return static_cast<int>(W);
-  }
-  return -1;
-}
-
-void SetAssocCache::install(uint64_t LineAddr) {
-  size_t Base = setIndex(LineAddr) * Config.Assoc;
-  // Shift everything down; the LRU way (last) falls out.
-  for (unsigned Shift = Config.Assoc - 1; Shift > 0; --Shift)
-    Ways[Base + Shift] = Ways[Base + Shift - 1];
-  Ways[Base].Tag = tagOf(LineAddr);
-  Ways[Base].Valid = true;
-}
-
-bool SetAssocCache::access(uint64_t LineAddr) {
-  if (lookupAndTouch(LineAddr) >= 0) {
-    ++Hits;
-    return true;
-  }
-  ++Misses;
-  install(LineAddr);
-  return false;
-}
-
-void SetAssocCache::installPrefetch(uint64_t LineAddr) {
-  if (lookupAndTouch(LineAddr) >= 0)
-    return;
-  install(LineAddr);
-  ++PrefetchFills;
+  Tags.assign(NumSets * Config.Assoc, 0);
+  Ages.assign(NumSets * Config.Assoc, 0);
+  SetTick.assign(NumSets, 0);
 }
 
 bool SetAssocCache::contains(uint64_t LineAddr) const {
   size_t Base = setIndex(LineAddr) * Config.Assoc;
-  uint64_t Tag = tagOf(LineAddr);
-  for (unsigned W = 0; W != Config.Assoc; ++W) {
-    const Way &Candidate = Ways[Base + W];
-    if (Candidate.Valid && Candidate.Tag == Tag)
+  for (unsigned W = 0; W != Config.Assoc; ++W)
+    if (Ages[Base + W] != 0 && Tags[Base + W] == LineAddr)
       return true;
-  }
   return false;
 }

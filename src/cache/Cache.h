@@ -10,6 +10,15 @@
 /// (32 KB L1d, 256 KB L2 private; 20 MB L3 shared). Hit/miss counters
 /// double as the hardware event counters the paper reads for Table 4.
 ///
+/// Storage is structure-of-arrays: tags and LRU ages live in flat
+/// parallel vectors indexed by set * assoc + way, and recency is an age
+/// counter per way (a way's age is the set's tick at its last touch)
+/// instead of a physically ordered array. Touching a line is then one
+/// store instead of an O(assoc) shift of Way records, while eviction
+/// order — least recent first, invalid ways before any valid way — is
+/// exactly the order the shift-based model maintained, so hit/miss
+/// sequences are bit-identical to it.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef STRUCTSLIM_CACHE_CACHE_H
@@ -38,11 +47,35 @@ public:
 
   /// Looks up \p LineAddr; on miss, installs it (evicting LRU).
   /// Returns true on hit. Counts the access.
-  bool access(uint64_t LineAddr);
+  bool access(uint64_t LineAddr) {
+    size_t Base = setIndex(LineAddr) * Config.Assoc;
+    uint64_t Tick = ++SetTick[Base / Config.Assoc];
+    for (unsigned W = 0; W != Config.Assoc; ++W) {
+      if (Ages[Base + W] != 0 && Tags[Base + W] == LineAddr) {
+        Ages[Base + W] = Tick;
+        ++Hits;
+        return true;
+      }
+    }
+    ++Misses;
+    installAt(Base, LineAddr, Tick);
+    return false;
+  }
 
   /// Installs \p LineAddr without counting a demand access (prefetch
   /// fill). No-op when already present (refreshes LRU).
-  void installPrefetch(uint64_t LineAddr);
+  void installPrefetch(uint64_t LineAddr) {
+    size_t Base = setIndex(LineAddr) * Config.Assoc;
+    uint64_t Tick = ++SetTick[Base / Config.Assoc];
+    for (unsigned W = 0; W != Config.Assoc; ++W) {
+      if (Ages[Base + W] != 0 && Tags[Base + W] == LineAddr) {
+        Ages[Base + W] = Tick;
+        return;
+      }
+    }
+    installAt(Base, LineAddr, Tick);
+    ++PrefetchFills;
+  }
 
   /// Lookup without side effects.
   bool contains(uint64_t LineAddr) const;
@@ -60,30 +93,79 @@ public:
   void resetCounters() { Hits = Misses = PrefetchFills = 0; }
 
 private:
-  struct Way {
-    uint64_t Tag = 0;
-    bool Valid = false;
-  };
-
   // Sets are indexed by modulo so non-power-of-two geometries (like a
   // 20 MB 16-way L3) work; tags store the full line address.
   size_t setIndex(uint64_t LineAddr) const {
     return static_cast<size_t>(LineAddr % NumSets);
   }
-  uint64_t tagOf(uint64_t LineAddr) const { return LineAddr; }
 
-  /// Returns way index on hit, -1 on miss. Updates LRU order on hit.
-  int lookupAndTouch(uint64_t LineAddr);
-  void install(uint64_t LineAddr);
+  /// Evicts the LRU way of the set at \p Base (invalid ways first, as
+  /// the shift model's back-of-array position held them) and installs
+  /// \p LineAddr with recency \p Tick.
+  void installAt(size_t Base, uint64_t LineAddr, uint64_t Tick) {
+    unsigned Victim = 0;
+    uint64_t Oldest = Ages[Base];
+    for (unsigned W = 1; W != Config.Assoc; ++W) {
+      if (Ages[Base + W] < Oldest) {
+        Oldest = Ages[Base + W];
+        Victim = W;
+      }
+    }
+    Tags[Base + Victim] = LineAddr;
+    Ages[Base + Victim] = Tick;
+  }
 
   CacheConfig Config;
   uint64_t NumSets;
-  // Ways within a set are kept in LRU order: index 0 is MRU. Assoc is
-  // small (<= 16), so move-to-front in a flat array beats list nodes.
-  std::vector<Way> Ways; // NumSets * Assoc
+  // Structure-of-arrays way storage, NumSets * Assoc each. Age 0 means
+  // the way is invalid; valid ways carry the owning set's tick at their
+  // last touch, so larger age == more recently used.
+  std::vector<uint64_t> Tags;
+  std::vector<uint64_t> Ages;
+  std::vector<uint64_t> SetTick; ///< Per-set monotonic touch counter.
   uint64_t Hits = 0;
   uint64_t Misses = 0;
   uint64_t PrefetchFills = 0;
+};
+
+/// Per-thread buffer of one quantum round's shared-L3 traffic. The
+/// parallel phase engine routes every L3 operation of a round through
+/// one of these and replays the buffers against the real shared L3 in
+/// thread-id order at the round barrier, reproducing the serial
+/// engine's L3 access order exactly (see runtime/ThreadedRuntime).
+struct L3DeferBuffer {
+  struct Op {
+    uint64_t Line;
+    int32_t Slot; ///< Outcome slot for demand accesses; -1 = prefetch.
+  };
+  std::vector<Op> Ops;
+  std::vector<uint8_t> HitFlags; ///< Per demand slot: 1 = L3 hit.
+
+  /// Records a demand access and returns its outcome slot.
+  int32_t addDemand(uint64_t Line) {
+    int32_t Slot = static_cast<int32_t>(HitFlags.size());
+    Ops.push_back({Line, Slot});
+    HitFlags.push_back(0);
+    return Slot;
+  }
+
+  void addPrefetch(uint64_t Line) { Ops.push_back({Line, -1}); }
+
+  /// Replays the buffered operations against \p L3 in recorded order,
+  /// filling HitFlags for the demand accesses.
+  void replay(SetAssocCache &L3) {
+    for (const Op &O : Ops) {
+      if (O.Slot >= 0)
+        HitFlags[static_cast<size_t>(O.Slot)] = L3.access(O.Line) ? 1 : 0;
+      else
+        L3.installPrefetch(O.Line);
+    }
+  }
+
+  void clear() {
+    Ops.clear();
+    HitFlags.clear();
+  }
 };
 
 } // namespace cache

@@ -58,35 +58,20 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &Config,
     OwnedL3 = std::make_unique<SetAssocCache>(Config.L3);
     L3Ptr = OwnedL3.get();
   }
+  // The SetAssocCache constructor already rejected non-power-of-two
+  // line sizes.
+  LineShift = 0;
+  while ((1u << LineShift) < Config.L1.LineSize)
+    ++LineShift;
+  Mode = (Config.EnableTlb ? 1 : 0) | (Config.EnablePrefetcher ? 2 : 0);
 }
 
-MemLevel MemoryHierarchy::accessLine(uint64_t LineAddr, unsigned &Latency) {
-  if (L1.access(LineAddr)) {
-    Latency = Config.L1.HitLatency;
-    return MemLevel::L1;
-  }
-  if (L2.access(LineAddr)) {
-    Latency = Config.L2.HitLatency;
-    return MemLevel::L2;
-  }
-  if (L3Ptr->access(LineAddr)) {
-    Latency = Config.L3.HitLatency;
-    return MemLevel::L3;
-  }
-  Latency = Config.DramLatency;
-  return MemLevel::Dram;
-}
-
-AccessResult MemoryHierarchy::access(uint64_t Addr, unsigned Size,
-                                     bool IsWrite, uint64_t Ip) {
-  (void)IsWrite; // Write-allocate with identical timing; PEBS-LL only
-                 // samples loads, but the model treats both uniformly.
-  unsigned LineSize = Config.L1.LineSize;
-  uint64_t FirstLine = Addr / LineSize;
-  uint64_t LastLine = (Addr + Size - 1) / LineSize;
-
+AccessResult MemoryHierarchy::accessSlow(uint64_t Addr, unsigned Size,
+                                         uint64_t Ip, uint64_t FirstLine,
+                                         uint64_t LastLine) {
+  (void)Size;
   AccessResult Result;
-  if (Config.EnableTlb && !Dtlb.access(Addr)) {
+  if ((Mode & 1) && !Dtlb.access(Addr)) {
     Result.TlbMiss = true;
     Result.Latency += Config.Tlb.WalkLatency;
   }
@@ -103,11 +88,11 @@ AccessResult MemoryHierarchy::access(uint64_t Addr, unsigned Size,
     }
   }
 
-  if (Config.EnablePrefetcher) {
+  if (Mode & 2) {
     uint64_t Candidates[8];
     unsigned Degree = std::min(Config.PrefetchDegree, 8u);
-    unsigned Count = Prefetcher.observe(Ip, Addr, LineSize, Degree,
-                                        Candidates);
+    unsigned Count = Prefetcher.observe(Ip, Addr, Config.L1.LineSize,
+                                        Degree, Candidates);
     // Prefetches fill L2 (and L3 on the way), not L1, matching the
     // mid-level prefetchers on the paper's hardware.
     for (unsigned I = 0; I != Count; ++I) {
@@ -116,6 +101,53 @@ AccessResult MemoryHierarchy::access(uint64_t Addr, unsigned Size,
     }
   }
   return Result;
+}
+
+void MemoryHierarchy::accessLineDeferred(uint64_t LineAddr,
+                                         L3DeferBuffer &L3Buf,
+                                         unsigned Index,
+                                         DeferredAccess &Out) {
+  if (L1.access(LineAddr)) {
+    Out.Lat[Index] = Config.L1.HitLatency;
+    Out.Served[Index] = MemLevel::L1;
+    return;
+  }
+  if (L2.access(LineAddr)) {
+    Out.Lat[Index] = Config.L2.HitLatency;
+    Out.Served[Index] = MemLevel::L2;
+    return;
+  }
+  Out.Slot[Index] = L3Buf.addDemand(LineAddr);
+}
+
+DeferredAccess MemoryHierarchy::accessDeferred(uint64_t Addr, unsigned Size,
+                                               uint64_t Ip,
+                                               L3DeferBuffer &L3Buf) {
+  uint64_t FirstLine = Addr >> LineShift;
+  uint64_t LastLine = (Addr + Size - 1) >> LineShift;
+
+  DeferredAccess Out;
+  if ((Mode & 1) && !Dtlb.access(Addr)) {
+    Out.TlbMiss = true;
+    Out.TlbLatency = Config.Tlb.WalkLatency;
+  }
+  accessLineDeferred(FirstLine, L3Buf, 0, Out);
+  if (LastLine != FirstLine) {
+    Out.NumLines = 2;
+    accessLineDeferred(LastLine, L3Buf, 1, Out);
+  }
+
+  if (Mode & 2) {
+    uint64_t Candidates[8];
+    unsigned Degree = std::min(Config.PrefetchDegree, 8u);
+    unsigned Count = Prefetcher.observe(Ip, Addr, Config.L1.LineSize,
+                                        Degree, Candidates);
+    for (unsigned I = 0; I != Count; ++I) {
+      L3Buf.addPrefetch(Candidates[I]);
+      L2.installPrefetch(Candidates[I]);
+    }
+  }
+  return Out;
 }
 
 void MemoryHierarchy::resetCounters() {

@@ -13,6 +13,20 @@
 /// prefetching (the paper notes prefetchers recognize non-unit strides
 /// but long strides still waste cache capacity).
 ///
+/// The per-access path is kept branch-lean: the TLB/prefetcher
+/// configuration is folded into one dispatch mode at construction, line
+/// addresses use a precomputed shift instead of a division, and the
+/// no-TLB/no-prefetcher configuration (every calibrated workload)
+/// inlines from this header straight into the interpreter loop.
+///
+/// Two access paths exist. The direct path (`access`) drives all
+/// levels immediately — the serial engine. The deferred path
+/// (`accessDeferred`) simulates the private L1/L2 immediately but
+/// records shared-L3 traffic into a cache::L3DeferBuffer for ordered
+/// replay at a round barrier — the parallel engine. The L1/L2 contents
+/// never depend on L3 outcomes (fill-on-miss installs regardless of
+/// the serving level), which is what makes the split sound.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef STRUCTSLIM_CACHE_HIERARCHY_H
@@ -38,6 +52,36 @@ struct AccessResult {
   unsigned Latency = 0; ///< Includes the page-walk penalty on TLB miss.
   MemLevel Served = MemLevel::L1;
   bool TlbMiss = false;
+};
+
+/// Outcome of one access whose shared-L3 component is still pending.
+/// Per touched line, either the access resolved privately (Slot == -1,
+/// Lat/Served final) or it reached the L3 (Slot >= 0 indexes the
+/// thread's L3DeferBuffer outcome; Lat/Served are filled at replay).
+struct DeferredAccess {
+  unsigned TlbLatency = 0;
+  unsigned Lat[2] = {0, 0};
+  MemLevel Served[2] = {MemLevel::L1, MemLevel::L1};
+  int32_t Slot[2] = {-1, -1};
+  uint8_t NumLines = 1;
+  bool TlbMiss = false;
+
+  bool isResolved() const { return Slot[0] < 0 && Slot[1] < 0; }
+
+  /// Combines the per-line outcomes exactly as the direct path does:
+  /// latency = TLB walk + the slower line; Served = the slower line's
+  /// level (first line on ties).
+  AccessResult combine() const {
+    AccessResult R;
+    R.TlbMiss = TlbMiss;
+    R.Latency = TlbLatency + Lat[0];
+    R.Served = Served[0];
+    if (NumLines == 2 && Lat[1] > Lat[0]) {
+      R.Latency += Lat[1] - Lat[0];
+      R.Served = Served[1];
+    }
+    return R;
+  }
 };
 
 /// Full hierarchy configuration. Defaults model the Xeon E5-4650L of
@@ -80,9 +124,10 @@ private:
 };
 
 /// One core's view of the memory hierarchy. The L3 may be shared: pass
-/// a common SetAssocCache to every core's hierarchy (safe in the
-/// deterministic interleaved runtime, which never runs two cores'
-/// accesses concurrently).
+/// a common SetAssocCache to every core's hierarchy. Sharing is safe
+/// in the serial interleaved runtime (which never runs two cores'
+/// accesses concurrently) and in the parallel engine (which defers all
+/// L3 traffic to the round barrier via accessDeferred).
 class MemoryHierarchy {
 public:
   explicit MemoryHierarchy(const HierarchyConfig &Config,
@@ -92,7 +137,27 @@ public:
   /// instruction \p Ip. Accesses that straddle a line boundary touch
   /// both lines and report the slower one.
   AccessResult access(uint64_t Addr, unsigned Size, bool IsWrite,
-                      uint64_t Ip);
+                      uint64_t Ip) {
+    (void)IsWrite; // Write-allocate with identical timing; PEBS-LL only
+                   // samples loads, but the model treats both uniformly.
+    uint64_t FirstLine = Addr >> LineShift;
+    uint64_t LastLine = (Addr + Size - 1) >> LineShift;
+    if (Mode == 0 && FirstLine == LastLine) {
+      // Hot path: no TLB, no prefetcher, one line — the calibrated
+      // workload configuration for all but straddling accesses.
+      AccessResult Result;
+      Result.Served = accessLine(FirstLine, Result.Latency);
+      return Result;
+    }
+    return accessSlow(Addr, Size, Ip, FirstLine, LastLine);
+  }
+
+  /// The deferred-L3 variant of access(): private L1/L2 are simulated
+  /// immediately; L3 demand accesses and prefetch installs are appended
+  /// to \p L3Buf for ordered replay. Returns the (possibly pending)
+  /// per-line outcome; callers combine() it once L3Buf was replayed.
+  DeferredAccess accessDeferred(uint64_t Addr, unsigned Size, uint64_t Ip,
+                                L3DeferBuffer &L3Buf);
 
   SetAssocCache &l1() { return L1; }
   SetAssocCache &l2() { return L2; }
@@ -107,7 +172,30 @@ public:
   void resetCounters();
 
 private:
-  MemLevel accessLine(uint64_t LineAddr, unsigned &Latency);
+  MemLevel accessLine(uint64_t LineAddr, unsigned &Latency) {
+    if (L1.access(LineAddr)) {
+      Latency = Config.L1.HitLatency;
+      return MemLevel::L1;
+    }
+    if (L2.access(LineAddr)) {
+      Latency = Config.L2.HitLatency;
+      return MemLevel::L2;
+    }
+    if (L3Ptr->access(LineAddr)) {
+      Latency = Config.L3.HitLatency;
+      return MemLevel::L3;
+    }
+    Latency = Config.DramLatency;
+    return MemLevel::Dram;
+  }
+
+  AccessResult accessSlow(uint64_t Addr, unsigned Size, uint64_t Ip,
+                          uint64_t FirstLine, uint64_t LastLine);
+
+  /// L1/L2 for one line in deferred mode; on L1+L2 miss records a
+  /// demand op and reports a pending slot.
+  void accessLineDeferred(uint64_t LineAddr, L3DeferBuffer &L3Buf,
+                          unsigned Index, DeferredAccess &Out);
 
   HierarchyConfig Config;
   SetAssocCache L1;
@@ -116,6 +204,8 @@ private:
   SetAssocCache *L3Ptr;
   StridePrefetcher Prefetcher;
   Tlb Dtlb;
+  unsigned LineShift;  ///< log2(L1 line size), precomputed.
+  uint8_t Mode;        ///< Bit 0: TLB on; bit 1: prefetcher on.
 };
 
 } // namespace cache

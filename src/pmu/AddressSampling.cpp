@@ -9,7 +9,8 @@ SampleSink::~SampleSink() = default;
 
 PmuModel::PmuModel(const SamplingConfig &Config, uint32_t ThreadId)
     : Config(Config), ThreadId(ThreadId),
-      Jitter(Config.Seed * 0x9e3779b97f4a7c15ULL + ThreadId + 1) {
+      Jitter(Config.Seed * 0x9e3779b97f4a7c15ULL + ThreadId + 1),
+      SkipStores(Config.Flavor == PmuFlavor::PebsLoadLatency) {
   Countdown = nextCountdown();
 }
 
@@ -35,5 +36,4 @@ void PmuModel::deliver(uint64_t Ip, uint64_t EffAddr, uint8_t AccessSize,
   Sample.TlbMiss = Result.TlbMiss;
   ++SamplesDelivered;
   Sink->onSample(Sample);
-  Countdown = nextCountdown();
 }

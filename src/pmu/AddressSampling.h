@@ -65,6 +65,18 @@ class SampleSink {
 public:
   virtual ~SampleSink();
   virtual void onSample(const AddressSample &Sample) = 0;
+
+  /// Sample delivery with an explicitly captured call path (call-site
+  /// IPs, outermost first, excluding the sampled instruction). Used by
+  /// the parallel engine, which resolves samples at the round barrier
+  /// when the interrupted thread's live stack has already moved on.
+  /// Default: ignore the path and deliver through onSample().
+  virtual void onSampleAt(const AddressSample &Sample, const uint64_t *Path,
+                          size_t PathLen) {
+    (void)Path;
+    (void)PathLen;
+    onSample(Sample);
+  }
 };
 
 /// The per-core PMU. The runtime calls onAccess() for every memory
@@ -80,20 +92,41 @@ public:
 
   /// Observes one memory access; delivers a sample when the period
   /// counter expires. Hot path: one decrement + branch when not
-  /// sampling.
+  /// sampling (the flavor's store-monitoring decision is precomputed
+  /// at construction, not re-derived per access).
   void onAccess(uint64_t Ip, uint64_t EffAddr, uint8_t AccessSize,
                 bool IsWrite, const cache::AccessResult &Result) {
-    if (!Sink)
-      return;
-    if (Config.Flavor == PmuFlavor::PebsLoadLatency && IsWrite)
-      return; // PEBS-LL monitors loads only.
-    if (--Countdown != 0)
+    if (!tick(IsWrite))
       return;
     deliver(Ip, EffAddr, AccessSize, IsWrite, Result);
   }
 
+  /// Advances the period counter for one access and reports whether it
+  /// selects this access for sampling (consuming one jitter draw when
+  /// it does). The selection never depends on the access outcome, so
+  /// the parallel engine can tick at access time and deliver the
+  /// completed sample later via deliverDeferred().
+  bool tick(bool IsWrite) {
+    if (!Sink || (SkipStores && IsWrite))
+      return false;
+    if (--Countdown != 0)
+      return false;
+    Countdown = nextCountdown();
+    return true;
+  }
+
+  /// Delivers a sample whose payload (latency, serving level) was
+  /// resolved after the tick() that selected it.
+  void deliverDeferred(AddressSample Sample, const uint64_t *Path,
+                       size_t PathLen) {
+    Sample.ThreadId = ThreadId;
+    ++SamplesDelivered;
+    Sink->onSampleAt(Sample, Path, PathLen);
+  }
+
   uint64_t getSamplesDelivered() const { return SamplesDelivered; }
   const SamplingConfig &getConfig() const { return Config; }
+  uint32_t getThreadId() const { return ThreadId; }
 
 private:
   void deliver(uint64_t Ip, uint64_t EffAddr, uint8_t AccessSize,
@@ -106,6 +139,7 @@ private:
   Rng Jitter;
   uint64_t Countdown;
   uint64_t SamplesDelivered = 0;
+  bool SkipStores; ///< Precomputed: PEBS-LL monitors loads only.
 };
 
 } // namespace pmu

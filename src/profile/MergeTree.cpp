@@ -2,7 +2,7 @@
 
 #include "profile/MergeTree.h"
 
-#include <thread>
+#include "support/ThreadPool.h"
 
 using namespace structslim;
 using namespace structslim::profile;
@@ -11,33 +11,23 @@ Profile structslim::profile::mergeProfiles(std::vector<Profile> Profiles,
                                            unsigned WorkerThreads) {
   if (Profiles.empty())
     return Profile();
+  if (WorkerThreads == 0)
+    WorkerThreads = support::ThreadPool::defaultThreadCount();
 
-  // Reduce pairwise: after each level, half as many profiles remain.
+  // Reduce pairwise: profile I merges with its mirror from the back,
+  // so after each level the front half (plus the middle leftover on
+  // odd counts) remains. One code path for every count; only the
+  // executor of the independent pairs differs.
   while (Profiles.size() > 1) {
     size_t Pairs = Profiles.size() / 2;
-    auto MergeRange = [&](size_t Begin, size_t End) {
-      for (size_t I = Begin; I != End; ++I)
-        Profiles[I].merge(Profiles[Profiles.size() - 1 - I]);
+    auto MergeOne = [&Profiles](size_t I) {
+      Profiles[I].merge(Profiles[Profiles.size() - 1 - I]);
     };
-
-    if (WorkerThreads > 1 && Pairs > 1) {
-      size_t NumWorkers = std::min<size_t>(WorkerThreads, Pairs);
-      std::vector<std::thread> Workers;
-      size_t Chunk = (Pairs + NumWorkers - 1) / NumWorkers;
-      for (size_t W = 0; W != NumWorkers; ++W) {
-        size_t Begin = W * Chunk;
-        size_t End = std::min(Begin + Chunk, Pairs);
-        if (Begin >= End)
-          break;
-        Workers.emplace_back(MergeRange, Begin, End);
-      }
-      for (std::thread &T : Workers)
-        T.join();
-    } else {
-      MergeRange(0, Pairs);
-    }
-
-    // Keep the merged front half plus the middle leftover (odd counts).
+    if (WorkerThreads > 1 && Pairs > 1)
+      support::ThreadPool::global().parallelFor(0, Pairs, MergeOne);
+    else
+      for (size_t I = 0; I != Pairs; ++I)
+        MergeOne(I);
     Profiles.resize(Profiles.size() - Pairs);
   }
   return std::move(Profiles.front());

@@ -23,10 +23,13 @@ namespace structslim {
 namespace profile {
 
 /// Merges all \p Profiles into one. \p WorkerThreads > 1 merges
-/// independent pairs concurrently; 1 runs the same tree serially.
+/// independent pairs concurrently on the shared support::ThreadPool;
+/// 1 runs the same tree serially; 0 (the default) sizes from
+/// ThreadPool::defaultThreadCount() (STRUCTSLIM_THREADS env var, else
+/// hardware_concurrency). The result is identical for every setting.
 /// Consumes the input vector.
 Profile mergeProfiles(std::vector<Profile> Profiles,
-                      unsigned WorkerThreads = 1);
+                      unsigned WorkerThreads = 0);
 
 } // namespace profile
 } // namespace structslim

@@ -1,0 +1,94 @@
+//===- runtime/DeferredRound.h - Parallel-round access buffers -*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-logical-thread buffers for one quantum round of the parallel
+/// phase engine. While a round executes on concurrent OS threads, all
+/// process-shared simulated state is read-only: stores land in a
+/// private byte overlay, shared-L3 traffic lands in a cache
+/// L3DeferBuffer, and PMU samples whose latency depends on the L3
+/// outcome are parked in access records. At the round barrier the
+/// runtime commits every buffer in thread-id order, reproducing the
+/// serial engine's schedule bit for bit (see ThreadedRuntime).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_RUNTIME_DEFERREDROUND_H
+#define STRUCTSLIM_RUNTIME_DEFERREDROUND_H
+
+#include "cache/Hierarchy.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace structslim {
+namespace runtime {
+
+/// One memory access whose completion (latency, serving level, sample
+/// delivery) waits for the shared-L3 replay at the round barrier.
+struct DeferredAccessRec {
+  cache::DeferredAccess Access;
+  uint64_t Ip = 0;
+  uint64_t EffAddr = 0;
+  uint8_t AccessSize = 0;
+  bool IsWrite = false;
+  bool Sampled = false;
+  /// Call path captured at access time (into DeferredRound::PathArena);
+  /// only meaningful when Sampled.
+  uint32_t PathBegin = 0;
+  uint32_t PathLen = 0;
+};
+
+/// All buffered effects of one logical thread in one quantum round.
+struct DeferredRound {
+  /// Buffered: executing concurrently, every shared effect deferred.
+  /// Committing: finishing the round's remainder at the barrier in
+  /// thread-id order with direct execution (used for the serializing
+  /// Alloc/Free instructions); stores still record their ranges so
+  /// later threads' conflict checks see them.
+  enum class Mode : uint8_t { Buffered, Committing };
+
+  Mode RoundMode = Mode::Buffered;
+  /// Set when the thread stopped in front of an Alloc/Free; the
+  /// remainder of its quantum runs at the barrier in Committing mode.
+  bool Paused = false;
+
+  // --- Private store overlay (byte granularity). -----------------------
+  std::unordered_map<uint64_t, uint8_t> StoreBytes;
+  std::unordered_set<uint64_t> StorePages; ///< Page filter for loads.
+  /// Every store's (address, size), buffered and committing alike —
+  /// the round's write footprint for cross-thread conflict detection.
+  std::vector<std::pair<uint64_t, uint32_t>> WriteRanges;
+  /// Loads (or load parts) served from shared memory rather than the
+  /// own overlay; a conflict exists iff one of these ranges overlaps a
+  /// lower-id thread's same-round write.
+  std::vector<std::pair<uint64_t, uint32_t>> ReadRanges;
+
+  // --- Deferred shared-L3 traffic and pending completions. -------------
+  cache::L3DeferBuffer L3;
+  std::vector<DeferredAccessRec> Recs;
+  std::vector<uint64_t> PathArena; ///< Captured call paths, packed.
+
+  void beginRound() {
+    RoundMode = Mode::Buffered;
+    Paused = false;
+    StoreBytes.clear();
+    StorePages.clear();
+    WriteRanges.clear();
+    ReadRanges.clear();
+    L3.clear();
+    Recs.clear();
+    PathArena.clear();
+  }
+};
+
+} // namespace runtime
+} // namespace structslim
+
+#endif // STRUCTSLIM_RUNTIME_DEFERREDROUND_H

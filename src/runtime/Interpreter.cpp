@@ -60,6 +60,11 @@ void Interpreter::doMemoryOp(const Instr &I) {
     Ea += Fr.Regs[I.B] * I.Scale;
 
   bool IsWrite = I.Op == Opcode::Store;
+  if (Defer && Defer->RoundMode == DeferredRound::Mode::Buffered) {
+    doMemoryOpBuffered(I, Ea, IsWrite);
+    return;
+  }
+
   cache::AccessResult Result = Hierarchy.access(Ea, I.Size, IsWrite, I.Ip);
   ++Stats.MemoryAccesses;
   Stats.Cycles += Result.Latency;
@@ -69,10 +74,116 @@ void Interpreter::doMemoryOp(const Instr &I) {
   if (Tracer)
     Tracer->onAccess(ThreadId, I.Ip, Ea, I.Size, IsWrite, Result);
 
-  if (IsWrite)
+  if (IsWrite) {
     M.Memory.write(Ea, I.Size, Fr.Regs[I.C]);
-  else
+    if (Defer) // Committing mode: later threads' conflict checks must
+               // still see this round's write footprint.
+      Defer->WriteRanges.emplace_back(Ea, I.Size);
+  } else {
     Fr.Regs[I.Dst] = M.Memory.read(Ea, I.Size);
+  }
+}
+
+void Interpreter::doMemoryOpBuffered(const Instr &I, uint64_t Ea,
+                                     bool IsWrite) {
+  cache::DeferredAccess Access =
+      Hierarchy.accessDeferred(Ea, I.Size, I.Ip, Defer->L3);
+  ++Stats.MemoryAccesses;
+
+  // The sampling decision is outcome-independent, so it is taken now
+  // (preserving the serial jitter draw order); delivery waits until the
+  // latency is known.
+  bool Sampled = Pmu && Pmu->tick(IsWrite);
+  if (Access.isResolved() && !Sampled) {
+    Stats.Cycles += Access.combine().Latency;
+  } else {
+    DeferredAccessRec Rec;
+    Rec.Access = Access;
+    Rec.Ip = I.Ip;
+    Rec.EffAddr = Ea;
+    Rec.AccessSize = I.Size;
+    Rec.IsWrite = IsWrite;
+    Rec.Sampled = Sampled;
+    if (Sampled) {
+      Rec.PathBegin = static_cast<uint32_t>(Defer->PathArena.size());
+      Rec.PathLen = static_cast<uint32_t>(CallPath.size());
+      Defer->PathArena.insert(Defer->PathArena.end(), CallPath.begin(),
+                              CallPath.end());
+    }
+    Defer->Recs.push_back(Rec);
+  }
+  // No Tracer here: the runtime forces the serial engine whenever an
+  // instrumentation sink is attached.
+
+  if (IsWrite)
+    storeBuffered(Ea, I.Size, Frames.back().Regs[I.C]);
+  else
+    Frames.back().Regs[I.Dst] = loadBuffered(Ea, I.Size);
+}
+
+uint64_t Interpreter::loadBuffered(uint64_t Ea, unsigned Size) {
+  DeferredRound &D = *Defer;
+  if (!D.StoreBytes.empty()) {
+    uint64_t FirstPage = Ea >> mem::SimMemory::PageBits;
+    uint64_t LastPage = (Ea + Size - 1) >> mem::SimMemory::PageBits;
+    if (D.StorePages.count(FirstPage) ||
+        (LastPage != FirstPage && D.StorePages.count(LastPage))) {
+      // Merge own buffered bytes over shared memory; only the bytes
+      // actually served from shared memory matter for conflicts.
+      uint64_t Value = 0;
+      for (unsigned B = 0; B != Size; ++B) {
+        uint64_t Byte;
+        auto It = D.StoreBytes.find(Ea + B);
+        if (It != D.StoreBytes.end()) {
+          Byte = It->second;
+        } else {
+          Byte = M.Memory.read(Ea + B, 1);
+          D.ReadRanges.emplace_back(Ea + B, 1);
+        }
+        Value |= Byte << (8 * B);
+      }
+      return Value;
+    }
+  }
+  D.ReadRanges.emplace_back(Ea, Size);
+  return M.Memory.read(Ea, Size);
+}
+
+void Interpreter::storeBuffered(uint64_t Ea, unsigned Size, uint64_t Value) {
+  DeferredRound &D = *Defer;
+  for (unsigned B = 0; B != Size; ++B)
+    D.StoreBytes[Ea + B] = static_cast<uint8_t>(Value >> (8 * B));
+  D.StorePages.insert(Ea >> mem::SimMemory::PageBits);
+  D.StorePages.insert((Ea + Size - 1) >> mem::SimMemory::PageBits);
+  D.WriteRanges.emplace_back(Ea, Size);
+}
+
+void Interpreter::resolveDeferredRound() {
+  DeferredRound &D = *Defer;
+  const cache::HierarchyConfig &HCfg = Hierarchy.getConfig();
+  for (DeferredAccessRec &R : D.Recs) {
+    for (unsigned L = 0; L != R.Access.NumLines; ++L) {
+      int32_t Slot = R.Access.Slot[L];
+      if (Slot < 0)
+        continue;
+      bool Hit = D.L3.HitFlags[static_cast<size_t>(Slot)] != 0;
+      R.Access.Lat[L] = Hit ? HCfg.L3.HitLatency : HCfg.DramLatency;
+      R.Access.Served[L] = Hit ? cache::MemLevel::L3 : cache::MemLevel::Dram;
+    }
+    cache::AccessResult Res = R.Access.combine();
+    Stats.Cycles += Res.Latency;
+    if (R.Sampled) {
+      pmu::AddressSample S;
+      S.Ip = R.Ip;
+      S.EffAddr = R.EffAddr;
+      S.AccessSize = R.AccessSize;
+      S.Latency = Res.Latency;
+      S.Served = Res.Served;
+      S.IsWrite = R.IsWrite;
+      S.TlbMiss = Res.TlbMiss;
+      Pmu->deliverDeferred(S, D.PathArena.data() + R.PathBegin, R.PathLen);
+    }
+  }
 }
 
 void Interpreter::executeOne(const Instr &I) {
@@ -214,6 +325,15 @@ bool Interpreter::step(uint64_t MaxInstructions) {
     assert(Fr.InstrIndex < Fr.BB->Instrs.size() &&
            "fell off the end of a block without a terminator");
     const Instr &I = Fr.BB->Instrs[Fr.InstrIndex];
+    if (Defer && Defer->RoundMode == DeferredRound::Mode::Buffered &&
+        (I.Op == Opcode::Alloc || I.Op == Opcode::Free)) {
+      // Serializing instruction: allocator and object-table mutations
+      // must happen in the global thread-id order. Pause without
+      // consuming the instruction; the barrier finishes this quantum in
+      // Committing mode.
+      Defer->Paused = true;
+      return true;
+    }
     Advanced = false;
     ++Stats.Instructions;
     ++Stats.Cycles;

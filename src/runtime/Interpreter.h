@@ -23,6 +23,7 @@
 #include "cache/Hierarchy.h"
 #include "ir/Program.h"
 #include "pmu/AddressSampling.h"
+#include "runtime/DeferredRound.h"
 #include "runtime/Machine.h"
 #include "runtime/ProfileBuilder.h"
 #include "runtime/TraceSink.h"
@@ -69,6 +70,22 @@ public:
   const RunStats &getStats() const { return Stats; }
   uint32_t getThreadId() const { return ThreadId; }
 
+  /// Attaches (or, with null, detaches) the per-round buffers of the
+  /// parallel engine. While attached in Buffered mode, stores go to the
+  /// overlay, shared-L3 traffic is deferred, and the thread pauses in
+  /// front of the serializing Alloc/Free opcodes.
+  void setDeferredRound(DeferredRound *D) { Defer = D; }
+
+  /// True when the last step() stopped in front of a serializing
+  /// instruction rather than exhausting its budget or returning.
+  bool isPaused() const { return Defer && Defer->Paused; }
+
+  /// Completes the round at the barrier: fills in the L3-dependent
+  /// latencies from the replayed shared cache, accounts their cycles,
+  /// and delivers the parked PMU samples — in program order, exactly as
+  /// the serial engine would have.
+  void resolveDeferredRound();
+
   /// Call-site IPs of the active frames, outermost first (the stack
   /// walk a PMU interrupt handler performs).
   const std::vector<uint64_t> &currentCallPath() const override {
@@ -86,6 +103,9 @@ private:
 
   void executeOne(const ir::Instr &I);
   void doMemoryOp(const ir::Instr &I);
+  void doMemoryOpBuffered(const ir::Instr &I, uint64_t Ea, bool IsWrite);
+  uint64_t loadBuffered(uint64_t Ea, unsigned Size);
+  void storeBuffered(uint64_t Ea, unsigned Size, uint64_t Value);
   void enterBlock(const ir::BasicBlock &BB);
   void pushFrame(const ir::Function &F, const std::vector<uint64_t> &Args,
                  ir::Reg ReturnDst);
@@ -98,6 +118,7 @@ private:
   cache::MemoryHierarchy &Hierarchy;
   pmu::PmuModel *Pmu;
   TraceSink *Tracer = nullptr;
+  DeferredRound *Defer = nullptr;
   uint32_t ThreadId;
 
   std::vector<Frame> Frames;

@@ -18,15 +18,31 @@ ProfileBuilder::ProfileBuilder(const analysis::CodeMap &CodeMap,
 CallPathProvider::~CallPathProvider() = default;
 
 void ProfileBuilder::onSample(const pmu::AddressSample &Sample) {
+  if (Provider) {
+    const std::vector<uint64_t> &Path = Provider->currentCallPath();
+    attribute(Sample, Path.data(), Path.size(), /*WithContext=*/true);
+  } else {
+    attribute(Sample, nullptr, 0, /*WithContext=*/false);
+  }
+}
+
+void ProfileBuilder::onSampleAt(const pmu::AddressSample &Sample,
+                                const uint64_t *Path, size_t PathLen) {
+  attribute(Sample, Path, PathLen, /*WithContext=*/Provider != nullptr);
+}
+
+void ProfileBuilder::attribute(const pmu::AddressSample &Sample,
+                               const uint64_t *Path, size_t PathLen,
+                               bool WithContext) {
   ++P.TotalSamples;
   P.TotalLatency += Sample.Latency;
 
   // Full-calling-context attribution: the call path at interrupt time
   // plus the sampled instruction itself.
-  if (Provider) {
-    std::vector<uint64_t> Path = Provider->currentCallPath();
-    Path.push_back(Sample.Ip);
-    P.Contexts.attribute(P.Contexts.intern(Path), Sample.Latency);
+  if (WithContext) {
+    std::vector<uint64_t> Full(Path, Path + PathLen);
+    Full.push_back(Sample.Ip);
+    P.Contexts.attribute(P.Contexts.intern(Full), Sample.Latency);
   }
 
   // Data-centric attribution. Addresses outside tracked objects (stack,

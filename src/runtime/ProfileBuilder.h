@@ -54,6 +54,11 @@ public:
 
   void onSample(const pmu::AddressSample &Sample) override;
 
+  /// Delivery with a captured call path (the parallel engine resolves
+  /// samples at the round barrier, after the live stack moved on).
+  void onSampleAt(const pmu::AddressSample &Sample, const uint64_t *Path,
+                  size_t PathLen) override;
+
   /// Finalizes and surrenders the profile.
   profile::Profile take();
 
@@ -61,6 +66,9 @@ public:
   const profile::Profile &peek() const { return P; }
 
 private:
+  void attribute(const pmu::AddressSample &Sample, const uint64_t *Path,
+                 size_t PathLen, bool WithContext);
+
   const analysis::CodeMap &CodeMap;
   const mem::DataObjectTable &Objects;
   const CallPathProvider *Provider = nullptr;

@@ -2,14 +2,165 @@
 
 #include "runtime/ThreadedRuntime.h"
 
+#include "runtime/DeferredRound.h"
 #include "runtime/ProfileBuilder.h"
 #include "support/Error.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
+#include <unordered_set>
 
 using namespace structslim;
 using namespace structslim::runtime;
+
+namespace {
+
+/// Everything one logical thread owns for the duration of a phase.
+struct PhaseThread {
+  std::unique_ptr<cache::MemoryHierarchy> Hierarchy;
+  std::unique_ptr<pmu::PmuModel> Pmu;
+  std::unique_ptr<ProfileBuilder> Builder;
+  std::unique_ptr<Interpreter> Interp;
+  bool Alive = true;
+};
+
+/// The reference engine: deterministic round-robin on the calling
+/// thread.
+void runSerialLoop(const RunConfig &Config, std::vector<PhaseThread> &States) {
+  size_t AliveCount = States.size();
+  while (AliveCount != 0) {
+    for (PhaseThread &S : States) {
+      if (!S.Alive)
+        continue;
+      if (!S.Interp->step(Config.Quantum)) {
+        S.Alive = false;
+        --AliveCount;
+      }
+      if (S.Interp->getStats().Instructions > Config.InstructionBudget)
+        fatalError("thread exceeded its instruction budget");
+    }
+  }
+}
+
+/// The parallel engine: each alive thread's quantum runs as an
+/// independent pool task (the fork-join IS the round barrier), then all
+/// process-shared effects commit in thread-id order — so the result is
+/// bit-identical to runSerialLoop on the same inputs.
+void runParallelLoop(const RunConfig &Config, Machine &M,
+                     std::vector<PhaseThread> &States) {
+  support::ThreadPool &Pool = support::ThreadPool::global();
+  Pool.ensureWorkers(static_cast<unsigned>(States.size()));
+
+  const size_t N = States.size();
+  std::vector<DeferredRound> Rounds(N);
+  std::vector<uint64_t> StartInstr(N, 0);
+  std::vector<char> Ran(N, 0);
+  std::vector<char> AliveAfter(N, 0);
+  std::vector<std::function<void()>> Tasks;
+  Tasks.reserve(N);
+  // Bytes (and their pages, as a cheap filter) written this round by
+  // threads already committed — what a later thread's serial-schedule
+  // reads would have observed.
+  std::unordered_set<uint64_t> LowerBytes;
+  std::unordered_set<uint64_t> LowerPages;
+
+  size_t AliveCount = N;
+  while (AliveCount != 0) {
+    Tasks.clear();
+    std::fill(Ran.begin(), Ran.end(), 0);
+    for (size_t T = 0; T != N; ++T) {
+      if (!States[T].Alive)
+        continue;
+      Ran[T] = 1;
+      Tasks.push_back([&Config, &States, &Rounds, &StartInstr, &AliveAfter,
+                       T] {
+        PhaseThread &S = States[T];
+        DeferredRound &D = Rounds[T];
+        D.beginRound();
+        S.Interp->setDeferredRound(&D);
+        StartInstr[T] = S.Interp->getStats().Instructions;
+        AliveAfter[T] = S.Interp->step(Config.Quantum) ? 1 : 0;
+      });
+    }
+    Pool.run(Tasks);
+
+    // Round barrier: commit every thread's buffered effects in
+    // thread-id order, reproducing the serial schedule.
+    LowerBytes.clear();
+    LowerPages.clear();
+    for (size_t T = 0; T != N; ++T) {
+      if (!Ran[T])
+        continue;
+      PhaseThread &S = States[T];
+      DeferredRound &D = Rounds[T];
+
+      // (1) Conflict check: a shared-memory read of a byte some
+      // lower-id thread wrote this round would have seen the new value
+      // under the serial schedule but saw the stale one here. Such
+      // quantum-grained sharing is outside the supported model; fail
+      // deterministically rather than diverge silently.
+      if (!LowerBytes.empty()) {
+        for (const auto &RR : D.ReadRanges) {
+          uint64_t FirstPage = RR.first >> mem::SimMemory::PageBits;
+          uint64_t LastPage =
+              (RR.first + RR.second - 1) >> mem::SimMemory::PageBits;
+          if (!LowerPages.count(FirstPage) &&
+              (LastPage == FirstPage || !LowerPages.count(LastPage)))
+            continue;
+          for (uint64_t B = 0; B != RR.second; ++B)
+            if (LowerBytes.count(RR.first + B))
+              fatalError("parallel engine: cross-thread read-after-write "
+                         "within one quantum round (thread " +
+                         std::to_string(T) + ", address " +
+                         std::to_string(RR.first + B) +
+                         "); run this phase with EngineKind::Serial");
+        }
+      }
+
+      // (2) Commit the store overlay to shared memory.
+      for (const auto &KV : D.StoreBytes)
+        M.Memory.write(KV.first, 1, KV.second);
+
+      // (3) Replay this thread's shared-L3 traffic.
+      D.L3.replay(S.Hierarchy->l3());
+
+      // (4) Account deferred latencies; deliver parked PMU samples.
+      S.Interp->resolveDeferredRound();
+
+      // (5) A thread paused in front of Alloc/Free finishes its
+      // quantum here, in commit order, with direct execution.
+      if (D.Paused) {
+        D.RoundMode = DeferredRound::Mode::Committing;
+        D.Paused = false;
+        uint64_t Done = S.Interp->getStats().Instructions - StartInstr[T];
+        AliveAfter[T] = S.Interp->step(Config.Quantum - Done) ? 1 : 0;
+      }
+      S.Interp->setDeferredRound(nullptr);
+
+      // (6) Publish this thread's write footprint for the checks of
+      // higher-id threads.
+      if (T + 1 != N) {
+        for (const auto &WR : D.WriteRanges) {
+          for (uint64_t B = 0; B != WR.second; ++B) {
+            LowerBytes.insert(WR.first + B);
+            LowerPages.insert((WR.first + B) >> mem::SimMemory::PageBits);
+          }
+        }
+      }
+
+      if (S.Interp->getStats().Instructions > Config.InstructionBudget)
+        fatalError("thread exceeded its instruction budget");
+      if (!AliveAfter[T]) {
+        S.Alive = false;
+        --AliveCount;
+      }
+    }
+  }
+}
+
+} // namespace
 
 ThreadedRuntime::ThreadedRuntime(RunConfig Config)
     : Config(std::move(Config)) {
@@ -27,18 +178,10 @@ void ThreadedRuntime::runPhase(const ir::Program &P,
   if (Config.AttachProfiler && !CodeMap)
     fatalError("profiler attached but no code map supplied");
 
-  struct ThreadState {
-    std::unique_ptr<cache::MemoryHierarchy> Hierarchy;
-    std::unique_ptr<pmu::PmuModel> Pmu;
-    std::unique_ptr<ProfileBuilder> Builder;
-    std::unique_ptr<Interpreter> Interp;
-    bool Alive = true;
-  };
-
-  std::vector<ThreadState> States;
+  std::vector<PhaseThread> States;
   States.reserve(Threads.size());
   for (const ThreadSpec &Spec : Threads) {
-    ThreadState S;
+    PhaseThread S;
     uint32_t Tid = NextThreadId++;
     S.Hierarchy = std::make_unique<cache::MemoryHierarchy>(Config.Hierarchy,
                                                            SharedL3.get());
@@ -48,8 +191,11 @@ void ThreadedRuntime::runPhase(const ir::Program &P,
                                                    Config.Sampling.Period);
       S.Pmu->setSink(S.Builder.get());
     }
-    S.Interp = std::make_unique<Interpreter>(P, M, *S.Hierarchy,
-                                             S.Pmu.get(), Tid);
+    // A detached profiler arms no sink; skip the PMU on the per-access
+    // path entirely (the "measure native speed" configuration).
+    S.Interp = std::make_unique<Interpreter>(
+        P, M, *S.Hierarchy, Config.AttachProfiler ? S.Pmu.get() : nullptr,
+        Tid);
     if (S.Builder)
       S.Builder->setCallPathProvider(S.Interp.get());
     if (Tracer)
@@ -58,27 +204,28 @@ void ThreadedRuntime::runPhase(const ir::Program &P,
     States.push_back(std::move(S));
   }
 
-  auto Begin = std::chrono::steady_clock::now();
-  size_t AliveCount = States.size();
-  while (AliveCount != 0) {
-    for (ThreadState &S : States) {
-      if (!S.Alive)
-        continue;
-      if (!S.Interp->step(Config.Quantum)) {
-        S.Alive = false;
-        --AliveCount;
-      }
-      if (S.Interp->getStats().Instructions > Config.InstructionBudget)
-        fatalError("thread exceeded its instruction budget");
-    }
+  // Engine selection. Single-thread phases and traced runs always use
+  // the serial loop; Auto additionally requires a multicore host.
+  bool UseParallel = false;
+  if (Threads.size() > 1 && !Tracer) {
+    if (Config.Engine == EngineKind::Parallel)
+      UseParallel = true;
+    else if (Config.Engine == EngineKind::Auto)
+      UseParallel = support::ThreadPool::defaultThreadCount() > 1;
   }
+
+  auto Begin = std::chrono::steady_clock::now();
+  if (UseParallel)
+    runParallelLoop(Config, M, States);
+  else
+    runSerialLoop(Config, States);
   auto End = std::chrono::steady_clock::now();
   Accum.WallSeconds +=
       std::chrono::duration<double>(End - Begin).count();
 
   // Fold this phase's results into the accumulated run result.
   uint64_t PhaseMaxCycles = 0;
-  for (ThreadState &S : States) {
+  for (PhaseThread &S : States) {
     RunStats Stats = S.Interp->getStats();
     // Charge the simulated sampling-interrupt cost to the thread that
     // took the samples.

@@ -46,12 +46,29 @@ struct ThreadSpec {
   std::vector<uint64_t> Args;
 };
 
+/// Which phase engine executes multithreaded phases.
+///
+/// Serial is the reference: a deterministic round-robin interleave at
+/// Quantum-instruction granularity on the calling thread. Parallel
+/// runs each logical thread's quantum on its own OS thread (via the
+/// shared support::ThreadPool) and commits all process-shared effects
+/// — memory stores, shared-L3 traffic, PMU sample delivery, allocator
+/// mutations — at a round barrier in thread-id order, reproducing the
+/// serial schedule bit for bit. Auto picks Parallel when the host has
+/// more than one core, the phase has more than one thread, and no
+/// instrumentation TraceSink is attached (tracers observe accesses in
+/// schedule order and therefore force the serial engine; so does
+/// Parallel when a tracer is present).
+enum class EngineKind : uint8_t { Auto, Serial, Parallel };
+
 /// Runtime configuration.
 struct RunConfig {
   cache::HierarchyConfig Hierarchy;
   pmu::SamplingConfig Sampling;
   /// Attach the StructSlim profiler (PMU sampling + online handler)?
   bool AttachProfiler = true;
+  /// Phase engine selection; results are identical either way.
+  EngineKind Engine = EngineKind::Auto;
   /// Instructions per round-robin slice in multithreaded phases.
   uint64_t Quantum = 64;
   /// Per-thread runaway guard.

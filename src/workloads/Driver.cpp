@@ -29,7 +29,8 @@ WorkloadRun structslim::workloads::runWorkload(const Workload &W,
   Out.Result = Runtime.finish();
 
   if (Attach)
-    Out.Merged = profile::mergeProfiles(std::move(Out.Result.Profiles));
+    Out.Merged = profile::mergeProfiles(std::move(Out.Result.Profiles),
+                                        Config.WorkerThreads);
   return Out;
 }
 
@@ -52,7 +53,7 @@ structslim::workloads::runProcesses(const Workload &W,
       Out.CodeMap = std::move(Run.CodeMap);
   }
   Out.Merged = profile::mergeProfiles(std::move(PerProcess),
-                                      /*WorkerThreads=*/4);
+                                      Config.WorkerThreads);
   return Out;
 }
 

@@ -1,0 +1,495 @@
+//===- tests/parallel_runtime_test.cpp - Parallel engine tests -*- C++ -*-===//
+//
+// The parallel phase engine's contract is bit-identical results: for
+// every multithreaded phase, profiles, cache counters, samples, and
+// simulated cycles must equal the serial round-robin engine's. These
+// tests run the same programs under both engines and diff everything,
+// and separately check the SoA age-counter cache against a reference
+// shift-based LRU model access for access.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CodeMap.h"
+#include "ir/ProgramBuilder.h"
+#include "profile/ProfileIO.h"
+#include "runtime/ThreadedRuntime.h"
+#include "support/Random.h"
+#include "support/ThreadPool.h"
+#include "workloads/Driver.h"
+#include "workloads/Registry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <sstream>
+
+using namespace structslim;
+using namespace structslim::runtime;
+using structslim::ir::NoReg;
+using structslim::ir::Reg;
+
+namespace {
+
+std::string profileText(const profile::Profile &P) {
+  std::ostringstream OS;
+  profile::writeProfile(P, OS);
+  return OS.str();
+}
+
+/// Asserts that two runs are bit-identical: every counter and every
+/// serialized per-thread profile.
+void expectIdenticalRuns(const RunResult &Serial, const RunResult &Parallel) {
+  EXPECT_EQ(Serial.ElapsedCycles, Parallel.ElapsedCycles);
+  EXPECT_EQ(Serial.TotalCycles, Parallel.TotalCycles);
+  EXPECT_EQ(Serial.Instructions, Parallel.Instructions);
+  EXPECT_EQ(Serial.MemoryAccesses, Parallel.MemoryAccesses);
+  EXPECT_EQ(Serial.Samples, Parallel.Samples);
+  for (unsigned Level = 0; Level != 3; ++Level) {
+    EXPECT_EQ(Serial.Accesses[Level], Parallel.Accesses[Level])
+        << "level " << Level;
+    EXPECT_EQ(Serial.Misses[Level], Parallel.Misses[Level])
+        << "level " << Level;
+  }
+  EXPECT_EQ(Serial.ReturnValues, Parallel.ReturnValues);
+  ASSERT_EQ(Serial.Profiles.size(), Parallel.Profiles.size());
+  for (size_t I = 0; I != Serial.Profiles.size(); ++I)
+    EXPECT_EQ(profileText(Serial.Profiles[I]),
+              profileText(Parallel.Profiles[I]))
+        << "profile " << I;
+}
+
+/// CLOMP-style phase: read-only workers scanning partitions of a
+/// shared array published through a static mailbox.
+struct ReaderProgram {
+  ir::Program P;
+  uint32_t MainId = 0;
+  uint32_t WorkerId = 0;
+
+  ReaderProgram(Machine &M, int64_t N, unsigned Threads) {
+    uint64_t Mailbox = M.defineStatic("mailbox", 64);
+    int64_t Part = N / Threads;
+    ir::Function &Main = P.addFunction("main", 0);
+    MainId = Main.Id;
+    {
+      ir::ProgramBuilder B(P, Main);
+      Reg Bytes = B.constI(N * 8);
+      Reg Base = B.alloc(Bytes, "shared");
+      B.forLoopI(0, N, 1, [&](Reg I) { B.store(I, Base, I, 8, 0, 8); });
+      Reg Mb = B.constI(static_cast<int64_t>(Mailbox));
+      B.store(Base, Mb, NoReg, 1, 0, 8);
+      B.ret();
+    }
+    ir::Function &Worker = P.addFunction("reader", 1);
+    WorkerId = Worker.Id;
+    {
+      ir::ProgramBuilder B(P, Worker);
+      Reg Tid = 0;
+      Reg Mb = B.constI(static_cast<int64_t>(Mailbox));
+      Reg Base = B.load(Mb, NoReg, 1, 0, 8);
+      Reg Lo = B.mul(Tid, B.constI(Part));
+      Reg Hi = B.add(Lo, B.constI(Part));
+      Reg Acc = B.constI(0);
+      B.setLine(10);
+      B.forLoop(Lo, Hi, 1, [&](Reg I) {
+        B.setLine(11);
+        Reg V = B.load(Base, I, 8, 0, 8);
+        B.accumulate(Acc, V);
+        B.setLine(10);
+      });
+      B.ret(Acc);
+    }
+  }
+};
+
+/// Health-style phase: each worker stores into (then re-reads) its own
+/// disjoint partition of a shared array.
+struct WriterProgram {
+  ir::Program P;
+  uint32_t MainId = 0;
+  uint32_t WorkerId = 0;
+
+  WriterProgram(Machine &M, int64_t N, unsigned Threads) {
+    uint64_t Mailbox = M.defineStatic("mailbox", 64);
+    int64_t Part = N / Threads;
+    ir::Function &Main = P.addFunction("main", 0);
+    MainId = Main.Id;
+    {
+      ir::ProgramBuilder B(P, Main);
+      Reg Bytes = B.constI(N * 8);
+      Reg Base = B.alloc(Bytes, "field");
+      B.forLoopI(0, N, 1, [&](Reg I) { B.store(I, Base, I, 8, 0, 8); });
+      Reg Mb = B.constI(static_cast<int64_t>(Mailbox));
+      B.store(Base, Mb, NoReg, 1, 0, 8);
+      B.ret();
+    }
+    ir::Function &Worker = P.addFunction("writer", 1);
+    WorkerId = Worker.Id;
+    {
+      ir::ProgramBuilder B(P, Worker);
+      Reg Tid = 0;
+      Reg Mb = B.constI(static_cast<int64_t>(Mailbox));
+      Reg Base = B.load(Mb, NoReg, 1, 0, 8);
+      Reg Lo = B.mul(Tid, B.constI(Part));
+      Reg Hi = B.add(Lo, B.constI(Part));
+      B.setLine(20);
+      // Pass 1: increment every element of the own partition.
+      B.forLoop(Lo, Hi, 1, [&](Reg I) {
+        B.setLine(21);
+        Reg V = B.load(Base, I, 8, 0, 8);
+        Reg W = B.add(V, B.constI(3));
+        B.store(W, Base, I, 8, 0, 8);
+        B.setLine(20);
+      });
+      // Pass 2: sum it back (reads own writes from earlier rounds).
+      Reg Acc = B.constI(0);
+      B.setLine(22);
+      B.forLoop(Lo, Hi, 1, [&](Reg I) {
+        B.setLine(23);
+        Reg V = B.load(Base, I, 8, 0, 8);
+        B.accumulate(Acc, V);
+        B.setLine(22);
+      });
+      B.ret(Acc);
+    }
+  }
+};
+
+/// Workers that allocate, fill, sum, and free private heap buffers in
+/// a loop — every Alloc/Free exercises the pause-and-commit path of
+/// the parallel engine.
+struct AllocProgram {
+  ir::Program P;
+  uint32_t WorkerId = 0;
+
+  explicit AllocProgram(int64_t Elems, int64_t Iters) {
+    ir::Function &Worker = P.addFunction("churn", 1);
+    WorkerId = Worker.Id;
+    ir::ProgramBuilder B(P, Worker);
+    Reg Tid = 0;
+    Reg Acc = B.constI(0);
+    B.forLoopI(0, Iters, 1, [&](Reg R) {
+      Reg Bytes = B.constI(Elems * 8);
+      Reg Buf = B.alloc(Bytes, "scratch");
+      B.setLine(30);
+      B.forLoop(B.constI(0), B.constI(Elems), 1, [&](Reg I) {
+        B.setLine(31);
+        Reg V = B.add(B.add(I, Tid), R);
+        B.store(V, Buf, I, 8, 0, 8);
+        B.setLine(30);
+      });
+      B.setLine(32);
+      B.forLoop(B.constI(0), B.constI(Elems), 1, [&](Reg I) {
+        B.setLine(33);
+        Reg V = B.load(Buf, I, 8, 0, 8);
+        B.accumulate(Acc, V);
+        B.setLine(32);
+      });
+      B.free(Buf);
+    });
+    B.ret(Acc);
+  }
+};
+
+RunConfig denseSamplingConfig(EngineKind Engine) {
+  RunConfig Cfg;
+  Cfg.Engine = Engine;
+  // Dense, jittered sampling so the deferred-delivery path carries
+  // real traffic even in small tests.
+  Cfg.Sampling.Period = 64;
+  return Cfg;
+}
+
+template <typename Prog>
+RunResult runMainThenWorkers(EngineKind Engine, unsigned Threads, int64_t N) {
+  ThreadedRuntime RT(denseSamplingConfig(Engine));
+  Prog Program(RT.machine(), N, Threads);
+  analysis::CodeMap Map(Program.P);
+  RT.runPhase(Program.P, &Map, {ThreadSpec{Program.MainId, {}}});
+  std::vector<ThreadSpec> Workers;
+  for (uint64_t T = 0; T != Threads; ++T)
+    Workers.push_back(ThreadSpec{Program.WorkerId, {T}});
+  RT.runPhase(Program.P, &Map, Workers);
+  return RT.finish();
+}
+
+} // namespace
+
+TEST(ParallelEngine, ReadOnlyWorkersBitIdentical) {
+  RunResult Serial =
+      runMainThenWorkers<ReaderProgram>(EngineKind::Serial, 4, 4096);
+  RunResult Parallel =
+      runMainThenWorkers<ReaderProgram>(EngineKind::Parallel, 4, 4096);
+  expectIdenticalRuns(Serial, Parallel);
+  EXPECT_GT(Serial.Samples, 0u);
+}
+
+TEST(ParallelEngine, PartitionedWritersBitIdentical) {
+  RunResult Serial =
+      runMainThenWorkers<WriterProgram>(EngineKind::Serial, 4, 4096);
+  RunResult Parallel =
+      runMainThenWorkers<WriterProgram>(EngineKind::Parallel, 4, 4096);
+  expectIdenticalRuns(Serial, Parallel);
+  EXPECT_GT(Serial.Samples, 0u);
+}
+
+TEST(ParallelEngine, ManyThreadsOddCountBitIdentical) {
+  RunResult Serial =
+      runMainThenWorkers<WriterProgram>(EngineKind::Serial, 7, 7 * 700);
+  RunResult Parallel =
+      runMainThenWorkers<WriterProgram>(EngineKind::Parallel, 7, 7 * 700);
+  expectIdenticalRuns(Serial, Parallel);
+}
+
+TEST(ParallelEngine, AllocFreeChurnBitIdentical) {
+  auto Execute = [](EngineKind Engine) {
+    ThreadedRuntime RT(denseSamplingConfig(Engine));
+    AllocProgram Program(/*Elems=*/96, /*Iters=*/5);
+    analysis::CodeMap Map(Program.P);
+    std::vector<ThreadSpec> Workers;
+    for (uint64_t T = 0; T != 4; ++T)
+      Workers.push_back(ThreadSpec{Program.WorkerId, {T}});
+    RT.runPhase(Program.P, &Map, Workers);
+    return RT.finish();
+  };
+  RunResult Serial = Execute(EngineKind::Serial);
+  RunResult Parallel = Execute(EngineKind::Parallel);
+  expectIdenticalRuns(Serial, Parallel);
+  EXPECT_GT(Serial.Samples, 0u);
+}
+
+TEST(ParallelEngine, QuantumVariationsStayIdentical) {
+  for (uint64_t Quantum : {1ull, 17ull, 64ull, 1024ull}) {
+    auto Execute = [Quantum](EngineKind Engine) {
+      RunConfig Cfg = denseSamplingConfig(Engine);
+      Cfg.Quantum = Quantum;
+      ThreadedRuntime RT(Cfg);
+      WriterProgram Program(RT.machine(), 1024, 3);
+      analysis::CodeMap Map(Program.P);
+      RT.runPhase(Program.P, &Map, {ThreadSpec{Program.MainId, {}}});
+      std::vector<ThreadSpec> Workers;
+      for (uint64_t T = 0; T != 3; ++T)
+        Workers.push_back(ThreadSpec{Program.WorkerId, {T}});
+      RT.runPhase(Program.P, &Map, Workers);
+      return RT.finish();
+    };
+    RunResult Serial = Execute(EngineKind::Serial);
+    RunResult Parallel = Execute(EngineKind::Parallel);
+    expectIdenticalRuns(Serial, Parallel);
+  }
+}
+
+// The full pipeline on the paper's two multithreaded workloads: the
+// merged profile a user sees must not depend on the engine.
+TEST(ParallelEngine, ClompWorkloadBitIdentical) {
+  auto Execute = [](EngineKind Engine) {
+    auto W = workloads::makeClomp();
+    workloads::DriverConfig Cfg;
+    Cfg.Scale = 0.1;
+    Cfg.Run.Sampling.Period = 2000;
+    Cfg.Run.Engine = Engine;
+    transform::FieldMap Map(W->hotLayout());
+    return workloads::runWorkload(*W, Map, Cfg, /*Attach=*/true);
+  };
+  workloads::WorkloadRun Serial = Execute(EngineKind::Serial);
+  workloads::WorkloadRun Parallel = Execute(EngineKind::Parallel);
+  expectIdenticalRuns(Serial.Result, Parallel.Result);
+  EXPECT_EQ(profileText(Serial.Merged), profileText(Parallel.Merged));
+}
+
+TEST(ParallelEngine, HealthWorkloadBitIdentical) {
+  auto Execute = [](EngineKind Engine) {
+    auto W = workloads::makeHealth();
+    workloads::DriverConfig Cfg;
+    Cfg.Scale = 0.1;
+    Cfg.Run.Sampling.Period = 2000;
+    Cfg.Run.Engine = Engine;
+    transform::FieldMap Map(W->hotLayout());
+    return workloads::runWorkload(*W, Map, Cfg, /*Attach=*/true);
+  };
+  workloads::WorkloadRun Serial = Execute(EngineKind::Serial);
+  workloads::WorkloadRun Parallel = Execute(EngineKind::Parallel);
+  expectIdenticalRuns(Serial.Result, Parallel.Result);
+  EXPECT_EQ(profileText(Serial.Merged), profileText(Parallel.Merged));
+}
+
+// Cross-thread read-after-write inside one quantum round is outside
+// the deterministic model and must abort loudly, not diverge.
+TEST(ParallelEngineDeathTest, SameRoundSharingAborts) {
+  // Threadsafe style re-executes the test in a fresh child process, so
+  // the child's thread pool is created after the fork.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto Conflict = [] {
+    RunConfig Cfg;
+    Cfg.Engine = EngineKind::Parallel;
+    ThreadedRuntime RT(Cfg);
+    uint64_t Mailbox = RT.machine().defineStatic("flag", 8);
+    ir::Program P;
+    ir::Function &Ping = P.addFunction("ping", 1);
+    {
+      ir::ProgramBuilder B(P, Ping);
+      Reg Tid = 0;
+      Reg Mb = B.constI(static_cast<int64_t>(Mailbox));
+      // Every thread stores to and loads from the same byte in the
+      // same round: thread 1's load needs thread 0's same-round store.
+      B.forLoopI(0, 64, 1, [&](Reg) {
+        B.store(Tid, Mb, NoReg, 1, 0, 8);
+        B.load(Mb, NoReg, 1, 0, 8);
+      });
+      B.ret();
+    }
+    analysis::CodeMap Map(P);
+    RT.runPhase(P, &Map,
+                {ThreadSpec{Ping.Id, {0}}, ThreadSpec{Ping.Id, {1}}});
+    RT.finish();
+  };
+  EXPECT_DEATH(Conflict(), "read-after-write");
+}
+
+// --- SoA cache vs the reference shift-based LRU model. -----------------
+
+namespace {
+
+/// The pre-SoA cache: per set a physically ordered way array, front =
+/// most recent; hits move to front, misses evict the back.
+class ShiftLruReference {
+public:
+  explicit ShiftLruReference(const cache::CacheConfig &Config)
+      : Assoc(Config.Assoc),
+        NumSets(Config.SizeBytes / Config.LineSize / Config.Assoc),
+        Sets(NumSets, std::vector<Way>(Config.Assoc)) {}
+
+  bool access(uint64_t LineAddr) {
+    std::vector<Way> &S = Sets[LineAddr % NumSets];
+    for (size_t W = 0; W != S.size(); ++W) {
+      if (S[W].Valid && S[W].Tag == LineAddr) {
+        Way Hit = S[W];
+        S.erase(S.begin() + W);
+        S.insert(S.begin(), Hit);
+        ++Hits;
+        return true;
+      }
+    }
+    S.pop_back();
+    S.insert(S.begin(), Way{LineAddr, true});
+    ++Misses;
+    return false;
+  }
+
+  void installPrefetch(uint64_t LineAddr) {
+    std::vector<Way> &S = Sets[LineAddr % NumSets];
+    for (size_t W = 0; W != S.size(); ++W) {
+      if (S[W].Valid && S[W].Tag == LineAddr) {
+        Way Hit = S[W];
+        S.erase(S.begin() + W);
+        S.insert(S.begin(), Hit);
+        return;
+      }
+    }
+    S.pop_back();
+    S.insert(S.begin(), Way{LineAddr, true});
+  }
+
+  uint64_t getHits() const { return Hits; }
+  uint64_t getMisses() const { return Misses; }
+
+private:
+  struct Way {
+    uint64_t Tag = 0;
+    bool Valid = false;
+  };
+  unsigned Assoc;
+  uint64_t NumSets;
+  std::vector<std::vector<Way>> Sets;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+void compareOnRandomTrace(const cache::CacheConfig &Config, uint64_t Seed,
+                          size_t Accesses, uint64_t AddressSpaceLines) {
+  cache::SetAssocCache Soa(Config);
+  ShiftLruReference Ref(Config);
+  Rng R(Seed);
+  for (size_t I = 0; I != Accesses; ++I) {
+    uint64_t Line = R.nextBelow(AddressSpaceLines);
+    if (R.nextBelow(10) == 0) {
+      // ~10% prefetch installs interleaved with demand traffic.
+      Soa.installPrefetch(Line);
+      Ref.installPrefetch(Line);
+    } else {
+      bool SoaHit = Soa.access(Line);
+      bool RefHit = Ref.access(Line);
+      ASSERT_EQ(SoaHit, RefHit)
+          << Config.Name << ": access " << I << " line " << Line;
+    }
+  }
+  EXPECT_EQ(Soa.getHits(), Ref.getHits());
+  EXPECT_EQ(Soa.getMisses(), Ref.getMisses());
+}
+
+} // namespace
+
+TEST(SoaCacheEquivalence, L1GeometryRandomTraces) {
+  cache::CacheConfig C{"L1d", 32 * 1024, 8, 64, 4};
+  // Working sets below, around, and far above capacity.
+  compareOnRandomTrace(C, 1, 200000, 256);
+  compareOnRandomTrace(C, 2, 200000, 4096);
+  compareOnRandomTrace(C, 3, 200000, 1 << 20);
+}
+
+TEST(SoaCacheEquivalence, TinyCacheMaximalEvictionPressure) {
+  cache::CacheConfig C{"tiny", 4 * 2 * 64, 2, 64, 1};
+  compareOnRandomTrace(C, 4, 100000, 64);
+}
+
+TEST(SoaCacheEquivalence, NonPowerOfTwoSets) {
+  // 5 sets of 4 ways: exercises the modulo set indexing.
+  cache::CacheConfig C{"npot", 5 * 4 * 64, 4, 64, 1};
+  compareOnRandomTrace(C, 5, 100000, 160);
+}
+
+TEST(SoaCacheEquivalence, DirectMappedAndHighAssoc) {
+  cache::CacheConfig Direct{"direct", 64 * 64, 1, 64, 1};
+  compareOnRandomTrace(Direct, 6, 50000, 512);
+  cache::CacheConfig Wide{"wide", 16 * 64, 16, 64, 1};
+  compareOnRandomTrace(Wide, 7, 50000, 64);
+}
+
+// --- ThreadPool basics (also the TSan targets). ------------------------
+
+TEST(ThreadPool, RunExecutesEveryTaskOnce) {
+  support::ThreadPool Pool(4);
+  std::atomic<int> Count{0};
+  std::vector<std::function<void()>> Tasks(
+      64, [&Count] { Count.fetch_add(1); });
+  Pool.run(Tasks);
+  EXPECT_EQ(Count.load(), 64);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactly) {
+  support::ThreadPool Pool(3);
+  std::vector<std::atomic<int>> Touched(1000);
+  Pool.parallelFor(0, Touched.size(),
+                   [&Touched](size_t I) { Touched[I].fetch_add(1); });
+  for (size_t I = 0; I != Touched.size(); ++I)
+    ASSERT_EQ(Touched[I].load(), 1) << I;
+}
+
+TEST(ThreadPool, EnsureWorkersGrowsNeverShrinks) {
+  support::ThreadPool Pool(2);
+  EXPECT_EQ(Pool.getWorkerCount(), 2u);
+  Pool.ensureWorkers(6);
+  EXPECT_EQ(Pool.getWorkerCount(), 6u);
+  Pool.ensureWorkers(3);
+  EXPECT_EQ(Pool.getWorkerCount(), 6u);
+  std::atomic<int> Count{0};
+  std::vector<std::function<void()>> Tasks(
+      32, [&Count] { Count.fetch_add(1); });
+  Pool.run(Tasks);
+  EXPECT_EQ(Count.load(), 32);
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsEnvOverride) {
+  // The pool never reports zero threads, env var or not.
+  EXPECT_GE(support::ThreadPool::defaultThreadCount(), 1u);
+}

@@ -17,7 +17,8 @@
 //     --threshold=T    affinity clustering threshold (default 0.5)
 //     --dot=<object>   print the object's affinity graph as dot
 //     --regroup        also print array-regrouping advice
-//     --jobs=N         merge worker threads (default 4)
+//     --jobs=N         merge worker threads (default 0 = auto:
+//                      STRUCTSLIM_THREADS env var, else all host cores)
 //
 //===----------------------------------------------------------------------===//
 
@@ -42,7 +43,7 @@ struct Options {
   std::string DotObject;
   bool Regroup = false;
   bool Contexts = false;
-  unsigned Jobs = 4;
+  unsigned Jobs = 0; // 0 = auto (see support::ThreadPool).
   std::vector<std::string> Files;
 };
 
