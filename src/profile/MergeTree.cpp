@@ -2,6 +2,8 @@
 
 #include "profile/MergeTree.h"
 
+#include "profile/ProfileIO.h"
+#include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
 
 using namespace structslim;
@@ -31,4 +33,34 @@ Profile structslim::profile::mergeProfiles(std::vector<Profile> Profiles,
     Profiles.resize(Profiles.size() - Pairs);
   }
   return std::move(Profiles.front());
+}
+
+MergeLoadResult
+structslim::profile::loadAndMergeProfiles(const std::vector<std::string> &Files,
+                                          const MergeOptions &Opts) {
+  MergeLoadResult Result;
+  std::vector<Profile> Profiles;
+  Profiles.reserve(Files.size());
+  support::FaultInjector &Injector = support::FaultInjector::instance();
+
+  for (const std::string &Path : Files) {
+    std::string Error;
+    auto P = readProfileFile(Path, &Error);
+    if (P && Injector.shouldFail(support::FaultSite::MergeShardAlloc)) {
+      P.reset();
+      Error = "injected allocation failure buffering shard";
+    }
+    if (!P) {
+      Result.Skipped.push_back({Path, Error});
+      if (Opts.Strict) {
+        Result.StrictFailure = true;
+        return Result;
+      }
+      continue;
+    }
+    Profiles.push_back(std::move(*P));
+    Result.Loaded.push_back(Path);
+  }
+  Result.Merged = mergeProfiles(std::move(Profiles), Opts.WorkerThreads);
+  return Result;
 }

@@ -10,6 +10,14 @@
 /// combined pairwise level by level, and independent pairs within a
 /// level merge on worker threads.
 ///
+/// The file-loading front end degrades gracefully: per-thread shards
+/// are written without synchronization and can be truncated, corrupted,
+/// or missing at merge time (the PROMPT/BOLT failure model), so a bad
+/// shard is skipped with a structured report and the surviving shards
+/// merge normally — any subset of a job's threads is a well-defined
+/// merge input. Strict mode restores hard failure for callers that
+/// need all-or-nothing semantics.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef STRUCTSLIM_PROFILE_MERGETREE_H
@@ -17,6 +25,7 @@
 
 #include "profile/Profile.h"
 
+#include <string>
 #include <vector>
 
 namespace structslim {
@@ -30,6 +39,40 @@ namespace profile {
 /// Consumes the input vector.
 Profile mergeProfiles(std::vector<Profile> Profiles,
                       unsigned WorkerThreads = 0);
+
+/// Knobs for the shard-loading front end.
+struct MergeOptions {
+  /// In strict mode the first unreadable shard aborts the load (the
+  /// result's StrictFailure is set and nothing is merged); otherwise
+  /// bad shards are skipped and reported in MergeLoadResult::Skipped.
+  bool Strict = false;
+  /// Passed through to mergeProfiles.
+  unsigned WorkerThreads = 0;
+};
+
+/// One shard that could not be loaded, and why.
+struct ShardFailure {
+  std::string Path;
+  std::string Message;
+};
+
+/// Outcome of loadAndMergeProfiles.
+struct MergeLoadResult {
+  Profile Merged;                    ///< Merge of the loaded shards.
+  std::vector<std::string> Loaded;   ///< Paths merged, in input order.
+  std::vector<ShardFailure> Skipped; ///< Shards dropped (or, in strict
+                                     ///< mode, the one that aborted).
+  bool StrictFailure = false;        ///< Strict mode hit a bad shard.
+};
+
+/// Reads every shard in \p Files (via profile::readProfileFile, so
+/// fault injection applies) and merges the readable ones. A merge of a
+/// partial thread set is well-defined — totals cover exactly the
+/// shards in Loaded. The fault-injection site
+/// support::FaultSite::MergeShardAlloc models a failed allocation
+/// while buffering a loaded shard; it reports like a load failure.
+MergeLoadResult loadAndMergeProfiles(const std::vector<std::string> &Files,
+                                     const MergeOptions &Opts = {});
 
 } // namespace profile
 } // namespace structslim

@@ -3,13 +3,25 @@
 #include "profile/ProfileIO.h"
 
 #include "profile/Profile.h"
+#include "support/Checksum.h"
+#include "support/FaultInjection.h"
 
+#include <fstream>
 #include <sstream>
 
 using namespace structslim;
 using namespace structslim::profile;
 
-static constexpr const char *Magic = "structslim-profile v1";
+static constexpr const char *MagicV1 = "structslim-profile v1";
+static constexpr const char *MagicV2 = "structslim-profile v2";
+static constexpr const char *EndMarker = "end v2";
+
+// The four checksummed sections, in file order.
+namespace {
+enum Section : unsigned { SecMeta = 0, SecObject, SecStream, SecCct, NumSections };
+}
+static constexpr const char *SectionNames[NumSections] = {"meta", "object",
+                                                          "stream", "cct"};
 
 // Whitespace-delimited fields cannot hold empty strings; "-" stands in
 // for an empty name/key on disk.
@@ -20,16 +32,30 @@ static std::string decodeName(const std::string &Name) {
   return Name == "-" ? "" : Name;
 }
 
-void structslim::profile::writeProfile(const Profile &P, std::ostream &OS) {
-  OS << Magic << "\n";
+//===----------------------------------------------------------------------===//
+// Writing
+//===----------------------------------------------------------------------===//
+
+static std::string serializeMeta(const Profile &P) {
+  std::ostringstream OS;
   OS << "meta " << P.ThreadId << " " << P.SamplePeriod << " "
      << P.TotalSamples << " " << P.TotalLatency << " "
      << P.UnattributedLatency << " " << P.Instructions << " "
      << P.MemoryAccesses << " " << P.Cycles << "\n";
+  return OS.str();
+}
+
+static std::string serializeObjects(const Profile &P) {
+  std::ostringstream OS;
   for (const ObjectAgg &O : P.Objects)
     OS << "object " << encodeName(O.Key) << " " << encodeName(O.Name)
        << " " << O.Start << " " << O.Size << " " << O.SampleCount << " "
        << O.LatencySum << "\n";
+  return OS.str();
+}
+
+static std::string serializeStreams(const Profile &P) {
+  std::ostringstream OS;
   for (const StreamRecord &S : P.Streams) {
     OS << "stream " << S.Ip << " " << S.ObjectIndex << " " << S.LoopId << " "
        << S.Line << " " << unsigned(S.AccessSize) << " " << S.SampleCount
@@ -41,7 +67,28 @@ void structslim::profile::writeProfile(const Profile &P, std::ostream &OS) {
     OS << " " << S.TlbMissSamples;
     OS << "\n";
   }
+  return OS.str();
+}
+
+static std::string serializeCct(const Profile &P) {
+  std::ostringstream OS;
   P.Contexts.write(OS);
+  return OS.str();
+}
+
+void structslim::profile::writeProfile(const Profile &P, std::ostream &OS) {
+  const std::string Sections[NumSections] = {
+      serializeMeta(P), serializeObjects(P), serializeStreams(P),
+      serializeCct(P)};
+  const size_t Counts[NumSections] = {1, P.Objects.size(), P.Streams.size(),
+                                      P.Contexts.size() - 1};
+  OS << MagicV2 << "\n";
+  for (const std::string &Body : Sections)
+    OS << Body;
+  for (unsigned S = 0; S != NumSections; ++S)
+    OS << "crc " << SectionNames[S] << " " << Counts[S] << " "
+       << support::crc32Hex(support::crc32(Sections[S])) << "\n";
+  OS << EndMarker << "\n";
 }
 
 std::string structslim::profile::profileToString(const Profile &P) {
@@ -50,6 +97,10 @@ std::string structslim::profile::profileToString(const Profile &P) {
   return OS.str();
 }
 
+//===----------------------------------------------------------------------===//
+// Reading
+//===----------------------------------------------------------------------===//
+
 static std::optional<Profile> failParse(std::string *Error,
                                         const std::string &Message) {
   if (Error)
@@ -57,62 +108,95 @@ static std::optional<Profile> failParse(std::string *Error,
   return std::nullopt;
 }
 
-std::optional<Profile>
-structslim::profile::readProfile(std::istream &IS, std::string *Error) {
-  std::string Line;
-  if (!std::getline(IS, Line) || Line != Magic)
-    return failParse(Error, "missing profile magic header");
+/// Parses one record line whose kind token was already extracted.
+/// Returns false with \p Message set on malformed content; \p Section
+/// reports which checksummed section the record belongs to.
+static bool parseRecord(const std::string &Kind, std::istringstream &LS,
+                        Profile &P, bool &SawMeta, unsigned &Section,
+                        std::string &Message) {
+  if (Kind == "meta") {
+    Section = SecMeta;
+    LS >> P.ThreadId >> P.SamplePeriod >> P.TotalSamples >> P.TotalLatency >>
+        P.UnattributedLatency >> P.Instructions >> P.MemoryAccesses >>
+        P.Cycles;
+    if (!LS) {
+      Message = "malformed meta line";
+      return false;
+    }
+    SawMeta = true;
+  } else if (Kind == "object") {
+    Section = SecObject;
+    ObjectAgg O;
+    LS >> O.Key >> O.Name >> O.Start >> O.Size >> O.SampleCount >>
+        O.LatencySum;
+    if (!LS) {
+      Message = "malformed object line";
+      return false;
+    }
+    O.Key = decodeName(O.Key);
+    O.Name = decodeName(O.Name);
+    P.Objects.push_back(std::move(O));
+  } else if (Kind == "stream") {
+    Section = SecStream;
+    StreamRecord S;
+    unsigned AccessSize = 0;
+    LS >> S.Ip >> S.ObjectIndex >> S.LoopId >> S.Line >> AccessSize >>
+        S.SampleCount >> S.LatencySum >> S.UniqueAddrCount >> S.StrideGcd >>
+        S.RepAddr >> S.LastAddr >> S.ObjectStart;
+    for (uint64_t &L : S.LevelSamples)
+      LS >> L;
+    LS >> S.TlbMissSamples;
+    if (!LS) {
+      Message = "malformed stream line";
+      return false;
+    }
+    S.AccessSize = static_cast<uint8_t>(AccessSize);
+    if (S.ObjectIndex >= P.Objects.size()) {
+      Message = "stream references unknown object";
+      return false;
+    }
+    P.Streams.push_back(std::move(S));
+  } else if (Kind == "cctnode") {
+    Section = SecCct;
+    uint32_t Parent = 0;
+    uint64_t Ip = 0, Latency = 0, Samples = 0;
+    LS >> Parent >> Ip >> Latency >> Samples;
+    if (!LS) {
+      Message = "malformed cctnode line";
+      return false;
+    }
+    if (!P.Contexts.addSerializedNode(Parent, Ip, Latency, Samples)) {
+      Message = "cctnode references unknown parent";
+      return false;
+    }
+  } else {
+    Message = "unknown record kind '" + Kind + "'";
+    return false;
+  }
+  return true;
+}
 
+/// The legacy unversioned reader: records until EOF, no integrity
+/// trailer. Kept so profiles recorded before the versioned format
+/// still load (BOLT-style backward compatibility).
+static std::optional<Profile> readProfileV1(std::istream &IS,
+                                            std::string *Error) {
   Profile P;
   bool SawMeta = false;
+  std::string Line;
+  size_t LineNo = 1;
   while (std::getline(IS, Line)) {
+    ++LineNo;
     if (Line.empty())
       continue;
     std::istringstream LS(Line);
     std::string Kind;
     LS >> Kind;
-    if (Kind == "meta") {
-      LS >> P.ThreadId >> P.SamplePeriod >> P.TotalSamples >>
-          P.TotalLatency >> P.UnattributedLatency >> P.Instructions >>
-          P.MemoryAccesses >> P.Cycles;
-      if (!LS)
-        return failParse(Error, "malformed meta line");
-      SawMeta = true;
-    } else if (Kind == "object") {
-      ObjectAgg O;
-      LS >> O.Key >> O.Name >> O.Start >> O.Size >> O.SampleCount >>
-          O.LatencySum;
-      if (!LS)
-        return failParse(Error, "malformed object line");
-      O.Key = decodeName(O.Key);
-      O.Name = decodeName(O.Name);
-      P.Objects.push_back(std::move(O));
-    } else if (Kind == "stream") {
-      StreamRecord S;
-      unsigned AccessSize = 0;
-      LS >> S.Ip >> S.ObjectIndex >> S.LoopId >> S.Line >> AccessSize >>
-          S.SampleCount >> S.LatencySum >> S.UniqueAddrCount >>
-          S.StrideGcd >> S.RepAddr >> S.LastAddr >> S.ObjectStart;
-      for (uint64_t &L : S.LevelSamples)
-        LS >> L;
-      LS >> S.TlbMissSamples;
-      if (!LS)
-        return failParse(Error, "malformed stream line");
-      S.AccessSize = static_cast<uint8_t>(AccessSize);
-      if (S.ObjectIndex >= P.Objects.size())
-        return failParse(Error, "stream references unknown object");
-      P.Streams.push_back(std::move(S));
-    } else if (Kind == "cctnode") {
-      uint32_t Parent = 0;
-      uint64_t Ip = 0, Latency = 0, Samples = 0;
-      LS >> Parent >> Ip >> Latency >> Samples;
-      if (!LS)
-        return failParse(Error, "malformed cctnode line");
-      if (!P.Contexts.addSerializedNode(Parent, Ip, Latency, Samples))
-        return failParse(Error, "cctnode references unknown parent");
-    } else {
-      return failParse(Error, "unknown record kind '" + Kind + "'");
-    }
+    unsigned Section = 0;
+    std::string Message;
+    if (!parseRecord(Kind, LS, P, SawMeta, Section, Message))
+      return failParse(Error,
+                       "line " + std::to_string(LineNo) + ": " + Message);
   }
   if (!SawMeta)
     return failParse(Error, "profile has no meta record");
@@ -120,9 +204,151 @@ structslim::profile::readProfile(std::istream &IS, std::string *Error) {
   return P;
 }
 
+/// The versioned reader: records, then one "crc <section> <count>
+/// <crc32hex>" line per section, then the end marker. Content after a
+/// clean trailer, a checksum/count mismatch, or a missing end marker
+/// (truncation) all reject the shard.
+static std::optional<Profile> readProfileV2(std::istream &IS,
+                                            std::string *Error) {
+  Profile P;
+  bool SawMeta = false;
+  uint32_t SectionCrc[NumSections] = {};
+  uint64_t SectionCount[NumSections] = {};
+  bool SectionVerified[NumSections] = {};
+  bool InTrailer = false;
+  bool SawEnd = false;
+  std::string Line;
+  size_t LineNo = 1;
+
+  auto Fail = [&](const std::string &Message) {
+    return failParse(Error, "line " + std::to_string(LineNo) + ": " + Message);
+  };
+
+  while (std::getline(IS, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    if (SawEnd)
+      return Fail("trailing data after end marker");
+    std::istringstream LS(Line);
+    std::string Kind;
+    LS >> Kind;
+    if (Kind == "crc") {
+      InTrailer = true;
+      std::string Name, Hex;
+      uint64_t Count = 0;
+      LS >> Name >> Count >> Hex;
+      if (!LS)
+        return Fail("malformed crc line");
+      unsigned Section = NumSections;
+      for (unsigned S = 0; S != NumSections; ++S)
+        if (Name == SectionNames[S])
+          Section = S;
+      if (Section == NumSections)
+        return Fail("crc line names unknown section '" + Name + "'");
+      if (SectionVerified[Section])
+        return Fail("duplicate crc line for section '" + Name + "'");
+      uint32_t Expected = 0;
+      if (!support::parseCrc32Hex(Hex, Expected))
+        return Fail("malformed crc value '" + Hex + "'");
+      if (Count != SectionCount[Section])
+        return Fail("section '" + Name + "' record count mismatch (header " +
+                    std::to_string(Count) + ", found " +
+                    std::to_string(SectionCount[Section]) + ")");
+      if (Expected != SectionCrc[Section])
+        return Fail("section '" + Name + "' checksum mismatch");
+      SectionVerified[Section] = true;
+    } else if (Line == EndMarker) {
+      for (unsigned S = 0; S != NumSections; ++S)
+        if (!SectionVerified[S])
+          return Fail("incomplete checksum trailer (section '" +
+                      std::string(SectionNames[S]) + "' unverified)");
+      SawEnd = true;
+    } else {
+      if (InTrailer)
+        return Fail("record after checksum trailer");
+      unsigned Section = 0;
+      std::string Message;
+      if (!parseRecord(Kind, LS, P, SawMeta, Section, Message))
+        return Fail(Message);
+      SectionCrc[Section] =
+          support::crc32(Line.data(), Line.size(), SectionCrc[Section]);
+      SectionCrc[Section] = support::crc32("\n", 1, SectionCrc[Section]);
+      ++SectionCount[Section];
+    }
+  }
+  if (!SawEnd)
+    return failParse(Error, "truncated profile (missing end marker)");
+  if (!SawMeta)
+    return failParse(Error, "profile has no meta record");
+  P.reindex();
+  return P;
+}
+
+std::optional<Profile>
+structslim::profile::readProfile(std::istream &IS, std::string *Error) {
+  std::string Line;
+  if (!std::getline(IS, Line))
+    return failParse(Error, "missing profile magic header");
+  if (Line == MagicV2)
+    return readProfileV2(IS, Error);
+  if (Line == MagicV1)
+    return readProfileV1(IS, Error);
+  if (Line.rfind("structslim-profile v", 0) == 0)
+    return failParse(Error, "unsupported profile format version '" +
+                                Line.substr(20) + "'");
+  return failParse(Error, "missing profile magic header");
+}
+
 std::optional<Profile>
 structslim::profile::profileFromString(const std::string &Text,
                                        std::string *Error) {
   std::istringstream IS(Text);
   return readProfile(IS, Error);
+}
+
+//===----------------------------------------------------------------------===//
+// File boundary (where faults inject)
+//===----------------------------------------------------------------------===//
+
+std::optional<Profile>
+structslim::profile::readProfileFile(const std::string &Path,
+                                     std::string *Error) {
+  if (support::FaultInjector::instance().shouldFail(
+          support::FaultSite::ProfileOpenRead))
+    return failParse(Error, "injected open failure");
+  std::ifstream In(Path);
+  if (!In)
+    return failParse(Error, "cannot open file");
+  return readProfile(In, Error);
+}
+
+bool structslim::profile::writeProfileFile(const Profile &P,
+                                           const std::string &Path,
+                                           std::string *Error) {
+  support::FaultInjector &Injector = support::FaultInjector::instance();
+  if (Injector.shouldFail(support::FaultSite::ProfileOpenWrite)) {
+    if (Error)
+      *Error = "injected open failure";
+    return false;
+  }
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out) {
+    if (Error)
+      *Error = "cannot create file";
+    return false;
+  }
+  std::string Bytes = profileToString(P);
+  // The injection point modeling a mid-write crash or corrupted media:
+  // what lands on disk may be a strict prefix or a bit-flipped copy of
+  // what the profiler serialized.
+  Injector.mutate(support::FaultSite::ProfileWrite, Bytes);
+  Out << Bytes;
+  Out.flush();
+  if (!Out) {
+    if (Error)
+      *Error = "write failed";
+    return false;
+  }
+  return true;
 }

@@ -10,6 +10,28 @@
 /// them back and merges. A line-oriented format keeps the files
 /// diffable in tests.
 ///
+/// On-disk format (version 2): a magic+version header, the record
+/// sections (meta, object, stream, cctnode), then an integrity trailer
+/// of one CRC-32 line per section plus an end marker:
+///
+///   structslim-profile v2
+///   meta ...                      (exactly one)
+///   object ...                    (zero or more)
+///   stream ...                    (zero or more)
+///   cctnode ...                   (zero or more)
+///   crc meta <count> <crc32hex>
+///   crc object <count> <crc32hex>
+///   crc stream <count> <crc32hex>
+///   crc cct <count> <crc32hex>
+///   end v2
+///
+/// Each section checksum covers that section's record lines (newline
+/// included) in file order, so a truncated, torn, or bit-flipped shard
+/// is detected instead of being merged as silently wrong data; the
+/// missing end marker catches a shard cut off inside the trailer
+/// itself. The reader also accepts the legacy unversioned v1 format
+/// (no trailer, EOF-terminated) that pre-robustness profilers wrote.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef STRUCTSLIM_PROFILE_PROFILEIO_H
@@ -24,20 +46,39 @@ namespace profile {
 
 class Profile;
 
-/// Writes \p P to \p OS.
+/// The profile format version writeProfile emits. readProfile accepts
+/// this and every older version.
+inline constexpr unsigned ProfileFormatVersion = 2;
+
+/// Writes \p P to \p OS in the current (checksummed) format.
 void writeProfile(const Profile &P, std::ostream &OS);
 
 /// Serializes to a string.
 std::string profileToString(const Profile &P);
 
-/// Parses a profile; std::nullopt on malformed input (the error is
-/// described in \p Error when non-null).
+/// Parses a profile (current or legacy format, selected by the header
+/// line); std::nullopt on malformed input (the error is described in
+/// \p Error when non-null).
 std::optional<Profile> readProfile(std::istream &IS,
                                    std::string *Error = nullptr);
 
 /// Parses from a string.
 std::optional<Profile> profileFromString(const std::string &Text,
                                          std::string *Error = nullptr);
+
+/// Reads a profile shard from \p Path. Failures to open, injected
+/// faults (support::FaultSite::ProfileOpenRead), and parse errors all
+/// report through \p Error.
+std::optional<Profile> readProfileFile(const std::string &Path,
+                                       std::string *Error = nullptr);
+
+/// Writes \p P to \p Path. This is the boundary where fault injection
+/// applies: support::FaultSite::ProfileOpenWrite can fail the open and
+/// support::FaultSite::ProfileWrite can truncate or corrupt the bytes
+/// written (simulating a mid-write crash). False on failure, described
+/// in \p Error.
+bool writeProfileFile(const Profile &P, const std::string &Path,
+                      std::string *Error = nullptr);
 
 } // namespace profile
 } // namespace structslim

@@ -2,6 +2,7 @@
 
 #include "runtime/ThreadedRuntime.h"
 
+#include "profile/ProfileIO.h"
 #include "runtime/DeferredRound.h"
 #include "runtime/ProfileBuilder.h"
 #include "support/Error.h"
@@ -253,6 +254,25 @@ void ThreadedRuntime::runPhase(const ir::Program &P,
     }
   }
   Accum.ElapsedCycles += PhaseMaxCycles;
+}
+
+std::vector<std::string>
+structslim::runtime::dumpProfiles(const std::vector<profile::Profile> &Profiles,
+                                  const std::string &Dir,
+                                  const std::string &Prefix,
+                                  std::vector<std::string> *Failures) {
+  std::vector<std::string> Written;
+  Written.reserve(Profiles.size());
+  for (const profile::Profile &P : Profiles) {
+    std::string Path = Dir + "/" + Prefix + "thread" +
+                       std::to_string(P.ThreadId) + ".structslim";
+    std::string Error;
+    if (profile::writeProfileFile(P, Path, &Error))
+      Written.push_back(std::move(Path));
+    else if (Failures)
+      Failures->push_back(Path + ": " + Error);
+  }
+  return Written;
 }
 
 RunResult ThreadedRuntime::finish() {

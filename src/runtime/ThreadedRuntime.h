@@ -93,6 +93,20 @@ struct RunResult {
   uint64_t Misses[3] = {0, 0, 0};   ///< L1, L2, L3 demand misses.
 };
 
+/// Writes each profile in \p Profiles to its own shard file
+/// "<Dir>/<Prefix>thread<id>.structslim" — the online profiler's
+/// unsynchronized one-file-per-thread dump (paper Sec. 5.1). Goes
+/// through profile::writeProfileFile, so fault injection
+/// (support::FaultSite::ProfileOpenWrite / ProfileWrite) can fail an
+/// open or tear a write exactly as a crashing production run would.
+/// Returns the paths written, in profile order; shards that failed are
+/// reported as "<path>: <reason>" in \p Failures when non-null and are
+/// absent from the returned list.
+std::vector<std::string>
+dumpProfiles(const std::vector<profile::Profile> &Profiles,
+             const std::string &Dir, const std::string &Prefix = "",
+             std::vector<std::string> *Failures = nullptr);
+
 /// Owns the Machine and runs phases of threads over it.
 class ThreadedRuntime {
 public:

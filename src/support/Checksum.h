@@ -1,0 +1,42 @@
+//===- support/Checksum.h - CRC-32 checksums ------------------*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for the
+/// versioned profile format: each on-disk section carries a checksum so
+/// the offline analyzer can tell a torn or bit-flipped shard from a
+/// well-formed one instead of silently merging garbage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_SUPPORT_CHECKSUM_H
+#define STRUCTSLIM_SUPPORT_CHECKSUM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace structslim {
+namespace support {
+
+/// Computes the CRC-32 of \p Size bytes at \p Data. Incremental use:
+/// pass the previous return value as \p Crc to continue a running
+/// checksum (the pre/post inversion is handled internally).
+uint32_t crc32(const void *Data, size_t Size, uint32_t Crc = 0);
+
+/// Convenience overload over a byte string.
+uint32_t crc32(const std::string &Bytes, uint32_t Crc = 0);
+
+/// Renders \p Crc as exactly eight lowercase hex digits.
+std::string crc32Hex(uint32_t Crc);
+
+/// Parses an eight-digit hex checksum; false on malformed input.
+bool parseCrc32Hex(const std::string &Text, uint32_t &Crc);
+
+} // namespace support
+} // namespace structslim
+
+#endif // STRUCTSLIM_SUPPORT_CHECKSUM_H

@@ -10,10 +10,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Advice.h"
+#include "profile/MergeTree.h"
+#include "profile/ProfileIO.h"
+#include "support/FaultInjection.h"
 #include "workloads/Driver.h"
 #include "workloads/Registry.h"
 
 #include <gtest/gtest.h>
+
+#include <filesystem>
 
 using namespace structslim;
 using namespace structslim::workloads;
@@ -86,6 +91,106 @@ TEST(MultiProcess, MergedAnalysisMatchesPaperAdvice) {
   ASSERT_TRUE(Plan.isSplit());
   // Fig. 11: {value, nextZone} is the hot cluster.
   EXPECT_EQ(Plan.ClusterOffsets[0], (std::vector<uint32_t>{16, 24}));
+}
+
+namespace {
+
+/// Runs \p NumProcesses independent CLOMP instances (each its own
+/// Machine and sampling phase, as runProcesses does) and returns every
+/// per-thread profile as one flat shard set — the files a production
+/// job's threads would each dump without synchronization. Thread ids
+/// are renumbered globally so dump names cannot collide.
+std::vector<profile::Profile> runShards(unsigned NumProcesses) {
+  auto W = makeClomp();
+  transform::FieldMap Map(W->hotLayout());
+  DriverConfig Cfg = testConfig();
+  std::vector<profile::Profile> Shards;
+  for (unsigned Rank = 0; Rank != NumProcesses; ++Rank) {
+    runtime::RunConfig RunCfg = Cfg.Run;
+    RunCfg.Sampling.Seed = Cfg.Run.Sampling.Seed + 7919 * (Rank + 1);
+    runtime::ThreadedRuntime Runtime(RunCfg);
+    BuiltWorkload Built = W->build(Runtime.machine(), Map, Cfg.Scale);
+    analysis::CodeMap CodeMap(*Built.Program);
+    for (const auto &Phase : Built.Phases)
+      Runtime.runPhase(*Built.Program, &CodeMap, Phase);
+    runtime::RunResult R = Runtime.finish();
+    for (profile::Profile &P : R.Profiles)
+      Shards.push_back(std::move(P));
+  }
+  for (size_t I = 0; I != Shards.size(); ++I)
+    Shards[I].ThreadId = static_cast<uint32_t>(I);
+  return Shards;
+}
+
+std::string freshDir(const std::string &Name) {
+  std::string Dir = "multiproc_tmp/" + Name;
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+} // namespace
+
+TEST(MultiProcess, DumpLoadMergeEqualsInMemoryMerge) {
+  support::FaultInjector::instance().reset();
+  std::vector<profile::Profile> Shards = runShards(2);
+  ASSERT_GE(Shards.size(), 8u); // 2 processes x >= 4 worker threads.
+
+  std::string Expected =
+      profile::profileToString(profile::mergeProfiles(Shards, 1));
+  std::vector<std::string> Files =
+      runtime::dumpProfiles(Shards, freshDir("roundtrip"));
+  ASSERT_EQ(Files.size(), Shards.size());
+
+  profile::MergeOptions Opts;
+  Opts.WorkerThreads = 1;
+  profile::MergeLoadResult Load = profile::loadAndMergeProfiles(Files, Opts);
+  EXPECT_TRUE(Load.Skipped.empty());
+  EXPECT_EQ(profile::profileToString(Load.Merged), Expected);
+}
+
+TEST(MultiProcess, CorruptShardYieldsWarnedPartialMerge) {
+  // The acceptance scenario: one shard of an 8-thread job is torn
+  // mid-write; the merge must skip it with a structured report and the
+  // merged latencies must equal the merge of the surviving shards.
+  support::FaultInjector &Inj = support::FaultInjector::instance();
+  Inj.reset();
+  std::vector<profile::Profile> Shards = runShards(2);
+  ASSERT_GE(Shards.size(), 8u);
+  Shards.resize(8);
+
+  const unsigned Torn = 4;
+  std::vector<profile::Profile> Survivors;
+  for (size_t I = 0; I != Shards.size(); ++I)
+    if (I != Torn)
+      Survivors.push_back(Shards[I]);
+  std::string Expected =
+      profile::profileToString(profile::mergeProfiles(Survivors, 1));
+
+  Inj.arm(support::FaultSite::ProfileWrite,
+          support::FaultAction::TruncateTail, Torn, 100);
+  std::vector<std::string> Files =
+      runtime::dumpProfiles(Shards, freshDir("corrupt"));
+  Inj.reset();
+  ASSERT_EQ(Files.size(), 8u);
+
+  profile::MergeOptions Opts;
+  Opts.WorkerThreads = 1;
+  profile::MergeLoadResult Load = profile::loadAndMergeProfiles(Files, Opts);
+  ASSERT_EQ(Load.Skipped.size(), 1u);
+  EXPECT_EQ(Load.Skipped[0].Path, Files[Torn]);
+  EXPECT_FALSE(Load.Skipped[0].Message.empty());
+  EXPECT_EQ(Load.Loaded.size(), 7u);
+  EXPECT_EQ(profile::profileToString(Load.Merged), Expected);
+
+  // Strict mode turns the same input into a hard failure that names
+  // the failing shard.
+  Opts.Strict = true;
+  profile::MergeLoadResult StrictLoad =
+      profile::loadAndMergeProfiles(Files, Opts);
+  EXPECT_TRUE(StrictLoad.StrictFailure);
+  ASSERT_EQ(StrictLoad.Skipped.size(), 1u);
+  EXPECT_EQ(StrictLoad.Skipped[0].Path, Files[Torn]);
 }
 
 TEST(MultiProcess, SingleProcessEqualsRunWorkload) {

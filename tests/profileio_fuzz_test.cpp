@@ -1,0 +1,219 @@
+//===- tests/profileio_fuzz_test.cpp - Structure-aware IO fuzz -*- C++ -*-===//
+//
+// A seeded, structure-aware fuzzer for the versioned profile format.
+// Round-trips random Profiles, then corrupts the serialized blob —
+// truncation at every byte offset, a bit flip at every byte offset,
+// and random multi-edit mutations — and asserts the reader either
+// returns the exact original profile (differential check against the
+// in-memory copy) or a clean descriptive Error. It must never crash,
+// hang, or accept silently wrong data; the per-section CRC-32 trailer
+// is what makes the last guarantee possible. The legacy v1 format has
+// no checksums, so for it the fuzzer asserts only clean accept/reject.
+//
+// Carries the "sanitize" ctest label: run under ASan+UBSan with
+//   cmake -B build-asan -S . -DSTRUCTSLIM_SANITIZE=ON
+//   ctest --test-dir build-asan -L sanitize
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/Profile.h"
+#include "profile/ProfileIO.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace structslim;
+using namespace structslim::profile;
+
+namespace {
+
+/// Builds a pseudo-random but internally consistent profile: every
+/// stream references an existing object, every CCT node a valid parent.
+Profile makeRandomProfile(Rng &R) {
+  Profile P;
+  P.ThreadId = static_cast<uint32_t>(R.nextBelow(64));
+  P.SamplePeriod = 1000 + R.nextBelow(100000);
+  P.TotalSamples = R.nextBelow(1u << 20);
+  P.TotalLatency = R.nextBelow(1u << 30);
+  P.UnattributedLatency = R.nextBelow(1000);
+  P.Instructions = R.next() >> 16;
+  P.MemoryAccesses = R.next() >> 20;
+  P.Cycles = R.next() >> 12;
+
+  unsigned NumObjects = 1 + static_cast<unsigned>(R.nextBelow(4));
+  for (unsigned O = 0; O != NumObjects; ++O) {
+    std::string Key = "obj" + std::to_string(O) + "@" +
+                      std::to_string(R.nextBelow(1u << 22));
+    uint32_t Idx = P.getOrCreateObject(Key);
+    ObjectAgg &Agg = P.Objects[Idx];
+    Agg.Name = R.nextBelow(4) == 0 ? "" : "obj" + std::to_string(O);
+    Agg.Start = R.next() >> 17;
+    Agg.Size = 64 + R.nextBelow(1u << 20);
+    Agg.SampleCount = R.nextBelow(10000);
+    Agg.LatencySum = R.nextBelow(1u << 24);
+  }
+  unsigned NumStreams = static_cast<unsigned>(R.nextBelow(9));
+  for (unsigned S = 0; S != NumStreams; ++S) {
+    uint32_t Obj = static_cast<uint32_t>(R.nextBelow(NumObjects));
+    StreamRecord &Rec = P.getOrCreateStream(0x400000 + R.nextBelow(4096), Obj);
+    Rec.LoopId = static_cast<int32_t>(R.nextBelow(16)) - 1;
+    Rec.Line = static_cast<uint32_t>(R.nextBelow(2000));
+    Rec.AccessSize = static_cast<uint8_t>(1u << R.nextBelow(4));
+    Rec.SampleCount = R.nextBelow(5000);
+    Rec.LatencySum = R.nextBelow(1u << 22);
+    Rec.UniqueAddrCount = R.nextBelow(1000);
+    Rec.StrideGcd = 1u << R.nextBelow(10);
+    Rec.RepAddr = R.next() >> 17;
+    Rec.LastAddr = Rec.RepAddr + R.nextBelow(1u << 16);
+    Rec.ObjectStart = P.Objects[Obj].Start;
+    for (uint64_t &L : Rec.LevelSamples)
+      L = R.nextBelow(1000);
+    Rec.TlbMissSamples = R.nextBelow(100);
+  }
+  unsigned NumPaths = static_cast<unsigned>(R.nextBelow(6));
+  for (unsigned C = 0; C != NumPaths; ++C) {
+    std::vector<uint64_t> Path;
+    unsigned Depth = 1 + static_cast<unsigned>(R.nextBelow(4));
+    for (unsigned D = 0; D != Depth; ++D)
+      Path.push_back(0x400000 + R.nextBelow(64));
+    P.Contexts.attribute(P.Contexts.intern(Path), R.nextBelow(1u << 16));
+  }
+  return P;
+}
+
+/// Parses \p Blob and enforces the fuzz contract against \p Canonical:
+/// exact profile back, or a clean error. Returns 1 mutation exercised.
+void checkMutation(const std::string &Blob, const std::string &Canonical) {
+  std::string Error;
+  auto Parsed = profileFromString(Blob, &Error);
+  if (Parsed) {
+    // Accepted: must be byte-for-byte the original profile — the
+    // checksummed format leaves no room for silently wrong data.
+    EXPECT_EQ(profileToString(*Parsed), Canonical);
+  } else {
+    EXPECT_FALSE(Error.empty());
+  }
+}
+
+/// Rewrites a v2 blob as its legacy v1 equivalent: v1 header, record
+/// lines kept, integrity trailer dropped. This is exactly what the
+/// pre-versioning writer emitted.
+std::string toLegacyV1(const std::string &V2) {
+  std::string Out = "structslim-profile v1\n";
+  size_t Pos = V2.find('\n') + 1; // Skip the v2 header.
+  while (Pos < V2.size()) {
+    size_t End = V2.find('\n', Pos);
+    std::string Line = V2.substr(Pos, End - Pos);
+    Pos = End == std::string::npos ? V2.size() : End + 1;
+    if (Line.rfind("crc ", 0) == 0 || Line == "end v2")
+      continue;
+    Out += Line;
+    Out += '\n';
+  }
+  return Out;
+}
+
+class ProfileIoFuzz : public ::testing::TestWithParam<int> {};
+
+} // namespace
+
+TEST_P(ProfileIoFuzz, RoundTripIsExact) {
+  Rng R(7700 + GetParam());
+  Profile P = makeRandomProfile(R);
+  std::string Canonical = profileToString(P);
+  std::string Error;
+  auto Back = profileFromString(Canonical, &Error);
+  ASSERT_TRUE(Back.has_value()) << Error;
+  EXPECT_EQ(profileToString(*Back), Canonical);
+}
+
+// Truncation at EVERY byte offset: models a mid-write crash at any
+// point. A strict prefix must never parse as a different profile (the
+// full-length "truncation" parses as itself).
+TEST_P(ProfileIoFuzz, TruncationAtEveryOffset) {
+  Rng R(7700 + GetParam());
+  Profile P = makeRandomProfile(R);
+  std::string Canonical = profileToString(P);
+  for (size_t Cut = 0; Cut <= Canonical.size(); ++Cut)
+    checkMutation(Canonical.substr(0, Cut), Canonical);
+}
+
+// A flipped byte at EVERY offset: models single-byte media corruption
+// in every offset class (header, records, checksum trailer, end
+// marker, newlines).
+TEST_P(ProfileIoFuzz, ByteFlipAtEveryOffset) {
+  Rng R(7700 + GetParam());
+  Profile P = makeRandomProfile(R);
+  std::string Canonical = profileToString(P);
+  for (size_t Pos = 0; Pos != Canonical.size(); ++Pos) {
+    std::string Mutated = Canonical;
+    Mutated[Pos] = static_cast<char>(Mutated[Pos] ^ 0xFF);
+    checkMutation(Mutated, Canonical);
+  }
+}
+
+// Random multi-edit mutations: replacements, deletions, insertions —
+// including printable edits that keep lines structurally plausible.
+TEST_P(ProfileIoFuzz, RandomMultiEditMutations) {
+  Rng R(9900 + GetParam());
+  Profile P = makeRandomProfile(R);
+  std::string Canonical = profileToString(P);
+  for (int Trial = 0; Trial != 400; ++Trial) {
+    std::string Mutated = Canonical;
+    unsigned Edits = 1 + static_cast<unsigned>(R.nextBelow(8));
+    for (unsigned E = 0; E != Edits && !Mutated.empty(); ++E) {
+      size_t Pos = R.nextBelow(Mutated.size());
+      switch (R.nextBelow(4)) {
+      case 0:
+        Mutated[Pos] = static_cast<char>('0' + R.nextBelow(10));
+        break;
+      case 1:
+        Mutated.erase(Pos, 1 + R.nextBelow(6));
+        break;
+      case 2:
+        Mutated.insert(Pos, 1, static_cast<char>(32 + R.nextBelow(95)));
+        break;
+      case 3:
+        Mutated[Pos] = static_cast<char>(R.nextBelow(256));
+        break;
+      }
+    }
+    checkMutation(Mutated.empty() ? "x" : Mutated, Canonical);
+  }
+}
+
+// The legacy v1 reader has no checksums to lean on: assert only that
+// it never crashes and that every rejection carries a message.
+TEST_P(ProfileIoFuzz, LegacyV1MutationsNeverCrash) {
+  Rng R(5500 + GetParam());
+  Profile P = makeRandomProfile(R);
+  std::string V1 = toLegacyV1(profileToString(P));
+  {
+    std::string Error;
+    auto Back = profileFromString(V1, &Error);
+    ASSERT_TRUE(Back.has_value()) << Error;
+  }
+  for (int Trial = 0; Trial != 300; ++Trial) {
+    std::string Mutated = V1;
+    unsigned Edits = 1 + static_cast<unsigned>(R.nextBelow(6));
+    for (unsigned E = 0; E != Edits && !Mutated.empty(); ++E) {
+      size_t Pos = R.nextBelow(Mutated.size());
+      if (R.nextBelow(2) == 0)
+        Mutated[Pos] = static_cast<char>(R.nextBelow(256));
+      else
+        Mutated.erase(Pos, 1 + R.nextBelow(4));
+    }
+    std::string Error;
+    auto Result = profileFromString(Mutated, &Error);
+    if (!Result) {
+      EXPECT_FALSE(Error.empty());
+    }
+  }
+}
+
+// 8 seeds x (|blob| truncations + |blob| flips + 400 random + 300 v1
+// random) comfortably clears 10,000 distinct mutations per run.
+INSTANTIATE_TEST_SUITE_P(Seeded, ProfileIoFuzz, ::testing::Range(0, 8));

@@ -1,0 +1,124 @@
+//===- tests/report_golden_test.cpp - Golden end-to-end report -*- C++ -*-===//
+//
+// Runs the real structslim-report binary on a recorded profile fixture
+// in the legacy unversioned v1 format (tests/data/clomp.thread*.
+// structslim, captured from the parallel_profiling example) and
+// asserts byte-identical advice and DOT output against checked-in
+// goldens. One test, two regressions covered: the backward-compat
+// reader must keep accepting pre-versioning profiles, and the analysis
+// output on a fixed profile must not drift silently.
+//
+// Also exercises the tool's degradation contract end to end: a corrupt
+// shard is skipped with a warning by default, and --strict exits
+// nonzero naming the failing path.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <vector>
+
+namespace {
+
+std::string dataPath(const std::string &Name) {
+  return std::string(STRUCTSLIM_TEST_DATA) + "/" + Name;
+}
+
+std::vector<std::string> fixtureShards() {
+  std::vector<std::string> Files;
+  for (int T = 0; T != 5; ++T)
+    Files.push_back(dataPath("clomp.thread" + std::to_string(T) +
+                             ".structslim"));
+  return Files;
+}
+
+struct CommandResult {
+  int ExitCode = -1;
+  std::string Output; ///< stdout and stderr, interleaved.
+};
+
+/// Runs the report tool with \p Args appended; captures both streams.
+CommandResult runReport(const std::vector<std::string> &Args) {
+  std::string Cmd = std::string(STRUCTSLIM_REPORT_BIN);
+  for (const std::string &A : Args)
+    Cmd += " " + A;
+  Cmd += " 2>&1";
+  CommandResult Result;
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  if (!Pipe)
+    return Result;
+  char Buffer[4096];
+  size_t N;
+  while ((N = fread(Buffer, 1, sizeof(Buffer), Pipe)) != 0)
+    Result.Output.append(Buffer, N);
+  int Status = pclose(Pipe);
+  Result.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return Result;
+}
+
+std::string readFileBytes(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  return OS.str();
+}
+
+} // namespace
+
+TEST(ReportGolden, V1FixtureReportIsByteIdentical) {
+  CommandResult R = runReport(fixtureShards());
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_EQ(R.Output, readFileBytes(dataPath("golden_report.txt")));
+  // The semantic core of the golden: the paper's Fig. 11 split of
+  // CLOMP's zone struct, recovered from legacy-format shards.
+  EXPECT_NE(R.Output.find("split '_Zone' (size 32 bytes) into 2 structures"),
+            std::string::npos);
+  EXPECT_NE(R.Output.find("struct _Zone_0 { long off16; long off24; };"),
+            std::string::npos);
+}
+
+TEST(ReportGolden, V1FixtureDotIsByteIdentical) {
+  std::vector<std::string> Args = {"--dot=_Zone"};
+  for (const std::string &F : fixtureShards())
+    Args.push_back(F);
+  CommandResult R = runReport(Args);
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_EQ(R.Output, readFileBytes(dataPath("golden_affinity.dot")));
+  EXPECT_NE(R.Output.find("graph \"affinity__Zone\""), std::string::npos);
+}
+
+TEST(ReportGolden, CorruptShardIsSkippedWithWarningByDefault) {
+  std::vector<std::string> Args = {dataPath("corrupt.structslim")};
+  for (const std::string &F : fixtureShards())
+    Args.push_back(F);
+  CommandResult R = runReport(Args);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("warning: skipping"), std::string::npos);
+  EXPECT_NE(R.Output.find("corrupt.structslim"), std::string::npos);
+  // All five good shards still merge: the partial set is well-defined.
+  EXPECT_NE(R.Output.find("merged 5 profile(s)"), std::string::npos);
+  EXPECT_NE(R.Output.find("struct _Zone_0"), std::string::npos);
+}
+
+TEST(ReportGolden, StrictExitsNonzeroNamingThePath) {
+  std::vector<std::string> Args = {"--strict", dataPath("corrupt.structslim")};
+  for (const std::string &F : fixtureShards())
+    Args.push_back(F);
+  CommandResult R = runReport(Args);
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("error:"), std::string::npos);
+  EXPECT_NE(R.Output.find("corrupt.structslim"), std::string::npos);
+  // Strict failed fast: no report was produced.
+  EXPECT_EQ(R.Output.find("merged"), std::string::npos);
+}
+
+TEST(ReportGolden, AllShardsUnreadableFailsEvenWhenLenient) {
+  CommandResult R = runReport({dataPath("corrupt.structslim")});
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("no readable profiles"), std::string::npos);
+}

@@ -19,6 +19,14 @@
 //     --regroup        also print array-regrouping advice
 //     --jobs=N         merge worker threads (default 0 = auto:
 //                      STRUCTSLIM_THREADS env var, else all host cores)
+//     --strict         fail on the first unreadable profile instead of
+//                      skipping it with a warning
+//
+// Per-thread shards are written without synchronization, so truncated
+// or corrupted files are expected at scale: by default each bad shard
+// is skipped with a warning on stderr and the surviving shards merge
+// normally (a partial thread set is a well-defined merge input);
+// --strict restores hard failure with the offending path.
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,10 +34,8 @@
 #include "core/Regrouping.h"
 #include "core/Report.h"
 #include "profile/MergeTree.h"
-#include "profile/ProfileIO.h"
 #include "support/Format.h"
 
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -43,6 +49,7 @@ struct Options {
   std::string DotObject;
   bool Regroup = false;
   bool Contexts = false;
+  bool Strict = false;
   unsigned Jobs = 0; // 0 = auto (see support::ThreadPool).
   std::vector<std::string> Files;
 };
@@ -50,7 +57,7 @@ struct Options {
 int usage() {
   std::cerr << "usage: structslim-report [--top=N] [--threshold=T] "
                "[--dot=<object>] [--regroup] [--contexts] [--jobs=N] "
-               "<profile files...>\n";
+               "[--strict] <profile files...>\n";
   return 2;
 }
 
@@ -68,6 +75,8 @@ bool parseArgs(int argc, char **argv, Options &Opts) {
       Opts.Regroup = true;
     else if (Arg == "--contexts")
       Opts.Contexts = true;
+    else if (Arg == "--strict")
+      Opts.Strict = true;
     else if (Arg.rfind("--jobs=", 0) == 0)
       Opts.Jobs = static_cast<unsigned>(std::stoul(Arg.substr(7)));
     else if (Arg.rfind("--", 0) == 0)
@@ -85,24 +94,27 @@ int main(int argc, char **argv) {
   if (!parseArgs(argc, argv, Opts))
     return usage();
 
-  std::vector<profile::Profile> Profiles;
-  for (const std::string &Name : Opts.Files) {
-    std::ifstream In(Name);
-    if (!In) {
-      std::cerr << "error: cannot open '" << Name << "'\n";
-      return 1;
-    }
-    std::string Error;
-    auto P = profile::readProfile(In, &Error);
-    if (!P) {
-      std::cerr << "error: " << Name << ": " << Error << "\n";
-      return 1;
-    }
-    Profiles.push_back(std::move(*P));
+  profile::MergeOptions MergeOpts;
+  MergeOpts.Strict = Opts.Strict;
+  MergeOpts.WorkerThreads = Opts.Jobs;
+  profile::MergeLoadResult Load =
+      profile::loadAndMergeProfiles(Opts.Files, MergeOpts);
+  for (const profile::ShardFailure &F : Load.Skipped) {
+    if (Load.StrictFailure)
+      std::cerr << "error: " << F.Path << ": " << F.Message << "\n";
+    else
+      std::cerr << "warning: skipping " << F.Path << ": " << F.Message
+                << "\n";
   }
-  std::cout << "merged " << Profiles.size() << " profile(s)\n";
-  profile::Profile Merged =
-      profile::mergeProfiles(std::move(Profiles), Opts.Jobs);
+  if (Load.StrictFailure)
+    return 1;
+  if (Load.Loaded.empty()) {
+    std::cerr << "error: no readable profiles among " << Opts.Files.size()
+              << " file(s)\n";
+    return 1;
+  }
+  std::cout << "merged " << Load.Loaded.size() << " profile(s)\n";
+  profile::Profile Merged = std::move(Load.Merged);
   std::cout << "samples: " << Merged.TotalSamples
             << "  total sampled latency: " << Merged.TotalLatency
             << "  period: 1/" << Merged.SamplePeriod << "\n\n";
