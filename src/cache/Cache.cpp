@@ -14,6 +14,7 @@ SetAssocCache::SetAssocCache(const CacheConfig &Config) : Config(Config) {
   if (Lines == 0 || Lines % Config.Assoc != 0)
     fatalError("cache size must be a multiple of assoc * line size");
   NumSets = Lines / Config.Assoc;
+  SetMask = (NumSets & (NumSets - 1)) == 0 ? NumSets - 1 : 0;
   Tags.assign(NumSets * Config.Assoc, 0);
   Ages.assign(NumSets * Config.Assoc, 0);
   SetTick.assign(NumSets, 0);

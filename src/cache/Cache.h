@@ -48,17 +48,30 @@ public:
   /// Looks up \p LineAddr; on miss, installs it (evicting LRU).
   /// Returns true on hit. Counts the access.
   bool access(uint64_t LineAddr) {
+    // MRU memoization: spatially local streams touch the same line
+    // back to back, and a line occupies exactly one way until evicted,
+    // so a revalidated (tag still matches, way still valid) MRU hit
+    // performs the identical state mutation the scan would — one age
+    // store — without the O(assoc) tag scan.
+    if (LineAddr == MruTag && Ages[MruWay] != 0 && Tags[MruWay] == LineAddr) {
+      Ages[MruWay] = ++SetTick[MruWay / Config.Assoc];
+      ++Hits;
+      return true;
+    }
     size_t Base = setIndex(LineAddr) * Config.Assoc;
     uint64_t Tick = ++SetTick[Base / Config.Assoc];
     for (unsigned W = 0; W != Config.Assoc; ++W) {
       if (Ages[Base + W] != 0 && Tags[Base + W] == LineAddr) {
         Ages[Base + W] = Tick;
+        MruTag = LineAddr;
+        MruWay = Base + W;
         ++Hits;
         return true;
       }
     }
     ++Misses;
-    installAt(Base, LineAddr, Tick);
+    MruTag = LineAddr;
+    MruWay = installAt(Base, LineAddr, Tick);
     return false;
   }
 
@@ -94,15 +107,18 @@ public:
 
 private:
   // Sets are indexed by modulo so non-power-of-two geometries (like a
-  // 20 MB 16-way L3) work; tags store the full line address.
+  // 20 MB 16-way L3) work; tags store the full line address. The
+  // power-of-two geometries (L1, L2) take the mask path — same index,
+  // no division in the interpreter's per-access hot path.
   size_t setIndex(uint64_t LineAddr) const {
-    return static_cast<size_t>(LineAddr % NumSets);
+    return static_cast<size_t>(SetMask != 0 ? (LineAddr & SetMask)
+                                            : LineAddr % NumSets);
   }
 
   /// Evicts the LRU way of the set at \p Base (invalid ways first, as
   /// the shift model's back-of-array position held them) and installs
-  /// \p LineAddr with recency \p Tick.
-  void installAt(size_t Base, uint64_t LineAddr, uint64_t Tick) {
+  /// \p LineAddr with recency \p Tick. Returns the filled way index.
+  size_t installAt(size_t Base, uint64_t LineAddr, uint64_t Tick) {
     unsigned Victim = 0;
     uint64_t Oldest = Ages[Base];
     for (unsigned W = 1; W != Config.Assoc; ++W) {
@@ -113,16 +129,23 @@ private:
     }
     Tags[Base + Victim] = LineAddr;
     Ages[Base + Victim] = Tick;
+    return Base + Victim;
   }
 
   CacheConfig Config;
   uint64_t NumSets;
+  uint64_t SetMask; ///< NumSets - 1 when NumSets is a power of two, else 0.
   // Structure-of-arrays way storage, NumSets * Assoc each. Age 0 means
   // the way is invalid; valid ways carry the owning set's tick at their
   // last touch, so larger age == more recently used.
   std::vector<uint64_t> Tags;
   std::vector<uint64_t> Ages;
   std::vector<uint64_t> SetTick; ///< Per-set monotonic touch counter.
+  // MRU filter for access(): last line that hit or was installed, and
+  // the flat way index holding it. Revalidated on use (staleness after
+  // an eviction just falls back to the scan).
+  uint64_t MruTag = ~0ull;
+  size_t MruWay = 0;
   uint64_t Hits = 0;
   uint64_t Misses = 0;
   uint64_t PrefetchFills = 0;

@@ -21,10 +21,31 @@ const char *structslim::cache::memLevelName(MemLevel Level) {
   return "?";
 }
 
+StridePrefetcher::StridePrefetcher(size_t NumEntries) {
+  size_t Rounded = 1;
+  while (Rounded < NumEntries)
+    Rounded *= 2;
+  Table.assign(Rounded, Entry());
+  IndexShift = 64;
+  while ((1ull << (64 - IndexShift)) < Rounded)
+    --IndexShift;
+}
+
+size_t StridePrefetcher::indexFor(uint64_t Ip, size_t NumEntries) {
+  unsigned Bits = 0;
+  while ((1ull << Bits) < NumEntries)
+    ++Bits;
+  if (Bits == 0)
+    return 0;
+  return static_cast<size_t>((Ip * 0x9e3779b97f4a7c15ULL) >> (64 - Bits));
+}
+
 unsigned StridePrefetcher::observe(uint64_t Ip, uint64_t Addr,
                                    unsigned LineSize, unsigned Degree,
                                    uint64_t *Out) {
-  Entry &E = Table[(Ip * 0x9e3779b97f4a7c15ULL) >> 56 & (NumEntries - 1)];
+  Entry &E = Table[IndexShift == 64
+                       ? 0
+                       : (Ip * 0x9e3779b97f4a7c15ULL) >> IndexShift];
   if (!E.Valid || E.Ip != Ip) {
     E = {Ip, Addr, 0, 0, true};
     return 0;
@@ -51,7 +72,8 @@ unsigned StridePrefetcher::observe(uint64_t Ip, uint64_t Addr,
 
 MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &Config,
                                  SetAssocCache *SharedL3)
-    : Config(Config), L1(Config.L1), L2(Config.L2), Dtlb(Config.Tlb) {
+    : Config(Config), L1(Config.L1), L2(Config.L2),
+      Prefetcher(Config.PrefetchTableEntries), Dtlb(Config.Tlb) {
   if (SharedL3) {
     L3Ptr = SharedL3;
   } else {

@@ -35,8 +35,8 @@
 #include "cache/Cache.h"
 #include "cache/Tlb.h"
 
-#include <array>
 #include <memory>
+#include <vector>
 
 namespace structslim {
 namespace cache {
@@ -93,6 +93,9 @@ struct HierarchyConfig {
   unsigned DramLatency = 200;
   bool EnablePrefetcher = false;
   unsigned PrefetchDegree = 2;
+  /// Stride-prefetcher reference-prediction-table entries (rounded up
+  /// to a power of two).
+  size_t PrefetchTableEntries = 256;
   /// TLB modeling is opt-in so the default latency model matches the
   /// calibrated workloads; the ablation benches turn it on.
   bool EnableTlb = false;
@@ -110,16 +113,27 @@ public:
     bool Valid = false;
   };
 
+  /// \p NumEntries is rounded up to a power of two.
+  explicit StridePrefetcher(size_t NumEntries = 256);
+
+  /// Table index for \p Ip in a \p NumEntries-slot table (power of
+  /// two). Takes the top log2(NumEntries) bits of the multiplicative
+  /// hash — the full hash width participates, so tables larger than
+  /// 256 entries use all their slots (the old `>> 56 & (N-1)` kept
+  /// only 8 hash bits and could never index past slot 255).
+  static size_t indexFor(uint64_t Ip, size_t NumEntries);
+
   /// Observes a demand access; returns the number of prefetch
   /// candidate line addresses written to \p Out (up to \p Degree).
   unsigned observe(uint64_t Ip, uint64_t Addr, unsigned LineSize,
                    unsigned Degree, uint64_t *Out);
 
   uint64_t getIssued() const { return Issued; }
+  size_t getNumEntries() const { return Table.size(); }
 
 private:
-  static constexpr size_t NumEntries = 256;
-  std::array<Entry, NumEntries> Table{};
+  std::vector<Entry> Table;
+  unsigned IndexShift; ///< 64 - log2(Table.size()), precomputed.
   uint64_t Issued = 0;
 };
 

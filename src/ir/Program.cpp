@@ -93,6 +93,13 @@ uint32_t Program::makeToken(const std::string &Name) {
   return static_cast<uint32_t>(Tokens.size() - 1);
 }
 
+size_t Function::countInstructions() const {
+  size_t Count = 0;
+  for (const auto &BB : Blocks)
+    Count += BB->Instrs.size();
+  return Count;
+}
+
 size_t Program::countInstructions() const {
   size_t Count = 0;
   for (const auto &F : Functions)

@@ -122,6 +122,10 @@ struct Function {
 
   BasicBlock &entry() { return *Blocks.front(); }
   const BasicBlock &entry() const { return *Blocks.front(); }
+
+  /// Instruction count over all blocks (the function's flat code size;
+  /// the predecoder sizes its op array from this).
+  size_t countInstructions() const;
 };
 
 /// A whole program: functions, an entry point, a token table and a

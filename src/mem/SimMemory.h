@@ -17,6 +17,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <unordered_map>
 
@@ -39,6 +40,26 @@ public:
   /// Number of pages materialized so far (footprint metric).
   size_t getNumPages() const { return Pages.size(); }
 
+  /// Incremented every time a page is materialized. A PageAccessCache
+  /// whose epoch differs from this must drop its cached page pointers:
+  /// the pages themselves are heap-stable, but an entry cached for an
+  /// absent page (reads of unwritten memory) goes stale the moment the
+  /// page appears.
+  uint64_t getEpoch() const { return Epoch; }
+
+  /// Raw page storage for \p PageIndex, or nullptr if the page has not
+  /// been materialized (its bytes read as zero).
+  uint8_t *pageDataIfPresent(uint64_t PageIndex) {
+    auto It = Pages.find(PageIndex);
+    return It == Pages.end() ? nullptr : It->second->data();
+  }
+
+  /// Raw page storage for \p PageIndex, materializing it (and bumping
+  /// the epoch) if absent.
+  uint8_t *pageDataForWrite(uint64_t PageIndex) {
+    return getOrCreatePage(PageIndex).data();
+  }
+
 private:
   using Page = std::array<uint8_t, PageSize>;
 
@@ -50,6 +71,129 @@ private:
   Page &getOrCreatePage(uint64_t PageIndex);
 
   std::unordered_map<uint64_t, std::unique_ptr<Page>> Pages;
+  uint64_t Epoch = 0;
+};
+
+/// Small direct-mapped cache of page base pointers, owned by one
+/// interpreter. Hit path for an aligned same-page access is an index
+/// mask, a tag compare, and a fixed-size memcpy — no unordered_map
+/// probe. Entries are validated against SimMemory's epoch, which moves
+/// only when a page is materialized; straddling accesses and absent
+/// pages fall back to SimMemory. Safe under the parallel engine's
+/// buffered rounds: threads only read shared memory mid-round (stores
+/// are buffered), so neither pages nor the epoch move underneath us.
+class PageAccessCache {
+public:
+  explicit PageAccessCache(SimMemory &Mem) : Mem(&Mem) {}
+
+  uint64_t read(uint64_t Addr, unsigned Size) {
+    uint64_t Offset = Addr & (SimMemory::PageSize - 1);
+    if (Offset + Size <= SimMemory::PageSize) {
+      if (const uint8_t *Data = find(Addr >> SimMemory::PageBits))
+        return loadLE(Data + Offset, Size);
+      return readMiss(Addr, Size);
+    }
+    return Mem->read(Addr, Size);
+  }
+
+  void write(uint64_t Addr, unsigned Size, uint64_t Value) {
+    uint64_t Offset = Addr & (SimMemory::PageSize - 1);
+    if (Offset + Size <= SimMemory::PageSize) {
+      uint8_t *Data = find(Addr >> SimMemory::PageBits);
+      if (!Data)
+        Data = writeMiss(Addr >> SimMemory::PageBits);
+      storeLE(Data + Offset, Size, Value);
+      return;
+    }
+    Mem->write(Addr, Size, Value); // straddle: let SimMemory split it
+  }
+
+private:
+  static constexpr size_t NumEntries = 64;
+  struct Entry {
+    uint64_t PageIndex = ~0ull;
+    uint8_t *Data = nullptr;
+  };
+
+  uint8_t *find(uint64_t PageIndex) {
+    if (Epoch != Mem->getEpoch()) {
+      for (Entry &E : Entries)
+        E = Entry();
+      Epoch = Mem->getEpoch();
+      return nullptr;
+    }
+    Entry &E = Entries[PageIndex & (NumEntries - 1)];
+    return E.PageIndex == PageIndex ? E.Data : nullptr;
+  }
+
+  uint64_t readMiss(uint64_t Addr, unsigned Size) {
+    uint64_t PageIndex = Addr >> SimMemory::PageBits;
+    uint8_t *Data = Mem->pageDataIfPresent(PageIndex);
+    if (!Data)
+      return 0; // absent pages read as zero and are never cached
+    Entries[PageIndex & (NumEntries - 1)] = {PageIndex, Data};
+    return loadLE(Data + (Addr & (SimMemory::PageSize - 1)), Size);
+  }
+
+  uint8_t *writeMiss(uint64_t PageIndex) {
+    uint8_t *Data = Mem->pageDataForWrite(PageIndex);
+    // Creation may have bumped the epoch; resync before inserting so
+    // the fresh entry survives.
+    if (Epoch != Mem->getEpoch()) {
+      for (Entry &E : Entries)
+        E = Entry();
+      Epoch = Mem->getEpoch();
+    }
+    Entries[PageIndex & (NumEntries - 1)] = {PageIndex, Data};
+    return Data;
+  }
+
+  static uint64_t loadLE(const uint8_t *P, unsigned Size) {
+    switch (Size) {
+    case 1:
+      return *P;
+    case 2: {
+      uint16_t V;
+      std::memcpy(&V, P, 2);
+      return V;
+    }
+    case 4: {
+      uint32_t V;
+      std::memcpy(&V, P, 4);
+      return V;
+    }
+    default: {
+      uint64_t V;
+      std::memcpy(&V, P, 8);
+      return V;
+    }
+    }
+  }
+
+  static void storeLE(uint8_t *P, unsigned Size, uint64_t Value) {
+    switch (Size) {
+    case 1:
+      *P = static_cast<uint8_t>(Value);
+      return;
+    case 2: {
+      uint16_t V = static_cast<uint16_t>(Value);
+      std::memcpy(P, &V, 2);
+      return;
+    }
+    case 4: {
+      uint32_t V = static_cast<uint32_t>(Value);
+      std::memcpy(P, &V, 4);
+      return;
+    }
+    default:
+      std::memcpy(P, &Value, 8);
+      return;
+    }
+  }
+
+  SimMemory *Mem;
+  std::array<Entry, NumEntries> Entries;
+  uint64_t Epoch = ~0ull; // mismatch forces a sync on first use
 };
 
 } // namespace mem

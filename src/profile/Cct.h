@@ -65,8 +65,10 @@ public:
   void merge(const CallContextTree &Other);
 
   /// Line-oriented (de)serialization, one "cctnode" line per non-root
-  /// node; parents precede children.
+  /// node; parents precede children. append() produces the same bytes
+  /// into a caller-owned buffer (the allocation-lean profile-dump path).
   void write(std::ostream &OS) const;
+  void append(std::string &Out) const;
   /// Consumes one parsed record (from ProfileIO). Returns false on a
   /// malformed record (bad parent).
   bool addSerializedNode(uint32_t Parent, uint64_t Ip, uint64_t Latency,

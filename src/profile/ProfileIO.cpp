@@ -6,6 +6,7 @@
 #include "support/Checksum.h"
 #include "support/FaultInjection.h"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
 
@@ -35,66 +36,140 @@ static std::string decodeName(const std::string &Name) {
 //===----------------------------------------------------------------------===//
 // Writing
 //===----------------------------------------------------------------------===//
+// One reserve+append pass into a single buffer. The dump cost lands in
+// the paper's Fig. 4/5 overhead numbers, so no per-section
+// ostringstream churn; the byte stream is identical to the streaming
+// writer's (the fuzz test's re-serialization contract enforces that).
 
-static std::string serializeMeta(const Profile &P) {
-  std::ostringstream OS;
-  OS << "meta " << P.ThreadId << " " << P.SamplePeriod << " "
-     << P.TotalSamples << " " << P.TotalLatency << " "
-     << P.UnattributedLatency << " " << P.Instructions << " "
-     << P.MemoryAccesses << " " << P.Cycles << "\n";
-  return OS.str();
+namespace {
+/// Decimal appenders over std::to_chars (all record fields are
+/// integers; LoopId is signed, -1 meaning "not in a loop").
+inline void appendDec(std::string &Out, uint64_t V) {
+  char Buf[20];
+  char *End = std::to_chars(Buf, Buf + sizeof(Buf), V).ptr;
+  Out.append(Buf, End);
+}
+inline void appendDecSigned(std::string &Out, int64_t V) {
+  char Buf[20];
+  char *End = std::to_chars(Buf, Buf + sizeof(Buf), V).ptr;
+  Out.append(Buf, End);
+}
+} // namespace
+
+static void appendMeta(std::string &Out, const Profile &P) {
+  Out += "meta ";
+  appendDec(Out, P.ThreadId);
+  Out += ' ';
+  appendDec(Out, P.SamplePeriod);
+  Out += ' ';
+  appendDec(Out, P.TotalSamples);
+  Out += ' ';
+  appendDec(Out, P.TotalLatency);
+  Out += ' ';
+  appendDec(Out, P.UnattributedLatency);
+  Out += ' ';
+  appendDec(Out, P.Instructions);
+  Out += ' ';
+  appendDec(Out, P.MemoryAccesses);
+  Out += ' ';
+  appendDec(Out, P.Cycles);
+  Out += '\n';
 }
 
-static std::string serializeObjects(const Profile &P) {
-  std::ostringstream OS;
-  for (const ObjectAgg &O : P.Objects)
-    OS << "object " << encodeName(O.Key) << " " << encodeName(O.Name)
-       << " " << O.Start << " " << O.Size << " " << O.SampleCount << " "
-       << O.LatencySum << "\n";
-  return OS.str();
-}
-
-static std::string serializeStreams(const Profile &P) {
-  std::ostringstream OS;
-  for (const StreamRecord &S : P.Streams) {
-    OS << "stream " << S.Ip << " " << S.ObjectIndex << " " << S.LoopId << " "
-       << S.Line << " " << unsigned(S.AccessSize) << " " << S.SampleCount
-       << " " << S.LatencySum << " " << S.UniqueAddrCount << " "
-       << S.StrideGcd << " " << S.RepAddr << " " << S.LastAddr << " "
-       << S.ObjectStart;
-    for (uint64_t L : S.LevelSamples)
-      OS << " " << L;
-    OS << " " << S.TlbMissSamples;
-    OS << "\n";
+static void appendObjects(std::string &Out, const Profile &P) {
+  for (const ObjectAgg &O : P.Objects) {
+    Out += "object ";
+    Out += encodeName(O.Key);
+    Out += ' ';
+    Out += encodeName(O.Name);
+    Out += ' ';
+    appendDec(Out, O.Start);
+    Out += ' ';
+    appendDec(Out, O.Size);
+    Out += ' ';
+    appendDec(Out, O.SampleCount);
+    Out += ' ';
+    appendDec(Out, O.LatencySum);
+    Out += '\n';
   }
-  return OS.str();
 }
 
-static std::string serializeCct(const Profile &P) {
-  std::ostringstream OS;
-  P.Contexts.write(OS);
-  return OS.str();
-}
-
-void structslim::profile::writeProfile(const Profile &P, std::ostream &OS) {
-  const std::string Sections[NumSections] = {
-      serializeMeta(P), serializeObjects(P), serializeStreams(P),
-      serializeCct(P)};
-  const size_t Counts[NumSections] = {1, P.Objects.size(), P.Streams.size(),
-                                      P.Contexts.size() - 1};
-  OS << MagicV2 << "\n";
-  for (const std::string &Body : Sections)
-    OS << Body;
-  for (unsigned S = 0; S != NumSections; ++S)
-    OS << "crc " << SectionNames[S] << " " << Counts[S] << " "
-       << support::crc32Hex(support::crc32(Sections[S])) << "\n";
-  OS << EndMarker << "\n";
+static void appendStreams(std::string &Out, const Profile &P) {
+  for (const StreamRecord &S : P.Streams) {
+    Out += "stream ";
+    appendDec(Out, S.Ip);
+    Out += ' ';
+    appendDec(Out, S.ObjectIndex);
+    Out += ' ';
+    appendDecSigned(Out, S.LoopId);
+    Out += ' ';
+    appendDec(Out, S.Line);
+    Out += ' ';
+    appendDec(Out, S.AccessSize);
+    Out += ' ';
+    appendDec(Out, S.SampleCount);
+    Out += ' ';
+    appendDec(Out, S.LatencySum);
+    Out += ' ';
+    appendDec(Out, S.UniqueAddrCount);
+    Out += ' ';
+    appendDec(Out, S.StrideGcd);
+    Out += ' ';
+    appendDec(Out, S.RepAddr);
+    Out += ' ';
+    appendDec(Out, S.LastAddr);
+    Out += ' ';
+    appendDec(Out, S.ObjectStart);
+    for (uint64_t L : S.LevelSamples) {
+      Out += ' ';
+      appendDec(Out, L);
+    }
+    Out += ' ';
+    appendDec(Out, S.TlbMissSamples);
+    Out += '\n';
+  }
 }
 
 std::string structslim::profile::profileToString(const Profile &P) {
-  std::ostringstream OS;
-  writeProfile(P, OS);
-  return OS.str();
+  std::string Out;
+  Out.reserve(128 + 96 * (1 + P.Objects.size() + P.Streams.size() +
+                          P.Contexts.size()));
+  Out += MagicV2;
+  Out += '\n';
+
+  // Section bodies back to back, with their boundaries recorded so the
+  // trailer can CRC each body in place.
+  size_t Bounds[NumSections + 1];
+  Bounds[0] = Out.size();
+  appendMeta(Out, P);
+  Bounds[1] = Out.size();
+  appendObjects(Out, P);
+  Bounds[2] = Out.size();
+  appendStreams(Out, P);
+  Bounds[3] = Out.size();
+  P.Contexts.append(Out);
+  Bounds[4] = Out.size();
+
+  const size_t Counts[NumSections] = {1, P.Objects.size(), P.Streams.size(),
+                                      P.Contexts.size() - 1};
+  for (unsigned S = 0; S != NumSections; ++S) {
+    Out += "crc ";
+    Out += SectionNames[S];
+    Out += ' ';
+    appendDec(Out, Counts[S]);
+    Out += ' ';
+    Out += support::crc32Hex(
+        support::crc32(Out.data() + Bounds[S], Bounds[S + 1] - Bounds[S]));
+    Out += '\n';
+  }
+  Out += EndMarker;
+  Out += '\n';
+  return Out;
+}
+
+void structslim::profile::writeProfile(const Profile &P, std::ostream &OS) {
+  std::string Out = profileToString(P);
+  OS.write(Out.data(), static_cast<std::streamsize>(Out.size()));
 }
 
 //===----------------------------------------------------------------------===//

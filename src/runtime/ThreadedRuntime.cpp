@@ -10,6 +10,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <unordered_set>
 
@@ -179,6 +181,19 @@ void ThreadedRuntime::runPhase(const ir::Program &P,
   if (Config.AttachProfiler && !CodeMap)
     fatalError("profiler attached but no code map supplied");
 
+  // Predecode once per program; every thread of every phase shares the
+  // immutable image. Re-predecode if the caller grew the program
+  // between phases (same Program object, more instructions).
+  const PredecodedProgram *PP = nullptr;
+  if (!Config.ReferenceInterpreter) {
+    if (PredecodedFor != &P || PredecodedInstrs != P.countInstructions()) {
+      Predecoded = std::make_shared<const PredecodedProgram>(P);
+      PredecodedFor = &P;
+      PredecodedInstrs = P.countInstructions();
+    }
+    PP = Predecoded.get();
+  }
+
   std::vector<PhaseThread> States;
   States.reserve(Threads.size());
   for (const ThreadSpec &Spec : Threads) {
@@ -196,9 +211,11 @@ void ThreadedRuntime::runPhase(const ir::Program &P,
     // path entirely (the "measure native speed" configuration).
     S.Interp = std::make_unique<Interpreter>(
         P, M, *S.Hierarchy, Config.AttachProfiler ? S.Pmu.get() : nullptr,
-        Tid);
+        Tid, PP);
     if (S.Builder)
       S.Builder->setCallPathProvider(S.Interp.get());
+    if (Config.ReferenceInterpreter)
+      S.Interp->setExecCore(ExecCore::Reference);
     if (Tracer)
       S.Interp->setTracer(Tracer);
     S.Interp->start(Spec.FunctionId, Spec.Args);
@@ -206,13 +223,32 @@ void ThreadedRuntime::runPhase(const ir::Program &P,
   }
 
   // Engine selection. Single-thread phases and traced runs always use
-  // the serial loop; Auto additionally requires a multicore host.
+  // the serial loop; Auto additionally requires a multicore host
+  // (BENCH_engine.json: on one core the parallel engine is a pure
+  // slowdown, so the fallback must engage).
   bool UseParallel = false;
   if (Threads.size() > 1 && !Tracer) {
     if (Config.Engine == EngineKind::Parallel)
       UseParallel = true;
     else if (Config.Engine == EngineKind::Auto)
       UseParallel = support::ThreadPool::defaultThreadCount() > 1;
+  }
+  if (UseParallel)
+    ++Accum.ParallelPhases;
+  else
+    ++Accum.SerialPhases;
+  if (std::getenv("STRUCTSLIM_LOG_ENGINE")) {
+    const char *Requested = Config.Engine == EngineKind::Auto     ? "auto"
+                            : Config.Engine == EngineKind::Serial ? "serial"
+                                                                  : "parallel";
+    std::fprintf(stderr,
+                 "structslim: phase %llu: engine=%s (requested=%s, "
+                 "threads=%zu, host-threads=%u, core=%s)\n",
+                 static_cast<unsigned long long>(Accum.SerialPhases +
+                                                 Accum.ParallelPhases),
+                 UseParallel ? "parallel" : "serial", Requested,
+                 Threads.size(), support::ThreadPool::defaultThreadCount(),
+                 Config.ReferenceInterpreter ? "reference" : "predecoded");
   }
 
   auto Begin = std::chrono::steady_clock::now();

@@ -76,6 +76,10 @@ struct RunConfig {
   /// Simulated cycles charged per delivered sample (PMU interrupt +
   /// online attribution). ~3 us at 2.6 GHz.
   unsigned SampleHandlerCycles = 8000;
+  /// Force the reference interpreter core (direct ir::Instr walk)
+  /// instead of the predecoded engine. Results are bit-identical; the
+  /// differential tests and benchmarks flip this to compare the two.
+  bool ReferenceInterpreter = false;
 };
 
 /// Aggregated outcome of a full run.
@@ -88,6 +92,10 @@ struct RunResult {
   uint64_t MemoryAccesses = 0;
   uint64_t Samples = 0;
   double WallSeconds = 0;     ///< Host time spent interpreting.
+  // Which phase engine actually ran (EngineKind::Auto resolves per
+  // phase; satellite checks assert the single-core serial fallback).
+  uint64_t SerialPhases = 0;
+  uint64_t ParallelPhases = 0;
   // Aggregated cache event counters (EBS role; Table 4 inputs).
   uint64_t Accesses[3] = {0, 0, 0}; ///< L1, L2, L3 demand accesses.
   uint64_t Misses[3] = {0, 0, 0};   ///< L1, L2, L3 demand misses.
@@ -133,6 +141,11 @@ private:
   std::unique_ptr<cache::SetAssocCache> SharedL3;
   RunResult Accum;
   uint32_t NextThreadId = 0;
+  // One predecoded image per program, shared (immutably) by all threads
+  // of a phase and across phases running the same program.
+  std::shared_ptr<const PredecodedProgram> Predecoded;
+  const ir::Program *PredecodedFor = nullptr;
+  size_t PredecodedInstrs = 0;
 };
 
 } // namespace runtime

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 using namespace structslim;
 using namespace structslim::cache;
 
@@ -205,6 +207,44 @@ TEST(Prefetcher, DetectsConstantStride) {
   // The next line should now be at least L2-resident.
   AccessResult R = H.access(8 * 64, 8, false, 7);
   EXPECT_NE(R.Served, MemLevel::Dram);
+}
+
+TEST(Prefetcher, IndexUsesFullHashWidth) {
+  // Regression: the table index used to be (hash >> 56) & (N-1), which
+  // keeps only the top 8 hash bits — any table beyond 256 entries left
+  // the extra slots unreachable. The index must come from the top
+  // log2(N) bits of the full-width hash.
+  std::set<size_t> Used;
+  for (uint64_t Ip = 0; Ip != 8192; ++Ip)
+    Used.insert(StridePrefetcher::indexFor(0x400000 + Ip * 4, 4096));
+  EXPECT_GT(Used.size(), 256u);
+  for (size_t Slot : Used)
+    EXPECT_LT(Slot, 4096u);
+
+  // The default 256-entry geometry keeps its historical mapping (the
+  // top-8-bit index), so existing profiles stay bit-identical.
+  for (uint64_t Ip : {0x400000ull, 0x400004ull, 0x7fffffull, 1ull})
+    EXPECT_EQ(StridePrefetcher::indexFor(Ip, 256),
+              (Ip * 0x9e3779b97f4a7c15ULL) >> 56);
+
+  // Degenerate single-entry table maps everything to slot 0.
+  EXPECT_EQ(StridePrefetcher::indexFor(0x1234, 1), 0u);
+}
+
+TEST(Prefetcher, TableSizeConfigurableAndRoundedToPowerOfTwo) {
+  StridePrefetcher P(1024);
+  EXPECT_EQ(P.getNumEntries(), 1024u);
+  StridePrefetcher Rounded(300);
+  EXPECT_EQ(Rounded.getNumEntries(), 512u);
+  HierarchyConfig Cfg = smallHierarchy();
+  Cfg.EnablePrefetcher = true;
+  Cfg.PrefetchTableEntries = 2048;
+  MemoryHierarchy H(Cfg);
+  EXPECT_EQ(H.getPrefetcher().getNumEntries(), 2048u);
+  // Larger tables still detect streams.
+  for (uint64_t I = 0; I != 8; ++I)
+    H.access(I * 64, 8, false, /*Ip=*/7);
+  EXPECT_GT(H.getPrefetcher().getIssued(), 0u);
 }
 
 TEST(Prefetcher, NoIssueForRandomPattern) {

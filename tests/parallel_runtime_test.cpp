@@ -21,6 +21,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <sstream>
 
@@ -311,6 +312,56 @@ TEST(ParallelEngine, HealthWorkloadBitIdentical) {
   workloads::WorkloadRun Parallel = Execute(EngineKind::Parallel);
   expectIdenticalRuns(Serial.Result, Parallel.Result);
   EXPECT_EQ(profileText(Serial.Merged), profileText(Parallel.Merged));
+}
+
+// Three-way identity: the reference interpreter (direct ir::Instr
+// walk) and the predecoded engine must agree bit for bit under both
+// phase engines — same counters, same serialized profiles.
+TEST(PredecodedEngine, ThreeWayBitIdenticalWithReferenceCore) {
+  auto Execute = [](bool Reference, EngineKind Engine) {
+    RunConfig Cfg = denseSamplingConfig(Engine);
+    Cfg.ReferenceInterpreter = Reference;
+    ThreadedRuntime RT(Cfg);
+    WriterProgram Program(RT.machine(), 4096, 4);
+    analysis::CodeMap Map(Program.P);
+    RT.runPhase(Program.P, &Map, {ThreadSpec{Program.MainId, {}}});
+    std::vector<ThreadSpec> Workers;
+    for (uint64_t T = 0; T != 4; ++T)
+      Workers.push_back(ThreadSpec{Program.WorkerId, {T}});
+    RT.runPhase(Program.P, &Map, Workers);
+    return RT.finish();
+  };
+  RunResult Ref = Execute(/*Reference=*/true, EngineKind::Serial);
+  RunResult Pre = Execute(/*Reference=*/false, EngineKind::Serial);
+  RunResult Par = Execute(/*Reference=*/false, EngineKind::Parallel);
+  expectIdenticalRuns(Ref, Pre);
+  expectIdenticalRuns(Ref, Par);
+  EXPECT_GT(Ref.Samples, 0u);
+  // The engine counters report what actually ran.
+  EXPECT_EQ(Pre.ParallelPhases, 0u);
+  EXPECT_EQ(Pre.SerialPhases, 2u);
+  EXPECT_GT(Par.ParallelPhases, 0u);
+}
+
+// EngineKind::Auto must honor the measured reality: on a single-core
+// host (modeled via the STRUCTSLIM_THREADS override that
+// ThreadPool::defaultThreadCount() consults) the parallel engine is a
+// pure slowdown, so the serial fallback has to engage for every phase.
+TEST(PredecodedEngine, AutoFallsBackToSerialOnSingleCoreHost) {
+  const char *Old = std::getenv("STRUCTSLIM_THREADS");
+  std::string Saved = Old ? Old : "";
+  setenv("STRUCTSLIM_THREADS", "1", 1);
+  RunResult R = runMainThenWorkers<WriterProgram>(EngineKind::Auto, 4, 1024);
+  if (Old)
+    setenv("STRUCTSLIM_THREADS", Saved.c_str(), 1);
+  else
+    unsetenv("STRUCTSLIM_THREADS");
+  EXPECT_EQ(R.ParallelPhases, 0u);
+  EXPECT_EQ(R.SerialPhases, 2u);
+  // And the run is still bit-identical to the explicit serial engine.
+  RunResult Serial =
+      runMainThenWorkers<WriterProgram>(EngineKind::Serial, 4, 1024);
+  expectIdenticalRuns(Serial, R);
 }
 
 // Cross-thread read-after-write inside one quantum round is outside

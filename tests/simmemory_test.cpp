@@ -103,3 +103,89 @@ TEST_P(SimMemoryRandom, MatchesReferenceModel) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Random, SimMemoryRandom, ::testing::Range(0, 10));
+
+// --- PageAccessCache ---------------------------------------------------------
+
+TEST(PageAccessCache, EpochInvalidationOnPageCreation) {
+  SimMemory M;
+  PageAccessCache C(M);
+  // Reading an absent page returns zero and must not cache anything.
+  EXPECT_EQ(C.read(0x1000, 8), 0u);
+  uint64_t EpochBefore = M.getEpoch();
+  // Materialize the page behind the cache's back.
+  M.write(0x1000, 8, 0xdeadbeef);
+  EXPECT_GT(M.getEpoch(), EpochBefore);
+  // The cache must see the new page, not a stale "absent" conclusion.
+  EXPECT_EQ(C.read(0x1000, 8), 0xdeadbeefu);
+}
+
+TEST(PageAccessCache, WriteCreatedPageStaysCachedAcrossResync) {
+  SimMemory M;
+  PageAccessCache C(M);
+  // The first cached write creates the page, which bumps the epoch;
+  // the cache must resync after creation so its fresh entry survives.
+  C.write(0x2000, 8, 42);
+  EXPECT_EQ(C.read(0x2000, 8), 42u);
+  EXPECT_EQ(M.read(0x2000, 8), 42u);
+}
+
+TEST(PageAccessCache, StraddlingAccessesFallBackToSimMemory) {
+  SimMemory M;
+  PageAccessCache C(M);
+  uint64_t Boundary = 5 * SimMemory::PageSize;
+  C.write(Boundary - 4, 8, 0x1122334455667788ull);
+  EXPECT_EQ(C.read(Boundary - 4, 8), 0x1122334455667788ull);
+  EXPECT_EQ(M.read(Boundary - 4, 8), 0x1122334455667788ull);
+  // Bytes landed on both sides of the boundary.
+  EXPECT_EQ(M.read(Boundary - 4, 4), 0x55667788u);
+  EXPECT_EQ(M.read(Boundary, 4), 0x11223344u);
+}
+
+// Property: a PageAccessCache over a SimMemory agrees byte for byte
+// with direct SimMemory access, under random mixes of cached reads,
+// cached writes, direct writes (pointer sharing: no epoch move), page
+// creation (epoch moves), and page-straddling accesses. Direct-mapped
+// conflicts are provoked by spanning more pages than cache entries.
+class PageAccessCacheRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(PageAccessCacheRandom, MatchesDirectSimMemory) {
+  Rng R(7000 + GetParam());
+  SimMemory M, Direct;
+  PageAccessCache C(M);
+  // 96 pages > 64 entries: index conflicts guaranteed.
+  uint64_t Span = 96 * SimMemory::PageSize;
+  uint64_t Base = (R.nextBelow(1ull << 40)) & ~(SimMemory::PageSize - 1);
+  for (int Op = 0; Op != 4000; ++Op) {
+    uint64_t Addr = Base + R.nextBelow(Span);
+    if (R.nextBelow(8) == 0) // bias toward page-boundary straddles
+      Addr = (Addr & ~(SimMemory::PageSize - 1)) + SimMemory::PageSize -
+             (1 + R.nextBelow(7));
+    unsigned Size = 1u << R.nextBelow(4);
+    switch (R.nextBelow(4)) {
+    case 0: { // cached write
+      uint64_t V = R.next();
+      C.write(Addr, Size, V);
+      Direct.write(Addr, Size, V);
+      break;
+    }
+    case 1: { // direct write into the same SimMemory (shared pointers)
+      uint64_t V = R.next();
+      M.write(Addr, Size, V);
+      Direct.write(Addr, Size, V);
+      break;
+    }
+    default:
+      ASSERT_EQ(C.read(Addr, Size), Direct.read(Addr, Size))
+          << "op " << Op << " addr " << Addr << " size " << Size;
+    }
+  }
+  // Full sweep: every materialized byte agrees.
+  for (uint64_t Page = 0; Page != 96; ++Page)
+    for (uint64_t Off = 0; Off < SimMemory::PageSize; Off += 8) {
+      uint64_t Addr = Base + Page * SimMemory::PageSize + Off;
+      ASSERT_EQ(C.read(Addr, 8), Direct.read(Addr, 8)) << "addr " << Addr;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, PageAccessCacheRandom,
+                         ::testing::Range(0, 8));
