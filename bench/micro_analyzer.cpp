@@ -1,0 +1,177 @@
+//===- bench/micro_analyzer.cpp - Offline analyzer throughput -*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+//
+// Host-side throughput of the parallel offline analyzer: a synthetic
+// merged profile with many hot objects (each with many streams over
+// many loops and fields) is analyzed at jobs=1/2/4/8. Output must be
+// byte-identical across job counts — this bench asserts it by
+// comparing the full JSON renderings — and the interesting numbers are
+// wall-clock analysis time and speedup. On a single-core host the
+// parallel path can only add overhead, which the JSON records honestly
+// alongside the host's hardware_concurrency.
+//
+// Writes BENCH_analyzer.json (override the path with argv[1]).
+// --smoke shrinks the profile and rep count for CI.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Report.h"
+#include "support/Format.h"
+#include "support/Random.h"
+#include "support/TablePrinter.h"
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+using namespace structslim;
+using namespace structslim::core;
+using structslim::profile::Profile;
+using structslim::profile::StreamRecord;
+
+namespace {
+
+/// Builds a merged-profile shape that stresses the analyzer's hot
+/// paths: \p Objects data objects, each with \p Streams streams spread
+/// over \p Loops loops and \p Fields distinct field offsets, so the
+/// per-object affinity pass sees dense loop/field interaction.
+Profile makeProfile(unsigned Objects, unsigned Streams, unsigned Loops,
+                    unsigned Fields) {
+  Rng R(0xbe9c4);
+  Profile Prof;
+  Prof.SamplePeriod = 10000;
+  for (unsigned Obj = 0; Obj != Objects; ++Obj) {
+    std::string Name = "obj" + std::to_string(Obj);
+    uint32_t Idx = Prof.getOrCreateObject(Name);
+    uint64_t Start = 0x100000ull * (Obj + 1);
+    profile::ObjectAgg &Agg = Prof.Objects[Idx];
+    Agg.Name = Name;
+    Agg.Start = Start;
+    Agg.Size = 1 << 20;
+    for (unsigned S = 0; S != Streams; ++S) {
+      uint64_t Latency = 1 + R.nextBelow(500);
+      Agg.SampleCount += 1;
+      Agg.LatencySum += Latency;
+      Prof.TotalSamples += 1;
+      Prof.TotalLatency += Latency;
+      StreamRecord &Rec = Prof.getOrCreateStream(
+          (static_cast<uint64_t>(Obj) << 24) | S, Idx);
+      Rec.LoopId = static_cast<int32_t>(R.nextBelow(Loops));
+      Rec.AccessSize = 8;
+      Rec.SampleCount += 1;
+      Rec.LatencySum += Latency;
+      Rec.UniqueAddrCount = 16;
+      Rec.StrideGcd = 8ull * Fields;
+      Rec.ObjectStart = Start;
+      Rec.RepAddr = Start + 8 * R.nextBelow(Fields) +
+                    8ull * Fields * R.nextBelow(64);
+    }
+  }
+  return Prof;
+}
+
+struct Measured {
+  AnalysisResult Result;
+  double Seconds = 0;
+};
+
+Measured runOnce(const Profile &Prof, unsigned Jobs, unsigned Reps) {
+  AnalysisConfig Config;
+  Config.TopObjects = ~0u; // Analyze everything: the fan-out is the point.
+  Config.MinObjectShare = 0.0;
+  Config.Jobs = Jobs;
+  StructSlimAnalyzer Analyzer(Config);
+  Measured Out;
+  auto Begin = std::chrono::steady_clock::now();
+  for (unsigned Rep = 0; Rep != Reps; ++Rep)
+    Out.Result = Analyzer.analyze(Prof);
+  auto End = std::chrono::steady_clock::now();
+  Out.Seconds = std::chrono::duration<double>(End - Begin).count() / Reps;
+  return Out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  const char *JsonPath = "BENCH_analyzer.json";
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--smoke") == 0)
+      Smoke = true;
+    else
+      JsonPath = argv[I];
+  }
+
+  const unsigned Objects = Smoke ? 16 : 64;
+  const unsigned Streams = Smoke ? 64 : 512;
+  const unsigned Loops = 24;
+  const unsigned Fields = 32;
+  const unsigned Reps = Smoke ? 2 : 5;
+  const unsigned HostCores = std::thread::hardware_concurrency();
+
+  std::cout << "Offline analyzer scaling (host hardware_concurrency="
+            << HostCores << ", " << Objects << " objects x " << Streams
+            << " streams, " << Loops << " loops, " << Fields
+            << " fields)\n\n";
+
+  Profile Prof = makeProfile(Objects, Streams, Loops, Fields);
+
+  AnalysisConfig RenderConfig;
+  auto JsonOf = [&](const AnalysisResult &R) {
+    // Fixed stats: timings are the one legitimately varying part.
+    return renderJsonReport(R, Prof, RenderConfig, ReportStats(), {});
+  };
+
+  Measured Serial = runOnce(Prof, 1, Reps);
+  std::string SerialJson = JsonOf(Serial.Result);
+
+  TablePrinter Table;
+  Table.setHeader({"jobs", "analyze s", "speedup", "objects/s", "identical"});
+  Table.addRow({"1", formatDouble(Serial.Seconds, 4), "1.00x",
+                formatDouble(Objects / Serial.Seconds, 0), "yes"});
+
+  std::ofstream Json(JsonPath);
+  Json << "{\n  \"bench\": \"micro_analyzer\",\n"
+       << "  \"host_hardware_concurrency\": " << HostCores << ",\n"
+       << "  \"objects\": " << Objects << ",\n"
+       << "  \"streams_per_object\": " << Streams << ",\n"
+       << "  \"loops\": " << Loops << ",\n"
+       << "  \"fields\": " << Fields << ",\n  \"points\": [\n"
+       << "    {\"jobs\": 1, \"analyze_seconds\": " << Serial.Seconds
+       << ", \"speedup\": 1.0, \"identical\": true},\n";
+
+  bool AllIdentical = true;
+  const unsigned Widths[] = {2, 4, 8};
+  for (size_t W = 0; W != sizeof(Widths) / sizeof(*Widths); ++W) {
+    unsigned Jobs = Widths[W];
+    Measured Parallel = runOnce(Prof, Jobs, Reps);
+    bool Identical = JsonOf(Parallel.Result) == SerialJson;
+    AllIdentical = AllIdentical && Identical;
+    double Speedup =
+        Parallel.Seconds > 0 ? Serial.Seconds / Parallel.Seconds : 0.0;
+    Table.addRow({std::to_string(Jobs), formatDouble(Parallel.Seconds, 4),
+                  formatDouble(Speedup, 2) + "x",
+                  formatDouble(Objects / Parallel.Seconds, 0),
+                  Identical ? "yes" : "NO"});
+    Json << "    {\"jobs\": " << Jobs
+         << ", \"analyze_seconds\": " << Parallel.Seconds
+         << ", \"speedup\": " << Speedup
+         << ", \"identical\": " << (Identical ? "true" : "false") << "}"
+         << (W + 1 != sizeof(Widths) / sizeof(*Widths) ? "," : "") << "\n";
+  }
+  Json << "  ]\n}\n";
+  Table.print(std::cout);
+
+  if (!AllIdentical) {
+    std::cerr << "\nFAIL: parallel analysis diverged from serial results\n";
+    return 1;
+  }
+  std::cout << "\nAll job counts byte-identical to serial. JSON: " << JsonPath
+            << "\n";
+  return 0;
+}

@@ -139,8 +139,10 @@ structslim::core::renderAdviceText(const SplitPlan &Plan,
     return Text;
   }
   Text += "// StructSlim advice: split '" + Plan.ObjectName + "' (size " +
-          std::to_string(Plan.OriginalSize) + " bytes) into " +
-          std::to_string(Plan.ClusterOffsets.size()) + " structures\n";
+          std::to_string(Plan.OriginalSize) + " bytes" +
+          (Analysis.LowConfidenceSize ? ", low-confidence size" : "") +
+          ") into " + std::to_string(Plan.ClusterOffsets.size()) +
+          " structures\n";
   for (const ir::StructLayout &L :
        renderSplitLayouts(Plan, Analysis, Original))
     Text += L.toString() + "\n";

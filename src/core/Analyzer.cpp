@@ -4,6 +4,7 @@
 
 #include "core/AccuracyModel.h"
 #include "support/MathUtil.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -11,6 +12,7 @@
 #include <functional>
 #include <map>
 #include <numeric>
+#include <unordered_map>
 
 using namespace structslim;
 using namespace structslim::core;
@@ -31,6 +33,7 @@ AnalysisResult StructSlimAnalyzer::analyze(const profile::Profile &Merged) const
   AnalysisResult Result;
   Result.TotalLatency = Merged.TotalLatency;
   Result.TotalSamples = Merged.TotalSamples;
+  Result.Stats.ObjectsConsidered = Merged.Objects.size();
   if (Merged.TotalLatency == 0)
     return Result;
 
@@ -47,23 +50,55 @@ AnalysisResult StructSlimAnalyzer::analyze(const profile::Profile &Merged) const
   for (const profile::StreamRecord &S : Merged.Streams)
     StreamsByObject[S.ObjectIndex].push_back(&S);
 
+  // Object selection stays serial: it only reads the aggregates, and
+  // the hottest-first order plus the early break define the output
+  // order deterministically.
+  std::vector<uint32_t> Selected;
   for (uint32_t ObjectIndex : Order) {
-    if (Result.Objects.size() >= Config.TopObjects)
+    if (Selected.size() >= Config.TopObjects)
       break;
-    const profile::ObjectAgg &Agg = Merged.Objects[ObjectIndex];
-    double Share =
-        static_cast<double>(Agg.LatencySum) / Merged.TotalLatency;
+    double Share = static_cast<double>(Merged.Objects[ObjectIndex].LatencySum) /
+                   Merged.TotalLatency;
     if (Share < Config.MinObjectShare)
       break; // Sorted descending: everything after is colder.
+    Selected.push_back(ObjectIndex);
+  }
 
-    ObjectAnalysis O;
+  Result.Objects.resize(Selected.size());
+  for (size_t I = 0; I != Selected.size(); ++I) {
+    const profile::ObjectAgg &Agg = Merged.Objects[Selected[I]];
+    ObjectAnalysis &O = Result.Objects[I];
     O.Key = Agg.Key;
     O.Name = Agg.Name;
     O.LatencySum = Agg.LatencySum;
     O.SampleCount = Agg.SampleCount;
-    O.HotShare = Share;
-    analyzeObject(StreamsByObject[ObjectIndex], O);
-    Result.Objects.push_back(std::move(O));
+    O.HotShare = static_cast<double>(Agg.LatencySum) / Merged.TotalLatency;
+  }
+
+  // Per-object analyses are independent (analyzeObject writes only its
+  // own slot and reads shared state const), so they run concurrently on
+  // the shared pool. Each slot's content depends only on its object's
+  // streams, never on scheduling, so the result is byte-identical to
+  // the serial path for any job count.
+  unsigned Jobs =
+      Config.Jobs ? Config.Jobs : support::ThreadPool::defaultThreadCount();
+  auto AnalyzeOne = [&](size_t I) {
+    analyzeObject(StreamsByObject[Selected[I]], Result.Objects[I]);
+  };
+  if (Jobs > 1 && Selected.size() > 1)
+    support::ThreadPool::global().parallelFor(0, Selected.size(), AnalyzeOne);
+  else
+    for (size_t I = 0; I != Selected.size(); ++I)
+      AnalyzeOne(I);
+
+  // Aggregate counters serially in object order.
+  Result.Stats.ObjectsAnalyzed = Result.Objects.size();
+  for (size_t I = 0; I != Selected.size(); ++I)
+    Result.Stats.StreamsAnalyzed += StreamsByObject[Selected[I]].size();
+  for (const ObjectAnalysis &O : Result.Objects) {
+    Result.Stats.SkippedInconsistentStreams += O.SkippedStreams;
+    if (O.LowConfidenceSize)
+      ++Result.Stats.LowConfidenceSizes;
   }
   return Result;
 }
@@ -91,23 +126,44 @@ void StructSlimAnalyzer::analyzeObject(
   // best-sampled stream bounds that probability.
   Out.SizeConfidence =
       Size == 0 || BestUnique < 2 ? 0.0 : eq4LowerBound(BestUnique);
+  // The paper's bar: ~10 unique addresses put Eq. 4 above 99%. A size
+  // inferred from sparser streams (config with MinUniqueAddrs < 10) is
+  // still reported, but flagged so reports cannot present it as exact.
+  Out.LowConfidenceSize = Size != 0 && Out.SizeConfidence < 0.99;
 
   const ir::StructLayout *Layout = nullptr;
   if (auto It = Layouts.find(Out.Name); It != Layouts.end())
     Layout = &It->second;
 
-  // --- Field identification (Eq. 6) and per-field aggregation. -------
-  std::map<uint32_t, FieldStat> FieldsByOffset;
-  auto OffsetOf = [&](const profile::StreamRecord *S) -> uint32_t {
+  // --- Field identification (Eq. 6), one offset per stream. ----------
+  // A stream whose representative address precedes its object base
+  // (possible after merging inconsistent shards) would underflow the
+  // unsigned Eq. 6 modulo into a garbage offset: skip it everywhere
+  // below and count it.
+  constexpr uint32_t SkippedOffset = ~0u;
+  std::vector<uint32_t> StreamOffsets(Streams.size(), 0);
+  for (size_t I = 0; I != Streams.size(); ++I) {
+    const profile::StreamRecord *S = Streams[I];
     if (Size == 0)
-      return 0; // No aggregate structure detected: one logical field.
-    return static_cast<uint32_t>((S->RepAddr - S->ObjectStart) % Size);
-  };
-  for (const profile::StreamRecord *S : Streams) {
+      continue; // No aggregate structure detected: one logical field.
+    if (S->RepAddr < S->ObjectStart) {
+      StreamOffsets[I] = SkippedOffset;
+      ++Out.SkippedStreams;
+      continue;
+    }
+    StreamOffsets[I] =
+        static_cast<uint32_t>((S->RepAddr - S->ObjectStart) % Size);
+  }
+
+  // --- Per-field aggregation (the map keeps fields offset-sorted). ---
+  std::map<uint32_t, FieldStat> FieldsByOffset;
+  for (size_t I = 0; I != Streams.size(); ++I) {
+    if (StreamOffsets[I] == SkippedOffset)
+      continue;
+    const profile::StreamRecord *S = Streams[I];
     Out.TlbMissSamples += S->TlbMissSamples;
-    uint32_t Offset = OffsetOf(S);
-    FieldStat &F = FieldsByOffset[Offset];
-    F.Offset = Offset;
+    FieldStat &F = FieldsByOffset[StreamOffsets[I]];
+    F.Offset = StreamOffsets[I];
     F.LatencySum += S->LatencySum;
     F.SampleCount += S->SampleCount;
     for (size_t L = 0; L != F.LevelSamples.size(); ++L)
@@ -127,15 +183,40 @@ void StructSlimAnalyzer::analyzeObject(
       F.Name = "off" + std::to_string(Offset);
     Out.Fields.push_back(F);
   }
+  size_t NumFields = Out.Fields.size();
 
-  // --- Per-loop view (Table 6). ---------------------------------------
+  // Dense offset -> field-index mapping: Fields are offset-sorted, so
+  // the index doubles as the ascending-offset order the report relies
+  // on.
+  std::unordered_map<uint32_t, uint32_t> FieldIndexByOffset;
+  FieldIndexByOffset.reserve(NumFields);
+  for (uint32_t I = 0; I != NumFields; ++I)
+    FieldIndexByOffset.emplace(Out.Fields[I].Offset, I);
+
+  // --- Per-loop view (Table 6) with dense per-loop field vectors. ----
+  // LoopsById keeps the loop-id order for naming and a stable sort;
+  // the dense (latency, seen) vectors replace the old nested maps so
+  // the Eq. 7 pass below is pure array arithmetic.
   std::map<int32_t, LoopStat> LoopsById;
-  std::map<int32_t, std::map<uint32_t, uint64_t>> LoopFieldLatency;
-  for (const profile::StreamRecord *S : Streams) {
+  std::map<int32_t, size_t> LoopIndexById;
+  std::vector<std::vector<uint64_t>> LoopFieldLatency; // [loop][field]
+  std::vector<std::vector<uint8_t>> LoopFieldSeen;     // [loop][field]
+  for (size_t I = 0; I != Streams.size(); ++I) {
+    if (StreamOffsets[I] == SkippedOffset)
+      continue;
+    const profile::StreamRecord *S = Streams[I];
     LoopStat &L = LoopsById[S->LoopId];
     L.LoopId = S->LoopId;
     L.LatencySum += S->LatencySum;
-    LoopFieldLatency[S->LoopId][OffsetOf(S)] += S->LatencySum;
+    auto [It, New] = LoopIndexById.try_emplace(S->LoopId,
+                                               LoopFieldLatency.size());
+    if (New) {
+      LoopFieldLatency.emplace_back(NumFields, 0);
+      LoopFieldSeen.emplace_back(NumFields, 0);
+    }
+    uint32_t FieldIndex = FieldIndexByOffset[StreamOffsets[I]];
+    LoopFieldLatency[It->second][FieldIndex] += S->LatencySum;
+    LoopFieldSeen[It->second][FieldIndex] = 1;
   }
   for (auto &[LoopId, L] : LoopsById) {
     L.LatencyShare = Out.LatencySum == 0
@@ -148,8 +229,10 @@ void StructSlimAnalyzer::analyzeObject(
       L.LoopName = CodeMap->getLoop(static_cast<uint32_t>(LoopId)).name();
     else
       L.LoopName = "loop" + std::to_string(LoopId);
-    for (const auto &[Offset, Latency] : LoopFieldLatency[LoopId])
-      L.Offsets.push_back(Offset);
+    const std::vector<uint8_t> &Seen = LoopFieldSeen[LoopIndexById[LoopId]];
+    for (uint32_t FieldIndex = 0; FieldIndex != NumFields; ++FieldIndex)
+      if (Seen[FieldIndex])
+        L.Offsets.push_back(Out.Fields[FieldIndex].Offset);
     Out.Loops.push_back(L);
   }
   std::stable_sort(Out.Loops.begin(), Out.Loops.end(),
@@ -158,23 +241,34 @@ void StructSlimAnalyzer::analyzeObject(
                    });
 
   // --- Affinity (Eq. 7) over fields, then clustering. -----------------
-  size_t NumFields = Out.Fields.size();
+  // Accumulate the common-loop latency sums lc_ij per loop over just
+  // that loop's fields: O(sum over loops of F_loop^2) integer adds plus
+  // one O(F^2) division pass, instead of two map probes per
+  // (field-pair, loop). Integer sums are order-exact, so the result is
+  // bit-identical to the nested-map formulation.
   Out.Affinity.assign(NumFields, std::vector<double>(NumFields, 0.0));
   for (size_t I = 0; I != NumFields; ++I)
     Out.Affinity[I][I] = 1.0;
 
+  std::vector<uint64_t> Common(NumFields * NumFields, 0);
+  std::vector<uint32_t> LoopFields; // Fields present in one loop.
+  for (size_t Loop = 0; Loop != LoopFieldLatency.size(); ++Loop) {
+    LoopFields.clear();
+    for (uint32_t FieldIndex = 0; FieldIndex != NumFields; ++FieldIndex)
+      if (LoopFieldSeen[Loop][FieldIndex])
+        LoopFields.push_back(FieldIndex);
+    const std::vector<uint64_t> &Latency = LoopFieldLatency[Loop];
+    for (size_t A = 0; A != LoopFields.size(); ++A)
+      for (size_t B = A + 1; B != LoopFields.size(); ++B)
+        Common[LoopFields[A] * NumFields + LoopFields[B]] +=
+            Latency[LoopFields[A]] + Latency[LoopFields[B]];
+  }
   for (size_t I = 0; I != NumFields; ++I) {
     for (size_t J = I + 1; J != NumFields; ++J) {
-      uint64_t Common = 0; // Sum of lc_ij over common loops.
-      for (const auto &[LoopId, PerField] : LoopFieldLatency) {
-        auto ItI = PerField.find(Out.Fields[I].Offset);
-        auto ItJ = PerField.find(Out.Fields[J].Offset);
-        if (ItI == PerField.end() || ItJ == PerField.end())
-          continue;
-        Common += ItI->second + ItJ->second;
-      }
       uint64_t Total = Out.Fields[I].LatencySum + Out.Fields[J].LatencySum;
-      double A = Total == 0 ? 0.0 : static_cast<double>(Common) / Total;
+      double A = Total == 0 ? 0.0
+                            : static_cast<double>(Common[I * NumFields + J]) /
+                                  Total;
       Out.Affinity[I][J] = Out.Affinity[J][I] = A;
     }
   }

@@ -56,10 +56,36 @@ struct AnalysisConfig {
   /// Edges with affinity >= this threshold cluster fields together.
   double AffinityThreshold = 0.5;
   /// Streams need at least this many unique addresses before their GCD
-  /// stride is trusted (Eq. 4: 10 gives > 99% accuracy).
-  unsigned MinUniqueAddrs = 2;
+  /// stride is trusted (Eq. 4: 10 gives > 99% accuracy, which is the
+  /// paper's working threshold). Lowering this admits sparser streams;
+  /// sizes inferred from them are flagged via
+  /// ObjectAnalysis::LowConfidenceSize instead of being silently
+  /// reported as exact.
+  unsigned MinUniqueAddrs = 10;
   /// Field clustering algorithm.
   ClusteringMethod Clustering = ClusteringMethod::Threshold;
+  /// Worker threads for the per-object analysis: objects are analyzed
+  /// concurrently on the shared support::ThreadPool when > 1; 1 runs
+  /// serially; 0 (the default) sizes from
+  /// support::ThreadPool::defaultThreadCount() (STRUCTSLIM_THREADS env
+  /// var, else hardware_concurrency). The result is byte-identical for
+  /// every setting.
+  unsigned Jobs = 0;
+};
+
+/// Counters from one analyze() run, aggregated deterministically in
+/// object order so serial and parallel runs produce identical values.
+struct AnalysisStats {
+  uint64_t ObjectsConsidered = 0; ///< Objects present in the profile.
+  uint64_t ObjectsAnalyzed = 0;   ///< Objects that passed the filters.
+  uint64_t StreamsAnalyzed = 0;   ///< Streams of the analyzed objects.
+  /// Streams whose representative address precedes their object base
+  /// (possible after merging inconsistent shards): the Eq. 6 modulo
+  /// would underflow, so they are skipped rather than attributed to a
+  /// garbage field offset.
+  uint64_t SkippedInconsistentStreams = 0;
+  /// Analyzed objects whose inferred size is flagged low-confidence.
+  uint64_t LowConfidenceSizes = 0;
 };
 
 /// Latency decomposition for one inferred field (Table 5 row).
@@ -96,6 +122,14 @@ struct ObjectAnalysis {
   /// model applied to the best-sampled contributing stream (1 - the
   /// chance every contributing stream's GCD is a common multiple).
   double SizeConfidence = 0;
+  /// True when StructSize was inferred but its Eq. 4 confidence falls
+  /// short of the paper's > 99% bar (fewer than ~10 unique addresses
+  /// behind the best contributing stream). Reports must surface this
+  /// instead of presenting the size as exact.
+  bool LowConfidenceSize = false;
+  /// Streams skipped because RepAddr < ObjectStart (see
+  /// AnalysisStats::SkippedInconsistentStreams).
+  uint64_t SkippedStreams = 0;
   uint64_t TlbMissSamples = 0; ///< Summed over this object's streams.
   std::vector<FieldStat> Fields; ///< Sorted by offset.
   std::vector<LoopStat> Loops;   ///< Sorted by latency, descending.
@@ -122,6 +156,8 @@ struct AnalysisResult {
   uint64_t TotalSamples = 0;
   /// Significant objects, hottest first (filtered per AnalysisConfig).
   std::vector<ObjectAnalysis> Objects;
+  /// Pipeline counters (identical for serial and parallel runs).
+  AnalysisStats Stats;
 
   const ObjectAnalysis *findObject(const std::string &Name) const {
     for (const ObjectAnalysis &O : Objects)
@@ -149,7 +185,10 @@ public:
   void registerLayout(const std::string &ObjectName,
                       const ir::StructLayout &Layout);
 
-  /// Runs the full analysis pipeline of Fig. 2 on \p Merged.
+  /// Runs the full analysis pipeline of Fig. 2 on \p Merged. The
+  /// per-object analyses run concurrently on the shared
+  /// support::ThreadPool per AnalysisConfig::Jobs; the result is
+  /// byte-identical to a serial run for any job count.
   AnalysisResult analyze(const profile::Profile &Merged) const;
 
   const AnalysisConfig &getConfig() const { return Config; }

@@ -5,6 +5,8 @@
 #include "support/Format.h"
 #include "support/TablePrinter.h"
 
+#include <cmath>
+#include <cstdio>
 #include <sstream>
 
 using namespace structslim;
@@ -46,8 +48,17 @@ structslim::core::renderHotObjects(const AnalysisResult &Result,
         O.Name, std::to_string(O.SampleCount), std::to_string(O.LatencySum),
         formatPercent(O.HotShare),
         O.StructSize ? std::to_string(O.StructSize) + " B" : "-"};
-    if (O.StructSize && O.SizeConfidence > 0)
-      Row.back() += " (conf " + formatPercent(O.SizeConfidence) + ")";
+    // An inferred size always shows its Eq. 4 confidence; one the
+    // model cannot vouch for (sparse streams) is marked instead of
+    // silently printed as exact.
+    if (O.StructSize) {
+      if (O.SizeConfidence <= 0)
+        Row.back() += " (conf n/a, low)";
+      else if (O.LowConfidenceSize)
+        Row.back() += " (conf " + formatPercent(O.SizeConfidence) + ", low)";
+      else
+        Row.back() += " (conf " + formatPercent(O.SizeConfidence) + ")";
+    }
     if (CodeMap) {
       std::vector<std::string> Sites;
       for (uint64_t Ip : allocPathFromKey(O.Key)) {
@@ -136,6 +147,212 @@ structslim::core::renderHotContexts(const profile::Profile &Merged,
   }
   std::ostringstream OS;
   Table.print(OS);
+  return OS.str();
+}
+
+// --- JSON rendering ---------------------------------------------------
+
+namespace {
+
+/// Escapes \p S for use inside a JSON string literal.
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+/// Deterministic JSON number rendering: shortest %.9g form, never
+/// NaN/Inf (which JSON cannot represent).
+std::string jsonNumber(double Value) {
+  if (!std::isfinite(Value))
+    return "0";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", Value);
+  return Buf;
+}
+
+std::string jsonString(const std::string &S) {
+  return "\"" + jsonEscape(S) + "\"";
+}
+
+const char *jsonBool(bool B) { return B ? "true" : "false"; }
+
+} // namespace
+
+std::string structslim::core::renderJsonReport(
+    const AnalysisResult &Result, const profile::Profile &Merged,
+    const AnalysisConfig &Config, const ReportStats &Stats,
+    const std::vector<profile::ShardFailure> &Skipped) {
+  std::ostringstream OS;
+  OS << "{\n";
+  OS << "  \"schema_version\": 1,\n";
+  OS << "  \"generator\": \"structslim-report\",\n";
+
+  OS << "  \"profile\": {\n";
+  OS << "    \"shards_merged\": " << Stats.ShardsMerged << ",\n";
+  OS << "    \"shards_skipped\": [";
+  for (size_t I = 0; I != Skipped.size(); ++I) {
+    OS << (I ? ",\n" : "\n");
+    OS << "      {\"path\": " << jsonString(Skipped[I].Path)
+       << ", \"reason\": " << jsonString(Skipped[I].Message) << "}";
+  }
+  OS << (Skipped.empty() ? "],\n" : "\n    ],\n");
+  OS << "    \"sample_period\": " << Merged.SamplePeriod << ",\n";
+  OS << "    \"total_samples\": " << Result.TotalSamples << ",\n";
+  OS << "    \"total_latency\": " << Result.TotalLatency << "\n";
+  OS << "  },\n";
+
+  OS << "  \"config\": {\n";
+  OS << "    \"top_objects\": " << Config.TopObjects << ",\n";
+  OS << "    \"min_object_share\": " << jsonNumber(Config.MinObjectShare)
+     << ",\n";
+  OS << "    \"affinity_threshold\": " << jsonNumber(Config.AffinityThreshold)
+     << ",\n";
+  OS << "    \"min_unique_addrs\": " << Config.MinUniqueAddrs << ",\n";
+  OS << "    \"clustering\": "
+     << (Config.Clustering == ClusteringMethod::Hierarchical
+             ? "\"hierarchical\""
+             : "\"threshold\"")
+     << ",\n";
+  OS << "    \"jobs\": " << Stats.Jobs << "\n";
+  OS << "  },\n";
+
+  OS << "  \"objects\": [";
+  for (size_t ObjIdx = 0; ObjIdx != Result.Objects.size(); ++ObjIdx) {
+    const ObjectAnalysis &O = Result.Objects[ObjIdx];
+    OS << (ObjIdx ? ",\n" : "\n");
+    OS << "    {\n";
+    OS << "      \"name\": " << jsonString(O.Name) << ",\n";
+    OS << "      \"key\": " << jsonString(O.Key) << ",\n";
+    OS << "      \"samples\": " << O.SampleCount << ",\n";
+    OS << "      \"latency\": " << O.LatencySum << ",\n";
+    OS << "      \"hot_share\": " << jsonNumber(O.HotShare) << ",\n";
+    OS << "      \"struct_size\": " << O.StructSize << ",\n";
+    OS << "      \"size_confidence\": " << jsonNumber(O.SizeConfidence)
+       << ",\n";
+    OS << "      \"size_low_confidence\": " << jsonBool(O.LowConfidenceSize)
+       << ",\n";
+    OS << "      \"tlb_miss_samples\": " << O.TlbMissSamples << ",\n";
+    OS << "      \"skipped_streams\": " << O.SkippedStreams << ",\n";
+    OS << "      \"split_recommended\": " << jsonBool(O.splitRecommended())
+       << ",\n";
+
+    OS << "      \"fields\": [";
+    for (size_t I = 0; I != O.Fields.size(); ++I) {
+      const FieldStat &F = O.Fields[I];
+      OS << (I ? ",\n" : "\n");
+      OS << "        {\"name\": " << jsonString(F.Name)
+         << ", \"offset\": " << F.Offset << ", \"size\": " << F.Size
+         << ", \"samples\": " << F.SampleCount
+         << ", \"latency\": " << F.LatencySum
+         << ", \"latency_share\": " << jsonNumber(F.LatencyShare)
+         << ", \"level_samples\": [" << F.LevelSamples[0] << ", "
+         << F.LevelSamples[1] << ", " << F.LevelSamples[2] << ", "
+         << F.LevelSamples[3] << "]}";
+    }
+    OS << (O.Fields.empty() ? "],\n" : "\n      ],\n");
+
+    OS << "      \"loops\": [";
+    for (size_t I = 0; I != O.Loops.size(); ++I) {
+      const LoopStat &L = O.Loops[I];
+      OS << (I ? ",\n" : "\n");
+      OS << "        {\"id\": " << L.LoopId
+         << ", \"name\": " << jsonString(L.LoopName)
+         << ", \"latency\": " << L.LatencySum
+         << ", \"latency_share\": " << jsonNumber(L.LatencyShare)
+         << ", \"offsets\": [";
+      for (size_t K = 0; K != L.Offsets.size(); ++K)
+        OS << (K ? ", " : "") << L.Offsets[K];
+      OS << "]}";
+    }
+    OS << (O.Loops.empty() ? "],\n" : "\n      ],\n");
+
+    OS << "      \"affinity\": [";
+    for (size_t I = 0; I != O.Affinity.size(); ++I) {
+      OS << (I ? ",\n" : "\n") << "        [";
+      for (size_t J = 0; J != O.Affinity[I].size(); ++J)
+        OS << (J ? ", " : "") << jsonNumber(O.Affinity[I][J]);
+      OS << "]";
+    }
+    OS << (O.Affinity.empty() ? "],\n" : "\n      ],\n");
+
+    OS << "      \"clusters\": [";
+    for (size_t I = 0; I != O.Clusters.size(); ++I) {
+      OS << (I ? ", " : "") << "[";
+      for (size_t K = 0; K != O.Clusters[I].size(); ++K)
+        OS << (K ? ", " : "") << O.Clusters[I][K];
+      OS << "]";
+    }
+    OS << "]\n";
+    OS << "    }";
+  }
+  OS << (Result.Objects.empty() ? "],\n" : "\n  ],\n");
+
+  OS << "  \"stats\": {\n";
+  OS << "    \"objects_considered\": " << Result.Stats.ObjectsConsidered
+     << ",\n";
+  OS << "    \"objects_analyzed\": " << Result.Stats.ObjectsAnalyzed << ",\n";
+  OS << "    \"streams_analyzed\": " << Result.Stats.StreamsAnalyzed << ",\n";
+  OS << "    \"skipped_inconsistent_streams\": "
+     << Result.Stats.SkippedInconsistentStreams << ",\n";
+  OS << "    \"low_confidence_sizes\": " << Result.Stats.LowConfidenceSizes
+     << "\n";
+  OS << "  },\n";
+
+  OS << "  \"timing\": {\n";
+  OS << "    \"merge_seconds\": " << jsonNumber(Stats.MergeSeconds) << ",\n";
+  OS << "    \"analyze_seconds\": " << jsonNumber(Stats.AnalyzeSeconds)
+     << ",\n";
+  OS << "    \"render_seconds\": " << jsonNumber(Stats.RenderSeconds) << "\n";
+  OS << "  }\n";
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string structslim::core::renderStatsText(const AnalysisResult &Result,
+                                              const ReportStats &Stats) {
+  std::ostringstream OS;
+  OS << "=== Pipeline stats ===\n";
+  OS << "merge:   " << formatDouble(Stats.MergeSeconds, 6) << "s  ("
+     << Stats.ShardsMerged << " shard(s) merged, " << Stats.ShardsSkipped
+     << " skipped)\n";
+  OS << "analyze: " << formatDouble(Stats.AnalyzeSeconds, 6) << "s  ("
+     << Result.Stats.ObjectsAnalyzed << "/" << Result.Stats.ObjectsConsidered
+     << " object(s), " << Result.Stats.StreamsAnalyzed << " stream(s), jobs="
+     << Stats.Jobs << ")\n";
+  OS << "render:  " << formatDouble(Stats.RenderSeconds, 6) << "s\n";
+  if (Result.Stats.SkippedInconsistentStreams)
+    OS << "skipped inconsistent streams: "
+       << Result.Stats.SkippedInconsistentStreams << "\n";
+  if (Result.Stats.LowConfidenceSizes)
+    OS << "low-confidence sizes: " << Result.Stats.LowConfidenceSizes << "\n";
   return OS.str();
 }
 

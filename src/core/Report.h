@@ -7,7 +7,9 @@
 /// \file
 /// Renders the analyzer output in the shapes the paper's evaluation
 /// reports: the hot-object ranking (l_d), the per-field latency table
-/// (Table 5), and the per-loop latency/field table (Table 6).
+/// (Table 5), and the per-loop latency/field table (Table 6). Also the
+/// machine-readable surface: the full AnalysisResult as stable-schema
+/// JSON plus per-stage pipeline statistics.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -15,11 +17,27 @@
 #define STRUCTSLIM_CORE_REPORT_H
 
 #include "core/Analyzer.h"
+#include "profile/MergeTree.h"
 
 #include <string>
 
 namespace structslim {
 namespace core {
+
+/// Per-stage wall-clock timings and shard counters of one report run,
+/// printed under `structslim-report --stats` and embedded in the JSON
+/// document. Purely informational: never part of the byte-identity
+/// contract between serial and parallel runs (timings vary), which is
+/// why renderJsonReport embeds exactly what the caller passes instead
+/// of measuring anything itself.
+struct ReportStats {
+  double MergeSeconds = 0;   ///< Shard load + reduction-tree merge.
+  double AnalyzeSeconds = 0; ///< StructSlimAnalyzer::analyze.
+  double RenderSeconds = 0;  ///< Report rendering (text or JSON).
+  unsigned Jobs = 0;         ///< Effective worker count used.
+  uint64_t ShardsMerged = 0;
+  uint64_t ShardsSkipped = 0;
+};
 
 /// Hot data objects ranked by l_d (Eq. 1). When \p CodeMap is given,
 /// heap objects additionally show their allocation call path resolved
@@ -46,6 +64,24 @@ std::string renderAffinityMatrix(const ObjectAnalysis &Analysis);
 std::string renderHotContexts(const profile::Profile &Merged,
                               const analysis::CodeMap *CodeMap,
                               size_t TopN = 10);
+
+/// The full analysis as one stable-schema JSON document
+/// ("schema_version": 1): profile totals, merge skip reasons, the
+/// analyzer configuration, every object with its fields, loops,
+/// affinity matrix, clusters and size confidence, the analysis
+/// counters, and the per-stage timings from \p Stats. Key order and
+/// number formatting are deterministic, so two runs over the same
+/// profile with the same \p Stats values serialize byte-identically
+/// regardless of the analyzer's job count.
+std::string renderJsonReport(const AnalysisResult &Result,
+                             const profile::Profile &Merged,
+                             const AnalysisConfig &Config,
+                             const ReportStats &Stats,
+                             const std::vector<profile::ShardFailure> &Skipped);
+
+/// Human-readable pipeline statistics (the `--stats` block).
+std::string renderStatsText(const AnalysisResult &Result,
+                            const ReportStats &Stats);
 
 } // namespace core
 } // namespace structslim

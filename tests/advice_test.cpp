@@ -202,3 +202,71 @@ TEST(AffinityDot, NodesEdgesAndClusters) {
   // Zero-affinity pairs draw no edge.
   EXPECT_EQ(Dot.find("\"f0\" -- \"f8\""), std::string::npos);
 }
+
+TEST(AffinityDot, ZeroFieldObjectRendersEmptyGraph) {
+  ObjectAnalysis O = makeAnalysis("empty", 0, {}, {});
+  std::string Dot = affinityGraphDot(O);
+  EXPECT_NE(Dot.find("graph \"affinity_empty\""), std::string::npos);
+  EXPECT_EQ(Dot.find("--"), std::string::npos);       // No edges.
+  EXPECT_EQ(Dot.find("subgraph"), std::string::npos); // No clusters.
+  EXPECT_EQ(Dot.find("[label="), std::string::npos);  // No nodes.
+}
+
+TEST(AffinityDot, SingleFieldObjectRendersOneNodeNoEdges) {
+  ObjectAnalysis O = makeAnalysis("s", 16, {{0, 100}}, {{0}});
+  std::string Dot = affinityGraphDot(O);
+  EXPECT_NE(Dot.find("subgraph cluster_0"), std::string::npos);
+  EXPECT_NE(Dot.find("\"f0\" [label=\"off0\"]"), std::string::npos);
+  EXPECT_EQ(Dot.find("--"), std::string::npos);
+}
+
+TEST(AffinityDot, AllZeroAffinityDrawsNoEdges) {
+  ObjectAnalysis O =
+      makeAnalysis("s", 32, {{0, 10}, {8, 20}, {16, 30}}, {{0}, {1}, {2}});
+  std::string Dot = affinityGraphDot(O);
+  // Every field is a node in its own cluster, but no pair connects.
+  EXPECT_NE(Dot.find("subgraph cluster_2"), std::string::npos);
+  EXPECT_EQ(Dot.find("--"), std::string::npos);
+}
+
+TEST(AffinityDot, FieldOutsideEveryClusterStaysTopLevel) {
+  // A field no cluster claims (the cold-fields case when clusters come
+  // from an external plan) renders at graph top level, outside every
+  // subgraph, instead of being dropped or crashing.
+  ObjectAnalysis O =
+      makeAnalysis("s", 32, {{0, 100}, {8, 50}, {16, 0}}, {{0}, {1}});
+  std::string Dot = affinityGraphDot(O);
+  size_t Node = Dot.find("\"f16\" [label=\"off16\"]");
+  ASSERT_NE(Node, std::string::npos);
+  // Top-level nodes print with two-space indentation; clustered ones
+  // are nested with four.
+  EXPECT_EQ(Dot.compare(Node - 3, 3, "\n  "), 0);
+  EXPECT_NE(Dot.find("subgraph cluster_1"), std::string::npos);
+}
+
+TEST(AdviceText, ColdTrailingClusterAppearsInDotAdvicePair) {
+  // An object whose plan carries a trailing cold cluster: the advice
+  // text lists the cold struct last, and the DOT for the analysis
+  // clusters still renders the observed fields.
+  ObjectAnalysis O = makeAnalysis("s", 32, {{0, 100}, {8, 50}}, {{0}, {1}});
+  ir::StructLayout L = fourFieldLayout();
+  SplitPlan Plan = makeSplitPlan(O, &L);
+  ASSERT_EQ(Plan.ClusterOffsets.size(), 3u); // Hot, warm, cold {c,d}.
+  EXPECT_EQ(Plan.ClusterOffsets.back(),
+            (std::vector<uint32_t>{16, 24}));
+  std::string Text = renderAdviceText(Plan, O, &L);
+  EXPECT_NE(Text.find("struct s_2 { long c; long d; };"),
+            std::string::npos);
+  std::string Dot = affinityGraphDot(O);
+  EXPECT_NE(Dot.find("subgraph cluster_0"), std::string::npos);
+  EXPECT_NE(Dot.find("subgraph cluster_1"), std::string::npos);
+}
+
+TEST(AdviceText, LowConfidenceSizeIsSurfaced) {
+  ObjectAnalysis O = makeAnalysis("s", 32, {{0, 100}, {8, 50}}, {{0}, {1}});
+  O.LowConfidenceSize = true;
+  SplitPlan Plan = makeSplitPlan(O);
+  std::string Text = renderAdviceText(Plan, O);
+  EXPECT_NE(Text.find("(size 32 bytes, low-confidence size)"),
+            std::string::npos);
+}

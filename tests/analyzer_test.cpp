@@ -39,7 +39,7 @@ protected:
   StreamRecord &addStream(Profile &Prof, const std::string &Object,
                           uint64_t Ip, int32_t LoopId, uint64_t Latency,
                           uint64_t Stride, uint64_t RepAddr,
-                          uint64_t UniqueAddrs = 8, uint8_t AccessSize = 8,
+                          uint64_t UniqueAddrs = 16, uint8_t AccessSize = 8,
                           uint64_t ObjectStart = 0x10000) {
     uint32_t Idx = Prof.getOrCreateObject(Object);
     profile::ObjectAgg &Agg = Prof.Objects[Idx];
@@ -293,19 +293,45 @@ TEST_F(AnalyzerTest, SizeConfidenceFollowsEq4) {
   StructSlimAnalyzer Analyzer(*Map);
   AnalysisResult R = Analyzer.analyze(Prof);
   EXPECT_GT(R.Objects[0].SizeConfidence, 0.999);
+  EXPECT_FALSE(R.Objects[0].LowConfidenceSize);
 
-  // With only 2 unique addresses the confidence is weak (~0.54).
-  Profile Sparse;
-  addStream(Sparse, "arr", 1, 0, 100, 64, 0x10000, /*UniqueAddrs=*/2);
-  AnalysisResult R2 = Analyzer.analyze(Sparse);
+  // With only 2 unique addresses the confidence is weak (~0.54); a
+  // config that admits such sparse streams gets the size flagged
+  // low-confidence instead of silently exact.
+  AnalysisConfig Sparse;
+  Sparse.MinUniqueAddrs = 2;
+  StructSlimAnalyzer SparseAnalyzer(*Map, Sparse);
+  Profile SparseProf;
+  addStream(SparseProf, "arr", 1, 0, 100, 64, 0x10000, /*UniqueAddrs=*/2);
+  AnalysisResult R2 = SparseAnalyzer.analyze(SparseProf);
+  EXPECT_EQ(R2.Objects[0].StructSize, 64u);
   EXPECT_LT(R2.Objects[0].SizeConfidence, 0.6);
   EXPECT_GT(R2.Objects[0].SizeConfidence, 0.0);
+  EXPECT_TRUE(R2.Objects[0].LowConfidenceSize);
+  EXPECT_EQ(R2.Stats.LowConfidenceSizes, 1u);
 
-  // No strided stream: no size, no confidence.
+  // No strided stream: no size, no confidence, nothing to flag.
   Profile Unit;
   addStream(Unit, "arr", 1, 0, 100, 8, 0x10000);
   AnalysisResult R3 = Analyzer.analyze(Unit);
   EXPECT_EQ(R3.Objects[0].SizeConfidence, 0.0);
+  EXPECT_FALSE(R3.Objects[0].LowConfidenceSize);
+}
+
+TEST_F(AnalyzerTest, DefaultMinUniqueAddrsMatchesPaperBar) {
+  // The default config follows the paper's Eq. 4 working threshold: 10
+  // unique addresses for > 99% stride accuracy. A 9-unique stream must
+  // not contribute to size inference by default.
+  AnalysisConfig Cfg;
+  EXPECT_EQ(Cfg.MinUniqueAddrs, 10u);
+
+  Profile Prof;
+  addStream(Prof, "arr", 1, 0, 100, 96, 0x10000, /*UniqueAddrs=*/9);
+  addStream(Prof, "arr", 2, 0, 100, 64, 0x10008, /*UniqueAddrs=*/10);
+  StructSlimAnalyzer Analyzer(*Map);
+  AnalysisResult R = Analyzer.analyze(Prof);
+  // Only the 10-unique stream participates: size 64, not gcd(96,64)=32.
+  EXPECT_EQ(R.Objects[0].StructSize, 64u);
 }
 
 TEST_F(AnalyzerTest, HierarchicalClusteringBreaksChains) {
@@ -379,4 +405,107 @@ TEST_F(AnalyzerTest, EmptyProfile) {
   AnalysisResult R = Analyzer.analyze(Prof);
   EXPECT_TRUE(R.Objects.empty());
   EXPECT_EQ(R.TotalLatency, 0u);
+}
+
+TEST_F(AnalyzerTest, RepAddrBeforeObjectStartIsSkippedNotGarbage) {
+  // Regression: a merged stream whose representative address precedes
+  // its object base used to underflow the unsigned Eq. 6 modulo into a
+  // garbage field offset. Such streams are skipped and counted.
+  Profile Prof;
+  addStream(Prof, "arr", 1, 0, 100, 64, 0x10000);     // Valid, offset 0.
+  addStream(Prof, "arr", 2, 0, 100, 64, 0x10008);     // Valid, offset 8.
+  // Inconsistent: RepAddr 0x8000 < ObjectStart 0x10000.
+  addStream(Prof, "arr", 3, 1, 50, 64, /*RepAddr=*/0x8000);
+  StructSlimAnalyzer Analyzer(*Map);
+  AnalysisResult R = Analyzer.analyze(Prof);
+  ASSERT_EQ(R.Objects.size(), 1u);
+  const ObjectAnalysis &O = R.Objects[0];
+  // Only the two valid offsets appear — no garbage field near 2^32.
+  ASSERT_EQ(O.Fields.size(), 2u);
+  EXPECT_EQ(O.Fields[0].Offset, 0u);
+  EXPECT_EQ(O.Fields[1].Offset, 8u);
+  // The skipped stream contributes to no loop either.
+  ASSERT_EQ(O.Loops.size(), 1u);
+  EXPECT_EQ(O.Loops[0].LoopId, 0);
+  // It is counted, per object and in the aggregate stats.
+  EXPECT_EQ(O.SkippedStreams, 1u);
+  EXPECT_EQ(R.Stats.SkippedInconsistentStreams, 1u);
+}
+
+TEST_F(AnalyzerTest, StatsCountersPopulated) {
+  Profile Prof;
+  addStream(Prof, "hot", 1, 0, 800, 64, 0x10000);
+  addStream(Prof, "hot", 2, 1, 150, 64, 0x10008);
+  addStream(Prof, "tiny", 3, 0, 5, 64, 0x10000); // < 1% share: filtered.
+  StructSlimAnalyzer Analyzer(*Map);
+  AnalysisResult R = Analyzer.analyze(Prof);
+  ASSERT_EQ(R.Objects.size(), 1u);
+  EXPECT_EQ(R.Stats.ObjectsConsidered, 2u);
+  EXPECT_EQ(R.Stats.ObjectsAnalyzed, 1u);
+  EXPECT_EQ(R.Stats.StreamsAnalyzed, 2u);
+  EXPECT_EQ(R.Stats.SkippedInconsistentStreams, 0u);
+  EXPECT_EQ(R.Stats.LowConfidenceSizes, 0u);
+}
+
+TEST_F(AnalyzerTest, SingleFieldObjectIsOneCluster) {
+  // 1-field edge case: both clustering methods yield one singleton
+  // cluster and no split recommendation.
+  for (auto Method :
+       {ClusteringMethod::Threshold, ClusteringMethod::Hierarchical}) {
+    Profile Prof;
+    addStream(Prof, "arr", 1, 0, 100, 64, 0x10000);
+    AnalysisConfig Cfg;
+    Cfg.Clustering = Method;
+    StructSlimAnalyzer Analyzer(*Map, Cfg);
+    AnalysisResult R = Analyzer.analyze(Prof);
+    ASSERT_EQ(R.Objects[0].Fields.size(), 1u);
+    ASSERT_EQ(R.Objects[0].Clusters.size(), 1u);
+    EXPECT_EQ(R.Objects[0].Clusters[0],
+              (std::vector<uint32_t>{0}));
+    EXPECT_FALSE(R.Objects[0].splitRecommended());
+  }
+}
+
+TEST_F(AnalyzerTest, ZeroFieldObjectHasNoClusters) {
+  // 0-field edge case: an object can carry latency with every stream
+  // skipped as inconsistent — fields, affinity and clusters all stay
+  // empty and no split is recommended.
+  Profile Prof;
+  addStream(Prof, "arr", 1, 0, 100, 64, /*RepAddr=*/0x8000); // Underflow.
+  for (auto Method :
+       {ClusteringMethod::Threshold, ClusteringMethod::Hierarchical}) {
+    AnalysisConfig Cfg;
+    Cfg.Clustering = Method;
+    StructSlimAnalyzer Analyzer(*Map, Cfg);
+    AnalysisResult R = Analyzer.analyze(Prof);
+    ASSERT_EQ(R.Objects.size(), 1u);
+    EXPECT_TRUE(R.Objects[0].Fields.empty());
+    EXPECT_TRUE(R.Objects[0].Affinity.empty());
+    EXPECT_TRUE(R.Objects[0].Clusters.empty());
+    EXPECT_FALSE(R.Objects[0].splitRecommended());
+    EXPECT_EQ(R.Objects[0].SkippedStreams, 1u);
+  }
+}
+
+TEST_F(AnalyzerTest, AllZeroAffinitySplitsEveryField) {
+  // Three fields, each alone in its own loop: the affinity matrix is
+  // the identity, and both methods emit three singleton clusters.
+  for (auto Method :
+       {ClusteringMethod::Threshold, ClusteringMethod::Hierarchical}) {
+    Profile Prof;
+    addStream(Prof, "arr", 1, 0, 100, 64, 0x10000);
+    addStream(Prof, "arr", 2, 1, 90, 64, 0x10008);
+    addStream(Prof, "arr", 3, 7, 80, 64, 0x10010);
+    AnalysisConfig Cfg;
+    Cfg.Clustering = Method;
+    StructSlimAnalyzer Analyzer(*Map, Cfg);
+    AnalysisResult R = Analyzer.analyze(Prof);
+    const ObjectAnalysis &O = R.Objects[0];
+    ASSERT_EQ(O.Fields.size(), 3u);
+    for (size_t I = 0; I != 3; ++I)
+      for (size_t J = 0; J != 3; ++J)
+        EXPECT_EQ(O.Affinity[I][J], I == J ? 1.0 : 0.0);
+    EXPECT_EQ(O.Clusters.size(), 3u);
+    EXPECT_TRUE(O.splitRecommended());
+  }
 }

@@ -28,7 +28,7 @@ void addStream(Profile &Prof, const std::string &Object, uint64_t Ip,
   S.AccessSize = AccessSize;
   S.SampleCount += 1;
   S.LatencySum += Latency;
-  S.UniqueAddrCount = 8;
+  S.UniqueAddrCount = 16; // Clears the default Eq. 4 bar (>= 10).
   S.StrideGcd = Stride;
 }
 

@@ -122,3 +122,123 @@ TEST(ReportGolden, AllShardsUnreadableFailsEvenWhenLenient) {
   EXPECT_NE(R.ExitCode, 0);
   EXPECT_NE(R.Output.find("no readable profiles"), std::string::npos);
 }
+
+// --- Defensive CLI parsing ----------------------------------------------
+
+TEST(ReportCli, MalformedNumericValueExitsTwoWithUsage) {
+  // The historical failure: strtoul-style parsing accepted garbage or
+  // aborted. Every malformed value must exit 2 and point at the flag.
+  struct Case {
+    const char *Arg;
+    const char *Flag;
+  } Cases[] = {
+      {"--top=abc", "--top"},           {"--top=", "--top"},
+      {"--top=-3", "--top"},            {"--top=7x", "--top"},
+      {"--jobs=1x", "--jobs"},          {"--jobs=", "--jobs"},
+      {"--threshold=0..5", "--threshold"}, {"--threshold=nan?", "--threshold"},
+      {"--min-unique=ten", "--min-unique"},
+      {"--top=99999999999999999999", "--top"},
+  };
+  for (const Case &C : Cases) {
+    CommandResult R = runReport({C.Arg, fixtureShards()[0]});
+    EXPECT_EQ(R.ExitCode, 2) << C.Arg << "\n" << R.Output;
+    EXPECT_NE(R.Output.find("error: invalid value"), std::string::npos)
+        << C.Arg << "\n" << R.Output;
+    EXPECT_NE(R.Output.find(C.Flag), std::string::npos) << R.Output;
+    EXPECT_NE(R.Output.find("usage:"), std::string::npos) << R.Output;
+  }
+}
+
+TEST(ReportCli, UnknownOptionExitsTwoWithUsage) {
+  CommandResult R = runReport({"--frobnicate", fixtureShards()[0]});
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  EXPECT_NE(R.Output.find("error: unknown option '--frobnicate'"),
+            std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("usage:"), std::string::npos);
+}
+
+TEST(ReportCli, StructureToolRejectsUnknownOption) {
+  std::string Cmd = std::string(STRUCTSLIM_STRUCTURE_BIN);
+  Cmd += " --bogus-flag 2>&1";
+  std::string Output;
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  ASSERT_NE(Pipe, nullptr);
+  char Buffer[4096];
+  size_t N;
+  while ((N = fread(Buffer, 1, sizeof(Buffer), Pipe)) != 0)
+    Output.append(Buffer, N);
+  int Status = pclose(Pipe);
+  EXPECT_EQ(WIFEXITED(Status) ? WEXITSTATUS(Status) : -1, 2) << Output;
+  EXPECT_NE(Output.find("error: unknown option '--bogus-flag'"),
+            std::string::npos)
+      << Output;
+  EXPECT_NE(Output.find("usage:"), std::string::npos);
+}
+
+// --- Machine-readable output --------------------------------------------
+
+TEST(ReportJson, EmitsStableSchemaDocument) {
+  std::vector<std::string> Args = {"--json"};
+  for (const std::string &F : fixtureShards())
+    Args.push_back(F);
+  CommandResult R = runReport(Args);
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  for (const char *Key :
+       {"\"schema_version\": 1", "\"generator\": \"structslim-report\"",
+        "\"profile\":", "\"shards_merged\": 5", "\"config\":", "\"objects\":",
+        "\"_Zone\"", "\"affinity\":", "\"clusters\":", "\"stats\":",
+        "\"timing\":", "\"analyze_seconds\":", "\"split_recommended\": true"})
+    EXPECT_NE(R.Output.find(Key), std::string::npos) << Key << "\n" << R.Output;
+  // JSON mode owns stdout completely: no text preamble leaks in.
+  EXPECT_EQ(R.Output.find("merged 5 profile(s)"), std::string::npos);
+  EXPECT_EQ(R.Output.rfind('{', 0), 0u) << "document must start with '{'";
+}
+
+TEST(ReportJson, StatsGoToStderrNotIntoTheDocument) {
+  // Split streams: stdout must stay parseable JSON while --stats prints.
+  std::string Cmd = std::string(STRUCTSLIM_REPORT_BIN) + " --json --stats";
+  for (const std::string &F : fixtureShards())
+    Cmd += " " + F;
+  Cmd += " 2>/dev/null";
+  std::string Output;
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  ASSERT_NE(Pipe, nullptr);
+  char Buffer[4096];
+  size_t N;
+  while ((N = fread(Buffer, 1, sizeof(Buffer), Pipe)) != 0)
+    Output.append(Buffer, N);
+  int Status = pclose(Pipe);
+  EXPECT_EQ(WIFEXITED(Status) ? WEXITSTATUS(Status) : -1, 0);
+  EXPECT_EQ(Output.rfind('{', 0), 0u);
+  EXPECT_EQ(Output.find("Pipeline stats"), std::string::npos);
+  EXPECT_NE(Output.find("\"objects_analyzed\":"), std::string::npos);
+}
+
+TEST(ReportStatsFlag, TextModePrintsPipelineBlock) {
+  std::vector<std::string> Args = {"--stats"};
+  for (const std::string &F : fixtureShards())
+    Args.push_back(F);
+  CommandResult R = runReport(Args);
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("=== Pipeline stats ==="), std::string::npos);
+  EXPECT_NE(R.Output.find("shard(s) merged"), std::string::npos);
+  EXPECT_NE(R.Output.find("jobs="), std::string::npos);
+}
+
+// --- Parallel determinism at the tool level -----------------------------
+
+TEST(ReportParallel, JobCountNeverChangesTheTextReport) {
+  std::vector<std::string> One = {"--jobs=1"}, Four = {"--jobs=4"};
+  for (const std::string &F : fixtureShards()) {
+    One.push_back(F);
+    Four.push_back(F);
+  }
+  CommandResult R1 = runReport(One);
+  CommandResult R4 = runReport(Four);
+  ASSERT_EQ(R1.ExitCode, 0) << R1.Output;
+  ASSERT_EQ(R4.ExitCode, 0) << R4.Output;
+  EXPECT_EQ(R1.Output, R4.Output);
+  // And both still match the checked-in golden byte for byte.
+  EXPECT_EQ(R1.Output, readFileBytes(dataPath("golden_report.txt")));
+}

@@ -6,21 +6,39 @@
 //
 // The offline analyzer as a command-line tool (the paper's Sec. 5.2
 // component): reads the per-thread profile files the online profiler
-// wrote, merges them with the reduction tree, and prints the hot-data
-// ranking, per-object field/loop decompositions, affinity matrices and
-// splitting advice. Optionally emits the affinity graph as Graphviz
-// dot and the array-regrouping extension's advice.
+// wrote, merges them with the reduction tree, analyzes the top objects
+// in parallel, and prints the hot-data ranking, per-object field/loop
+// decompositions, affinity matrices and splitting advice. Optionally
+// emits the affinity graph as Graphviz dot, the array-regrouping
+// extension's advice, or the whole analysis as stable-schema JSON.
 //
 // Usage:
 //   structslim-report [options] <profile files...>
 //     --top=N          analyze the N hottest objects (default 3)
 //     --threshold=T    affinity clustering threshold (default 0.5)
+//     --min-unique=N   trust a stream's GCD stride only with >= N
+//                      unique addresses (default 10, the paper's Eq. 4
+//                      bar; sizes from sparser streams are flagged
+//                      low-confidence)
 //     --dot=<object>   print the object's affinity graph as dot
 //     --regroup        also print array-regrouping advice
-//     --jobs=N         merge worker threads (default 0 = auto:
-//                      STRUCTSLIM_THREADS env var, else all host cores)
+//     --contexts       also print the hottest sampled calling contexts
+//                      (HPCToolkit-style CCT view)
+//     --json           emit the full analysis as JSON on stdout
+//                      (schema_version 1) instead of the text report
+//     --stats          print per-stage timings/counters (text mode:
+//                      after the report; JSON mode: they are embedded
+//                      in the document anyway, --stats adds the table
+//                      on stderr)
+//     --jobs=N         merge and analyzer worker threads (default 0 =
+//                      auto: STRUCTSLIM_THREADS env var, else all host
+//                      cores); output is identical for every setting
 //     --strict         fail on the first unreadable profile instead of
 //                      skipping it with a warning
+//
+// Malformed option values (e.g. --top=abc) exit 2 with a usage message
+// naming the offending flag; they never abort with an uncaught
+// exception.
 //
 // Per-thread shards are written without synchronization, so truncated
 // or corrupted files are expected at scale: by default each bad shard
@@ -35,7 +53,11 @@
 #include "core/Report.h"
 #include "profile/MergeTree.h"
 #include "support/Format.h"
+#include "support/ThreadPool.h"
 
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -50,41 +72,96 @@ struct Options {
   bool Regroup = false;
   bool Contexts = false;
   bool Strict = false;
+  bool Json = false;
+  bool Stats = false;
   unsigned Jobs = 0; // 0 = auto (see support::ThreadPool).
   std::vector<std::string> Files;
 };
 
 int usage() {
   std::cerr << "usage: structslim-report [--top=N] [--threshold=T] "
-               "[--dot=<object>] [--regroup] [--contexts] [--jobs=N] "
-               "[--strict] <profile files...>\n";
+               "[--min-unique=N] [--dot=<object>] [--regroup] [--contexts] "
+               "[--json] [--stats] [--jobs=N] [--strict] "
+               "<profile files...>\n";
   return 2;
+}
+
+/// Strict full-string unsigned parse; rejects "", "abc", "1x", "-1".
+bool parseUnsigned(const std::string &Text, unsigned &Out) {
+  if (Text.empty() || Text[0] == '-' || Text[0] == '+')
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long Value = std::strtoul(Text.c_str(), &End, 10);
+  if (errno != 0 || End != Text.c_str() + Text.size() ||
+      Value > 0xffffffffUL)
+    return false;
+  Out = static_cast<unsigned>(Value);
+  return true;
+}
+
+/// Strict full-string double parse; rejects "", "abc", "0.5x", nan/inf
+/// spellings are fine to reject too.
+bool parseDouble(const std::string &Text, double &Out) {
+  if (Text.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  double Value = std::strtod(Text.c_str(), &End);
+  if (errno != 0 || End != Text.c_str() + Text.size())
+    return false;
+  Out = Value;
+  return true;
+}
+
+/// Reports a malformed option value and returns false (the caller
+/// falls through to usage()).
+bool badValue(const std::string &Flag, const std::string &Value) {
+  std::cerr << "error: invalid value '" << Value << "' for " << Flag << "\n";
+  return false;
 }
 
 bool parseArgs(int argc, char **argv, Options &Opts) {
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg.rfind("--top=", 0) == 0)
-      Opts.Analysis.TopObjects =
-          static_cast<unsigned>(std::stoul(Arg.substr(6)));
-    else if (Arg.rfind("--threshold=", 0) == 0)
-      Opts.Analysis.AffinityThreshold = std::stod(Arg.substr(12));
-    else if (Arg.rfind("--dot=", 0) == 0)
+    if (Arg.rfind("--top=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(6), Opts.Analysis.TopObjects))
+        return badValue("--top", Arg.substr(6));
+    } else if (Arg.rfind("--threshold=", 0) == 0) {
+      if (!parseDouble(Arg.substr(12), Opts.Analysis.AffinityThreshold))
+        return badValue("--threshold", Arg.substr(12));
+    } else if (Arg.rfind("--min-unique=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(13), Opts.Analysis.MinUniqueAddrs))
+        return badValue("--min-unique", Arg.substr(13));
+    } else if (Arg.rfind("--dot=", 0) == 0) {
       Opts.DotObject = Arg.substr(6);
-    else if (Arg == "--regroup")
+    } else if (Arg == "--regroup") {
       Opts.Regroup = true;
-    else if (Arg == "--contexts")
+    } else if (Arg == "--contexts") {
       Opts.Contexts = true;
-    else if (Arg == "--strict")
+    } else if (Arg == "--strict") {
       Opts.Strict = true;
-    else if (Arg.rfind("--jobs=", 0) == 0)
-      Opts.Jobs = static_cast<unsigned>(std::stoul(Arg.substr(7)));
-    else if (Arg.rfind("--", 0) == 0)
+    } else if (Arg == "--json") {
+      Opts.Json = true;
+    } else if (Arg == "--stats") {
+      Opts.Stats = true;
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(7), Opts.Jobs))
+        return badValue("--jobs", Arg.substr(7));
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::cerr << "error: unknown option '" << Arg << "'\n";
       return false;
-    else
+    } else {
       Opts.Files.push_back(Arg);
+    }
   }
   return !Opts.Files.empty();
+}
+
+double secondsSince(std::chrono::steady_clock::time_point Begin) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Begin)
+      .count();
 }
 
 } // namespace
@@ -94,11 +171,18 @@ int main(int argc, char **argv) {
   if (!parseArgs(argc, argv, Opts))
     return usage();
 
+  core::ReportStats Stats;
+  Stats.Jobs = Opts.Jobs ? Opts.Jobs : support::ThreadPool::defaultThreadCount();
+
   profile::MergeOptions MergeOpts;
   MergeOpts.Strict = Opts.Strict;
   MergeOpts.WorkerThreads = Opts.Jobs;
+  auto MergeBegin = std::chrono::steady_clock::now();
   profile::MergeLoadResult Load =
       profile::loadAndMergeProfiles(Opts.Files, MergeOpts);
+  Stats.MergeSeconds = secondsSince(MergeBegin);
+  Stats.ShardsMerged = Load.Loaded.size();
+  Stats.ShardsSkipped = Load.Skipped.size();
   for (const profile::ShardFailure &F : Load.Skipped) {
     if (Load.StrictFailure)
       std::cerr << "error: " << F.Path << ": " << F.Message << "\n";
@@ -113,14 +197,13 @@ int main(int argc, char **argv) {
               << " file(s)\n";
     return 1;
   }
-  std::cout << "merged " << Load.Loaded.size() << " profile(s)\n";
   profile::Profile Merged = std::move(Load.Merged);
-  std::cout << "samples: " << Merged.TotalSamples
-            << "  total sampled latency: " << Merged.TotalLatency
-            << "  period: 1/" << Merged.SamplePeriod << "\n\n";
 
+  Opts.Analysis.Jobs = Opts.Jobs;
   core::StructSlimAnalyzer Analyzer(Opts.Analysis);
+  auto AnalyzeBegin = std::chrono::steady_clock::now();
   core::AnalysisResult Result = Analyzer.analyze(Merged);
+  Stats.AnalyzeSeconds = secondsSince(AnalyzeBegin);
 
   if (!Opts.DotObject.empty()) {
     const core::ObjectAnalysis *Hot = Result.findObject(Opts.DotObject);
@@ -132,6 +215,28 @@ int main(int argc, char **argv) {
     std::cout << core::affinityGraphDot(*Hot);
     return 0;
   }
+
+  if (Opts.Json) {
+    // Render once to measure the render stage, then re-render with the
+    // measured duration embedded — the document itself stays
+    // deterministic apart from the timing values.
+    auto RenderBegin = std::chrono::steady_clock::now();
+    std::string Body = core::renderJsonReport(Result, Merged, Opts.Analysis,
+                                              Stats, Load.Skipped);
+    (void)Body;
+    Stats.RenderSeconds = secondsSince(RenderBegin);
+    std::cout << core::renderJsonReport(Result, Merged, Opts.Analysis, Stats,
+                                        Load.Skipped);
+    if (Opts.Stats)
+      std::cerr << core::renderStatsText(Result, Stats);
+    return 0;
+  }
+
+  auto RenderBegin = std::chrono::steady_clock::now();
+  std::cout << "merged " << Load.Loaded.size() << " profile(s)\n";
+  std::cout << "samples: " << Merged.TotalSamples
+            << "  total sampled latency: " << Merged.TotalLatency
+            << "  period: 1/" << Merged.SamplePeriod << "\n\n";
 
   std::cout << "=== Hot data objects (l_d) ===\n"
             << core::renderHotObjects(Result) << "\n";
@@ -167,5 +272,9 @@ int main(int argc, char **argv) {
       }
     }
   }
+  Stats.RenderSeconds = secondsSince(RenderBegin);
+
+  if (Opts.Stats)
+    std::cout << "\n" << core::renderStatsText(Result, Stats);
   return 0;
 }

@@ -100,12 +100,17 @@ int main(int argc, char **argv) {
   std::string Target;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg == "--ir")
+    if (Arg == "--ir") {
       DumpIr = true;
-    else if (Target.empty())
-      Target = Arg;
-    else
+    } else if (Arg.rfind("--", 0) == 0 && Arg != "--demo" && Arg != "--list") {
+      // Unknown options must not fall through as a workload name.
+      std::cerr << "error: unknown option '" << Arg << "'\n";
       return usage();
+    } else if (Target.empty()) {
+      Target = Arg;
+    } else {
+      return usage();
+    }
   }
   if (Target.empty())
     return usage();
