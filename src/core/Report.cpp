@@ -328,6 +328,12 @@ std::string structslim::core::renderJsonReport(
 
   OS << "  \"timing\": {\n";
   OS << "    \"merge_seconds\": " << jsonNumber(Stats.MergeSeconds) << ",\n";
+  OS << "    \"merge_load_seconds\": " << jsonNumber(Stats.MergeLoadSeconds)
+     << ",\n";
+  OS << "    \"merge_reduce_seconds\": "
+     << jsonNumber(Stats.MergeReduceSeconds) << ",\n";
+  OS << "    \"merge_peak_resident_profiles\": "
+     << Stats.PeakResidentProfiles << ",\n";
   OS << "    \"analyze_seconds\": " << jsonNumber(Stats.AnalyzeSeconds)
      << ",\n";
   OS << "    \"render_seconds\": " << jsonNumber(Stats.RenderSeconds) << "\n";
@@ -343,6 +349,11 @@ std::string structslim::core::renderStatsText(const AnalysisResult &Result,
   OS << "merge:   " << formatDouble(Stats.MergeSeconds, 6) << "s  ("
      << Stats.ShardsMerged << " shard(s) merged, " << Stats.ShardsSkipped
      << " skipped)\n";
+  OS << "  load:   " << formatDouble(Stats.MergeLoadSeconds, 6)
+     << "s  (decode, summed across workers)\n";
+  OS << "  reduce: " << formatDouble(Stats.MergeReduceSeconds, 6)
+     << "s  (peak resident profiles: " << Stats.PeakResidentProfiles
+     << ")\n";
   OS << "analyze: " << formatDouble(Stats.AnalyzeSeconds, 6) << "s  ("
      << Result.Stats.ObjectsAnalyzed << "/" << Result.Stats.ObjectsConsidered
      << " object(s), " << Result.Stats.StreamsAnalyzed << " stream(s), jobs="

@@ -32,11 +32,17 @@ namespace core {
 /// of measuring anything itself.
 struct ReportStats {
   double MergeSeconds = 0;   ///< Shard load + reduction-tree merge.
+  /// Aggregate decode time summed across workers (exceeds MergeSeconds
+  /// when the streaming loader overlaps decodes).
+  double MergeLoadSeconds = 0;
+  double MergeReduceSeconds = 0; ///< Coordinator time folding shards.
   double AnalyzeSeconds = 0; ///< StructSlimAnalyzer::analyze.
   double RenderSeconds = 0;  ///< Report rendering (text or JSON).
   unsigned Jobs = 0;         ///< Effective worker count used.
   uint64_t ShardsMerged = 0;
   uint64_t ShardsSkipped = 0;
+  /// High-water mark of decoded profiles resident during the merge.
+  uint64_t PeakResidentProfiles = 0;
 };
 
 /// Hot data objects ranked by l_d (Eq. 1). When \p CodeMap is given,

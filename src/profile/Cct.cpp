@@ -18,15 +18,17 @@ CallContextTree::CallContextTree() {
 }
 
 uint32_t CallContextTree::child(uint32_t Parent, uint64_t Ip) {
-  auto [It, Inserted] = ChildIndex.try_emplace(
-      {Parent, Ip}, static_cast<uint32_t>(Nodes.size()));
+  bool Inserted = false;
+  uint32_t Id = ChildIndex.getOrInsert(Ip, Parent,
+                                       static_cast<uint32_t>(Nodes.size()),
+                                       Inserted);
   if (Inserted) {
     Node N;
     N.Ip = Ip;
     N.Parent = Parent;
     Nodes.push_back(N);
   }
-  return It->second;
+  return Id;
 }
 
 uint32_t CallContextTree::intern(const std::vector<uint64_t> &Path) {
@@ -79,8 +81,12 @@ std::vector<uint32_t> CallContextTree::hottest(size_t N) const {
 }
 
 void CallContextTree::merge(const CallContextTree &Other) {
-  // Map other-node-id -> this-node-id, walking in id order so parents
-  // are mapped before children.
+  // Batched array walk: both trees store parents before children, so a
+  // single id-order pass over Other.Nodes remaps every path without
+  // re-interning it node by node. Pre-sizing the node array and child
+  // index up front keeps the walk free of rehash/reallocation stalls.
+  Nodes.reserve(Nodes.size() + Other.Nodes.size() - 1);
+  ChildIndex.reserve(Nodes.size() + Other.Nodes.size() - 1);
   std::vector<uint32_t> Remap(Other.Nodes.size(), Root);
   for (uint32_t I = 1; I < Other.Nodes.size(); ++I) {
     const Node &Theirs = Other.Nodes[I];

@@ -17,9 +17,10 @@
 #ifndef STRUCTSLIM_PROFILE_CCT_H
 #define STRUCTSLIM_PROFILE_CCT_H
 
+#include "support/FlatHash.h"
+
 #include <cstdint>
 #include <iosfwd>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -78,7 +79,10 @@ private:
   uint32_t child(uint32_t Parent, uint64_t Ip);
 
   std::vector<Node> Nodes;
-  std::map<std::pair<uint32_t, uint64_t>, uint32_t> ChildIndex;
+  /// (Ip, Parent) -> node id. Flat open addressing: merging trees and
+  /// replaying serialized nodes probe one cache line per child instead
+  /// of walking a red-black tree and allocating a node per insert.
+  support::FlatPairMap ChildIndex;
 };
 
 } // namespace profile

@@ -6,8 +6,77 @@
 #include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
 
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <utility>
+
 using namespace structslim;
 using namespace structslim::profile;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+inline double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+/// Per-thread merge scratch: pool workers are long-lived, so the
+/// epoch-tagged tables warm up once and every later merge on that
+/// thread is allocation-free.
+MergeScratch &threadScratch() {
+  thread_local MergeScratch Scratch;
+  return Scratch;
+}
+
+/// Binary-counter accumulator producing the canonical adjacent-pair
+/// reduction tree incrementally. Invariant: the stack holds merged
+/// subtrees of strictly decreasing weight (leaf count, always a power
+/// of two); pushing a leaf merges equal-weight neighbors until the
+/// invariant holds again — exactly the shape the level-by-level tree
+/// in mergeProfiles builds, so streaming and batch merging are
+/// bit-identical (finish() right-folds the surviving subtrees from the
+/// top of the stack, which matches the odd-tail promotion rule).
+class TreeAccumulator {
+public:
+  void push(Profile P) {
+    Stack.push_back({std::move(P), 1});
+    while (Stack.size() >= 2 &&
+           Stack[Stack.size() - 2].Weight == Stack.back().Weight) {
+      Entry Top = std::move(Stack.back());
+      Stack.pop_back();
+      Stack.back().P.merge(Top.P, Scratch);
+      Stack.back().Weight *= 2;
+    }
+  }
+
+  Profile finish() {
+    if (Stack.empty())
+      return Profile();
+    while (Stack.size() > 1) {
+      Entry Top = std::move(Stack.back());
+      Stack.pop_back();
+      Stack.back().P.merge(Top.P, Scratch);
+    }
+    Profile Out = std::move(Stack.back().P);
+    Stack.clear();
+    return Out;
+  }
+
+  size_t size() const { return Stack.size(); }
+
+private:
+  struct Entry {
+    Profile P;
+    uint64_t Weight;
+  };
+  std::vector<Entry> Stack;
+  MergeScratch Scratch;
+};
+
+} // namespace
 
 Profile structslim::profile::mergeProfiles(std::vector<Profile> Profiles,
                                            unsigned WorkerThreads) {
@@ -16,36 +85,57 @@ Profile structslim::profile::mergeProfiles(std::vector<Profile> Profiles,
   if (WorkerThreads == 0)
     WorkerThreads = support::ThreadPool::defaultThreadCount();
 
-  // Reduce pairwise: profile I merges with its mirror from the back,
-  // so after each level the front half (plus the middle leftover on
-  // odd counts) remains. One code path for every count; only the
-  // executor of the independent pairs differs.
+  // Hash every distinct object key string exactly once for the whole
+  // batch; the merges below then match objects by u32 id through
+  // epoch-tagged scratch tables — the allocation-free hot path.
+  ObjectKeyInterner Interner;
+  for (Profile &P : Profiles)
+    P.internObjectKeys(Interner);
+
+  // Reduce adjacent pairs level by level; an odd tail is promoted
+  // unmerged. This is the canonical tree shape (see MergeTree.h) —
+  // only the executor of the independent pairs varies with the thread
+  // count, never the pairing.
   while (Profiles.size() > 1) {
     size_t Pairs = Profiles.size() / 2;
+    bool Odd = (Profiles.size() & 1) != 0;
     auto MergeOne = [&Profiles](size_t I) {
-      Profiles[I].merge(Profiles[Profiles.size() - 1 - I]);
+      Profiles[2 * I].merge(Profiles[2 * I + 1], threadScratch());
     };
     if (WorkerThreads > 1 && Pairs > 1)
       support::ThreadPool::global().parallelFor(0, Pairs, MergeOne);
     else
       for (size_t I = 0; I != Pairs; ++I)
         MergeOne(I);
-    Profiles.resize(Profiles.size() - Pairs);
+    // Compact the survivors to the front (index 0 is already home).
+    for (size_t I = 1; I != Pairs; ++I)
+      Profiles[I] = std::move(Profiles[2 * I]);
+    if (Odd)
+      Profiles[Pairs] = std::move(Profiles.back());
+    Profiles.resize(Pairs + (Odd ? 1 : 0));
   }
   return std::move(Profiles.front());
 }
 
-MergeLoadResult
-structslim::profile::loadAndMergeProfiles(const std::vector<std::string> &Files,
-                                          const MergeOptions &Opts) {
+namespace {
+
+/// The serial loader: decode and fold one shard at a time. Used for
+/// jobs <= 1 and whenever fault injection is armed (the injector's
+/// hit-order contract — hit N is file N — requires deterministic
+/// decode order). Identical output to the parallel path by
+/// construction: both feed the same accumulator in file order.
+MergeLoadResult loadSerial(const std::vector<std::string> &Files,
+                           const MergeOptions &Opts) {
   MergeLoadResult Result;
-  std::vector<Profile> Profiles;
-  Profiles.reserve(Files.size());
   support::FaultInjector &Injector = support::FaultInjector::instance();
+  ObjectKeyInterner Interner;
+  TreeAccumulator Acc;
 
   for (const std::string &Path : Files) {
+    auto LoadStart = Clock::now();
     std::string Error;
-    auto P = readProfileFile(Path, &Error);
+    std::optional<Profile> P = readProfileFile(Path, &Error);
+    Result.LoadSeconds += secondsSince(LoadStart);
     if (P && Injector.shouldFail(support::FaultSite::MergeShardAlloc)) {
       P.reset();
       Error = "injected allocation failure buffering shard";
@@ -53,14 +143,153 @@ structslim::profile::loadAndMergeProfiles(const std::vector<std::string> &Files,
     if (!P) {
       Result.Skipped.push_back({Path, Error});
       if (Opts.Strict) {
+        // All-or-nothing: report only the aborting shard and expose no
+        // partial merge state.
         Result.StrictFailure = true;
+        Result.Skipped = {{Path, Error}};
+        Result.Loaded.clear();
+        Result.Merged = Profile();
         return Result;
       }
       continue;
     }
-    Profiles.push_back(std::move(*P));
+    auto ReduceStart = Clock::now();
+    P->internObjectKeys(Interner);
+    if (Result.PeakResidentProfiles < Acc.size() + 1)
+      Result.PeakResidentProfiles = Acc.size() + 1;
+    Acc.push(std::move(*P));
+    Result.ReduceSeconds += secondsSince(ReduceStart);
     Result.Loaded.push_back(Path);
   }
-  Result.Merged = mergeProfiles(std::move(Profiles), Opts.WorkerThreads);
+  Result.Merged = Acc.finish();
   return Result;
+}
+
+/// The streaming parallel loader: a bounded window of decode tasks
+/// runs ahead on the pool while the coordinator consumes strictly in
+/// file order, so the accumulator sees the same sequence as the serial
+/// path and at most O(jobs) decoded shards are resident at once.
+MergeLoadResult loadStreaming(const std::vector<std::string> &Files,
+                              const MergeOptions &Opts, unsigned Jobs) {
+  MergeLoadResult Result;
+  support::FaultInjector &Injector = support::FaultInjector::instance();
+  support::ThreadPool &Pool = support::ThreadPool::global();
+
+  struct Slot {
+    std::optional<Profile> P;
+    std::string Error;
+    double Seconds = 0;
+    bool Done = false;
+  };
+  std::vector<Slot> Slots(Files.size());
+  std::mutex Mutex;
+  std::condition_variable SlotDone;
+  size_t Issued = 0;
+  size_t Completed = 0;       ///< Tasks finished (guarded by Mutex).
+  size_t ResidentDecoded = 0; ///< Done slots still holding a profile.
+
+  auto IssueOne = [&]() {
+    size_t I = Issued++;
+    Pool.submit([&, I] {
+      auto Start = Clock::now();
+      std::string Error;
+      std::optional<Profile> P = readProfileFile(Files[I], &Error);
+      double Seconds = secondsSince(Start);
+      {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        Slots[I].P = std::move(P);
+        Slots[I].Error = std::move(Error);
+        Slots[I].Seconds = Seconds;
+        Slots[I].Done = true;
+        ++Completed;
+        if (Slots[I].P)
+          ++ResidentDecoded;
+      }
+      SlotDone.notify_all();
+    });
+  };
+
+  // Decode window: enough look-ahead to keep every worker busy while
+  // the coordinator folds, but bounded so memory stays O(jobs).
+  size_t Window = std::min<size_t>(Files.size(), 2 * (size_t)Jobs);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    while (Issued < Window)
+      IssueOne();
+  }
+
+  // Tasks reference this frame's state; every exit path must first
+  // drain what was issued.
+  auto Drain = [&]() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    SlotDone.wait(Lock, [&] { return Completed == Issued; });
+  };
+
+  ObjectKeyInterner Interner;
+  TreeAccumulator Acc;
+
+  for (size_t I = 0; I != Files.size(); ++I) {
+    std::optional<Profile> P;
+    std::string Error;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      SlotDone.wait(Lock, [&] { return Slots[I].Done; });
+      P = std::move(Slots[I].P);
+      Error = std::move(Slots[I].Error);
+      Result.LoadSeconds += Slots[I].Seconds;
+      // Sample the high-water mark while this shard still counts as
+      // resident: decoded-but-unmerged slots plus the merge stack.
+      size_t Resident = ResidentDecoded + Acc.size();
+      if (Result.PeakResidentProfiles < Resident)
+        Result.PeakResidentProfiles = Resident;
+      if (P)
+        --ResidentDecoded;
+    }
+    if (P && Injector.shouldFail(support::FaultSite::MergeShardAlloc)) {
+      P.reset();
+      Error = "injected allocation failure buffering shard";
+    }
+    if (!P) {
+      Result.Skipped.push_back({Files[I], Error});
+      if (Opts.Strict) {
+        Result.StrictFailure = true;
+        Result.Skipped = {{Files[I], Error}};
+        Result.Loaded.clear();
+        Result.Merged = Profile();
+        Drain();
+        return Result;
+      }
+      // Keep the pipeline full past a skipped shard.
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (Issued < Files.size())
+        IssueOne();
+      continue;
+    }
+    auto ReduceStart = Clock::now();
+    P->internObjectKeys(Interner);
+    Acc.push(std::move(*P));
+    Result.ReduceSeconds += secondsSince(ReduceStart);
+    Result.Loaded.push_back(Files[I]);
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Issued < Files.size())
+      IssueOne();
+  }
+  Drain();
+  Result.Merged = Acc.finish();
+  return Result;
+}
+
+} // namespace
+
+MergeLoadResult
+structslim::profile::loadAndMergeProfiles(const std::vector<std::string> &Files,
+                                          const MergeOptions &Opts) {
+  unsigned Jobs = Opts.WorkerThreads ? Opts.WorkerThreads
+                                     : support::ThreadPool::defaultThreadCount();
+  // Armed fault injection pins decode order (hit N must be file N);
+  // one worker or one file gains nothing from the task machinery.
+  if (Jobs <= 1 || Files.size() <= 1 ||
+      support::FaultInjector::instance().anyArmed())
+    return loadSerial(Files, Opts);
+  return loadStreaming(Files, Opts, Jobs);
 }

@@ -10,13 +10,29 @@
 /// combined pairwise level by level, and independent pairs within a
 /// level merge on worker threads.
 ///
-/// The file-loading front end degrades gracefully: per-thread shards
-/// are written without synchronization and can be truncated, corrupted,
-/// or missing at merge time (the PROMPT/BOLT failure model), so a bad
-/// shard is skipped with a structured report and the surviving shards
-/// merge normally — any subset of a job's threads is a well-defined
-/// merge input. Strict mode restores hard failure for callers that
-/// need all-or-nothing semantics.
+/// The canonical tree pairs ADJACENT profiles — (0,1), (2,3), ... with
+/// an odd tail promoted unmerged — because that shape can be produced
+/// incrementally: a binary-counter accumulator that merges equal-weight
+/// subtrees as shards arrive in file order yields exactly the same
+/// tree. Profile::merge is not associative (cross-profile RepAddr
+/// differences sharpen stride GCDs, Sec. 4.4), so the tree shape is
+/// part of the output contract; every path through this file —
+/// serial, parallel pairs, streaming accumulation at any job count —
+/// reproduces this one shape bit for bit.
+///
+/// The file-loading front end streams: shards decode on the shared
+/// support::ThreadPool while the coordinator consumes them in file
+/// order and folds them into the accumulator, so at most O(jobs)
+/// decoded shards are resident at once (plus the accumulator's
+/// O(log shards) stack) instead of the whole input set.
+///
+/// Loading degrades gracefully: per-thread shards are written without
+/// synchronization and can be truncated, corrupted, or missing at merge
+/// time (the PROMPT/BOLT failure model), so a bad shard is skipped with
+/// a structured report and the surviving shards merge normally — any
+/// subset of a job's threads is a well-defined merge input. Strict mode
+/// restores hard failure for callers that need all-or-nothing
+/// semantics.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +41,7 @@
 
 #include "profile/Profile.h"
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -42,11 +59,14 @@ Profile mergeProfiles(std::vector<Profile> Profiles,
 
 /// Knobs for the shard-loading front end.
 struct MergeOptions {
-  /// In strict mode the first unreadable shard aborts the load (the
-  /// result's StrictFailure is set and nothing is merged); otherwise
-  /// bad shards are skipped and reported in MergeLoadResult::Skipped.
+  /// In strict mode the first unreadable shard (in file order) aborts
+  /// the load: the result's StrictFailure is set, Skipped holds exactly
+  /// that shard, and Loaded/Merged are left empty — a strict failure
+  /// never exposes a partial merge. Otherwise bad shards are skipped
+  /// and reported in MergeLoadResult::Skipped.
   bool Strict = false;
-  /// Passed through to mergeProfiles.
+  /// Decode parallelism and (via mergeProfiles) merge parallelism.
+  /// 0 sizes from ThreadPool::defaultThreadCount().
   unsigned WorkerThreads = 0;
 };
 
@@ -63,14 +83,31 @@ struct MergeLoadResult {
   std::vector<ShardFailure> Skipped; ///< Shards dropped (or, in strict
                                      ///< mode, the one that aborted).
   bool StrictFailure = false;        ///< Strict mode hit a bad shard.
+
+  // --- Pipeline observability (for --stats / --json timing) ---------
+  /// Aggregate wall time spent decoding shards, summed across worker
+  /// threads (can exceed elapsed time when decodes overlap).
+  double LoadSeconds = 0;
+  /// Wall time the coordinator spent folding decoded shards into the
+  /// merge accumulator.
+  double ReduceSeconds = 0;
+  /// High-water mark of simultaneously resident decoded profiles
+  /// (decoded-but-unmerged shards plus the accumulator stack). Bounded
+  /// by O(jobs + log shards) — the point of streaming.
+  size_t PeakResidentProfiles = 0;
 };
 
 /// Reads every shard in \p Files (via profile::readProfileFile, so
-/// fault injection applies) and merges the readable ones. A merge of a
-/// partial thread set is well-defined — totals cover exactly the
-/// shards in Loaded. The fault-injection site
+/// fault injection applies) and merges the readable ones, streaming:
+/// decodes run ahead on the thread pool within a bounded window while
+/// the coordinator folds results in file order. A merge of a partial
+/// thread set is well-defined — totals cover exactly the shards in
+/// Loaded. The fault-injection site
 /// support::FaultSite::MergeShardAlloc models a failed allocation
 /// while buffering a loaded shard; it reports like a load failure.
+/// When any fault site is armed, decoding falls back to serial so the
+/// deterministic hit-order contract of the injector (hit N == file N)
+/// is preserved; results are identical either way.
 MergeLoadResult loadAndMergeProfiles(const std::vector<std::string> &Files,
                                      const MergeOptions &Opts = {});
 

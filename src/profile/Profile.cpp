@@ -21,15 +21,16 @@ uint32_t Profile::getOrCreateObject(const std::string &Key) {
 }
 
 StreamRecord &Profile::getOrCreateStream(uint64_t Ip, uint32_t ObjectIndex) {
-  auto [It, Inserted] = StreamIndexByKey.try_emplace(
-      StreamKey{Ip, ObjectIndex}, static_cast<uint32_t>(Streams.size()));
+  bool Inserted = false;
+  uint32_t Index = StreamIndex.getOrInsert(
+      Ip, ObjectIndex, static_cast<uint32_t>(Streams.size()), Inserted);
   if (Inserted) {
     StreamRecord Record;
     Record.Ip = Ip;
     Record.ObjectIndex = ObjectIndex;
     Streams.push_back(Record);
   }
-  return Streams[It->second];
+  return Streams[Index];
 }
 
 const ObjectAgg *Profile::findObject(const std::string &Key) const {
@@ -37,7 +38,72 @@ const ObjectAgg *Profile::findObject(const std::string &Key) const {
   return It == ObjectIndexByKey.end() ? nullptr : &Objects[It->second];
 }
 
-void Profile::merge(const Profile &Other) {
+void Profile::internObjectKeys(ObjectKeyInterner &Interner) {
+  // Always re-intern: a profile may carry ids from an earlier batch's
+  // interner (a merged result fed into a second reduction), and those
+  // are meaningless against this one.
+  ObjectKeyIds.clear();
+  ObjectKeyIds.reserve(Objects.size());
+  for (const ObjectAgg &O : Objects)
+    ObjectKeyIds.push_back(Interner.idOf(O.Key));
+  KeyIdBound = static_cast<uint32_t>(Interner.universe());
+}
+
+void Profile::remapObjects(const Profile &Other,
+                           std::vector<uint32_t> &Remap) {
+  Remap.resize(Other.Objects.size());
+  for (size_t I = 0; I != Other.Objects.size(); ++I)
+    Remap[I] = getOrCreateObject(Other.Objects[I].Key);
+  // The string path invalidates any interned ids (new objects were
+  // appended without them); drop them so a later batched merge
+  // re-interns instead of trusting a stale parallel array.
+  if (!ObjectKeyIds.empty() && ObjectKeyIds.size() != Objects.size())
+    ObjectKeyIds.clear();
+}
+
+void Profile::remapObjectsBatched(const Profile &Other,
+                                  MergeScratch &Scratch) {
+  uint32_t Bound = KeyIdBound > Other.KeyIdBound ? KeyIdBound
+                                                 : Other.KeyIdBound;
+  if (Scratch.Local.size() < Bound) {
+    Scratch.Local.resize(Bound);
+    Scratch.LocalEpoch.resize(Bound, 0);
+  }
+  ++Scratch.Epoch;
+  KeyIdBound = Bound;
+
+  // Seed the epoch table with our current objects: two array writes
+  // per object instead of one string hash per incoming object.
+  for (size_t I = 0; I != Objects.size(); ++I) {
+    uint32_t G = ObjectKeyIds[I];
+    Scratch.Local[G] = static_cast<uint32_t>(I);
+    Scratch.LocalEpoch[G] = Scratch.Epoch;
+  }
+
+  Scratch.Remap.resize(Other.Objects.size());
+  for (size_t I = 0; I != Other.Objects.size(); ++I) {
+    uint32_t G = Other.ObjectKeyIds[I];
+    uint32_t Local;
+    if (Scratch.LocalEpoch[G] == Scratch.Epoch) {
+      Local = Scratch.Local[G];
+    } else {
+      Local = static_cast<uint32_t>(Objects.size());
+      ObjectAgg Agg;
+      Agg.Key = Other.Objects[I].Key;
+      // Keep the by-key map coherent: one string hash per *new*
+      // object, not per incoming object as on the string path.
+      ObjectIndexByKey.try_emplace(Agg.Key, Local);
+      Objects.push_back(std::move(Agg));
+      ObjectKeyIds.push_back(G);
+      Scratch.Local[G] = Local;
+      Scratch.LocalEpoch[G] = Scratch.Epoch;
+    }
+    Scratch.Remap[I] = Local;
+  }
+}
+
+void Profile::mergeBody(const Profile &Other,
+                        const std::vector<uint32_t> &Remap) {
   TotalSamples += Other.TotalSamples;
   TotalLatency += Other.TotalLatency;
   UnattributedLatency += Other.UnattributedLatency;
@@ -48,13 +114,9 @@ void Profile::merge(const Profile &Other) {
     SamplePeriod = Other.SamplePeriod;
   Contexts.merge(Other.Contexts);
 
-  // Map the other profile's object indices into ours.
-  std::vector<uint32_t> Remap(Other.Objects.size());
   for (size_t I = 0; I != Other.Objects.size(); ++I) {
     const ObjectAgg &Theirs = Other.Objects[I];
-    uint32_t Index = getOrCreateObject(Theirs.Key);
-    Remap[I] = Index;
-    ObjectAgg &Ours = Objects[Index];
+    ObjectAgg &Ours = Objects[Remap[I]];
     if (Ours.Name.empty()) {
       Ours.Name = Theirs.Name;
       Ours.Start = Theirs.Start;
@@ -64,6 +126,7 @@ void Profile::merge(const Profile &Other) {
     Ours.LatencySum += Theirs.LatencySum;
   }
 
+  StreamIndex.reserve(Streams.size() + Other.Streams.size());
   for (const StreamRecord &Theirs : Other.Streams) {
     StreamRecord &Ours = getOrCreateStream(Theirs.Ip, Remap[Theirs.ObjectIndex]);
     bool Fresh = Ours.SampleCount == 0;
@@ -98,12 +161,35 @@ void Profile::merge(const Profile &Other) {
   }
 }
 
+void Profile::merge(const Profile &Other) {
+  std::vector<uint32_t> Remap;
+  remapObjects(Other, Remap);
+  mergeBody(Other, Remap);
+}
+
+void Profile::merge(const Profile &Other, MergeScratch &Scratch) {
+  // Batched matching needs interned ids on both sides; a profile that
+  // never saw internObjectKeys (or was merged through the string path)
+  // takes the compatible slow path instead.
+  if (ObjectKeyIds.size() != Objects.size() ||
+      Other.ObjectKeyIds.size() != Other.Objects.size()) {
+    merge(Other);
+    return;
+  }
+  remapObjectsBatched(Other, Scratch);
+  mergeBody(Other, Scratch.Remap);
+}
+
 void Profile::reindex() {
   ObjectIndexByKey.clear();
-  StreamIndexByKey.clear();
+  StreamIndex.clear();
+  StreamIndex.reserve(Streams.size());
+  ObjectKeyIds.clear();
+  KeyIdBound = 0;
   for (size_t I = 0; I != Objects.size(); ++I)
     ObjectIndexByKey[Objects[I].Key] = static_cast<uint32_t>(I);
+  bool Inserted = false;
   for (size_t I = 0; I != Streams.size(); ++I)
-    StreamIndexByKey[StreamKey{Streams[I].Ip, Streams[I].ObjectIndex}] =
-        static_cast<uint32_t>(I);
+    StreamIndex.getOrInsert(Streams[I].Ip, Streams[I].ObjectIndex,
+                            static_cast<uint32_t>(I), Inserted);
 }

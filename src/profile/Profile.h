@@ -25,6 +25,7 @@
 #define STRUCTSLIM_PROFILE_PROFILE_H
 
 #include "profile/Cct.h"
+#include "support/FlatHash.h"
 
 #include <array>
 #include <cstdint>
@@ -67,6 +68,40 @@ struct StreamRecord {
   uint64_t TlbMissSamples = 0;
 };
 
+/// Assigns process-wide u32 ids to object key strings, so a whole
+/// merge batch hashes each distinct key string exactly once (at intern
+/// time) and every subsequent merge matches objects by id. Not
+/// thread-safe: interning happens serially before a reduction fans
+/// out; the parallel merges only read the ids stored in the profiles.
+class ObjectKeyInterner {
+public:
+  /// The id for \p Key, assigning the next free one on first use.
+  uint32_t idOf(const std::string &Key) {
+    auto [It, Inserted] =
+        Ids.try_emplace(Key, static_cast<uint32_t>(Ids.size()));
+    return It->second;
+  }
+
+  /// Upper bound (exclusive) on every id handed out so far.
+  size_t universe() const { return Ids.size(); }
+
+private:
+  std::unordered_map<std::string, uint32_t> Ids;
+};
+
+/// Reusable per-merge-chain scratch for the batched (interned) merge:
+/// an epoch-tagged global-id -> local-object-index table plus the remap
+/// vector, so the steady-state merge allocates nothing and never
+/// hashes a string. One scratch per thread of a parallel reduction;
+/// epochs make stale contents from earlier merges harmless.
+class MergeScratch {
+  friend class Profile;
+  std::vector<uint32_t> Local;
+  std::vector<uint64_t> LocalEpoch;
+  uint64_t Epoch = 0;
+  std::vector<uint32_t> Remap;
+};
+
 /// A complete per-thread (or merged) profile.
 class Profile {
 public:
@@ -105,26 +140,43 @@ public:
   /// instance.
   void merge(const Profile &Other);
 
+  /// The batched variant the reduction tree uses: identical result
+  /// bytes, but objects match by interned u32 id through \p Scratch's
+  /// epoch-tagged table instead of per-key string hashing. Requires
+  /// internObjectKeys() on both sides (falls back to the string path
+  /// otherwise, so it is always safe to call).
+  void merge(const Profile &Other, MergeScratch &Scratch);
+
+  /// Fills ObjectKeyIds from \p Interner for every current object,
+  /// discarding ids from any earlier batch. Call once per loaded shard
+  /// before a batched reduction; merges maintain the ids incrementally.
+  void internObjectKeys(ObjectKeyInterner &Interner);
+
   /// Re-establishes the lookup indices after bulk loading (used by the
   /// deserializer).
   void reindex();
 
 private:
-  struct StreamKey {
-    uint64_t Ip;
-    uint32_t Object;
-    bool operator==(const StreamKey &O) const {
-      return Ip == O.Ip && Object == O.Object;
-    }
-  };
-  struct StreamKeyHash {
-    size_t operator()(const StreamKey &K) const {
-      return static_cast<size_t>(K.Ip * 0x9e3779b97f4a7c15ULL) ^ K.Object;
-    }
-  };
+  /// Phase 1 of a merge: computes Other-object-index -> our-object-
+  /// index into \p Remap, appending objects missing on our side.
+  void remapObjects(const Profile &Other, std::vector<uint32_t> &Remap);
+  void remapObjectsBatched(const Profile &Other, MergeScratch &Scratch);
+  /// Phase 2: metadata, contexts, object aggregates and stream records,
+  /// given the object remap. Shared by both merge paths — this is what
+  /// makes them bit-identical by construction.
+  void mergeBody(const Profile &Other, const std::vector<uint32_t> &Remap);
 
   std::unordered_map<std::string, uint32_t> ObjectIndexByKey;
-  std::unordered_map<StreamKey, uint32_t, StreamKeyHash> StreamIndexByKey;
+  /// (Ip, ObjectIndex) -> index into Streams. Flat open addressing:
+  /// the merge hot loop does one probe per incoming stream record with
+  /// no allocation and no string or struct-key hashing.
+  support::FlatPairMap StreamIndex;
+  /// Interned key id per object (parallel to Objects) once
+  /// internObjectKeys ran; empty on profiles outside a merge batch.
+  std::vector<uint32_t> ObjectKeyIds;
+  /// Exclusive upper bound over ObjectKeyIds (tracked so scratch
+  /// tables size in O(1) instead of scanning).
+  uint32_t KeyIdBound = 0;
 };
 
 } // namespace profile

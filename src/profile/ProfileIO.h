@@ -5,32 +5,37 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Text serialization for profiles. The online profiler writes one
-/// profile file per thread (paper Sec. 5.1); the offline analyzer reads
-/// them back and merges. A line-oriented format keeps the files
-/// diffable in tests.
+/// Profile (de)serialization. The online profiler writes one profile
+/// file per thread (paper Sec. 5.1); the offline analyzer reads them
+/// back and merges. Three format versions coexist:
 ///
-/// On-disk format (version 2): a magic+version header, the record
-/// sections (meta, object, stream, cctnode), then an integrity trailer
-/// of one CRC-32 line per section plus an end marker:
+///  - v1: legacy line-oriented text, EOF-terminated, no integrity
+///    trailer (read-only compatibility).
+///  - v2: the same text records framed by a magic+version header, one
+///    CRC-32 + record-count trailer line per section, and an end
+///    marker (read and write on request).
+///  - v3 (default writer): the same framing idea in a compact binary
+///    section layout built for ingest throughput:
 ///
-///   structslim-profile v2
-///   meta ...                      (exactly one)
-///   object ...                    (zero or more)
-///   stream ...                    (zero or more)
-///   cctnode ...                   (zero or more)
-///   crc meta <count> <crc32hex>
-///   crc object <count> <crc32hex>
-///   crc stream <count> <crc32hex>
-///   crc cct <count> <crc32hex>
-///   end v2
+///      structslim-profile v3\n
+///      u32 section-count (5)                      \  fixed-size binary
+///      5 x { u64 bytes, u64 records, u32 crc32 }   } header, little
+///      u32 header-crc32                           /  endian
+///      payload: meta | strtab | object | stream | cct
+///      end v3\n
 ///
-/// Each section checksum covers that section's record lines (newline
-/// included) in file order, so a truncated, torn, or bit-flipped shard
-/// is detected instead of being merged as silently wrong data; the
-/// missing end marker catches a shard cut off inside the trailer
-/// itself. The reader also accepts the legacy unversioned v1 format
-/// (no trailer, EOF-terminated) that pre-robustness profilers wrote.
+///    The string table deduplicates object keys/names (length-prefixed,
+///    first-use order); object and stream records are varint-encoded
+///    with delta compression for the near-sorted fields (IPs and
+///    object bases delta against the previous record, addresses
+///    against the record's own object base); CCT nodes delta their
+///    parent ids and IPs. Because every section's byte size is in the
+///    header, a reader slices one contiguous buffer without scanning —
+///    single read, zero-copy section views, CRC-checked before decode.
+///
+/// Readers accept all three versions, dispatching on the magic line.
+/// Torn, truncated, or bit-flipped shards are rejected with a
+/// descriptive error rather than merged as silently wrong data.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +45,7 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <string_view>
 
 namespace structslim {
 namespace profile {
@@ -48,13 +54,25 @@ class Profile;
 
 /// The profile format version writeProfile emits. readProfile accepts
 /// this and every older version.
-inline constexpr unsigned ProfileFormatVersion = 2;
+inline constexpr unsigned ProfileFormatVersion = 3;
 
-/// Writes \p P to \p OS in the current (checksummed) format.
+/// Writes \p P to \p OS in the current (checksummed binary) format.
 void writeProfile(const Profile &P, std::ostream &OS);
 
-/// Serializes to a string.
+/// Serializes to a string in the current format.
 std::string profileToString(const Profile &P);
+
+/// Serializes to a string in an explicit format version (1, 2 or 3):
+/// the cross-version tests, the fuzzer, and the format-migration bench
+/// need to produce older shards on demand.
+std::string profileToString(const Profile &P, unsigned Version);
+
+/// Parses a profile from an in-memory buffer (any supported version,
+/// selected by the magic line); std::nullopt on malformed input (the
+/// error is described in \p Error when non-null). For v3 this is the
+/// fast path: section slices decode in place from \p Data.
+std::optional<Profile> profileFromBytes(std::string_view Data,
+                                        std::string *Error = nullptr);
 
 /// Parses a profile (current or legacy format, selected by the header
 /// line); std::nullopt on malformed input (the error is described in
@@ -66,9 +84,10 @@ std::optional<Profile> readProfile(std::istream &IS,
 std::optional<Profile> profileFromString(const std::string &Text,
                                          std::string *Error = nullptr);
 
-/// Reads a profile shard from \p Path. Failures to open, injected
-/// faults (support::FaultSite::ProfileOpenRead), and parse errors all
-/// report through \p Error.
+/// Reads a profile shard from \p Path in one read syscall and decodes
+/// it from the buffer. Failures to open, injected faults
+/// (support::FaultSite::ProfileOpenRead), and parse errors all report
+/// through \p Error.
 std::optional<Profile> readProfileFile(const std::string &Path,
                                        std::string *Error = nullptr);
 

@@ -93,22 +93,25 @@ void ProfileBuilder::attribute(const pmu::AddressSample &Sample,
   // If the heap object was freed and re-allocated elsewhere, restart
   // address tracking for the new instance: differences across
   // instances are meaningless for the stride.
+  if (UniqueAddrs.size() <= StreamIndex)
+    UniqueAddrs.resize(StreamIndex + 1);
+  support::FlatU64Set &Seen = UniqueAddrs[StreamIndex];
+
   if (Stream.ObjectStart != Object->Start) {
     Stream.ObjectStart = Object->Start;
     Stream.RepAddr = Sample.EffAddr;
     Stream.LastAddr = Sample.EffAddr;
-    UniqueAddrs[StreamIndex].clear();
-    UniqueAddrs[StreamIndex].insert(Sample.EffAddr);
+    Seen.clear();
+    Seen.insert(Sample.EffAddr);
     return;
   }
 
-  auto &Seen = UniqueAddrs[StreamIndex];
   if (Fresh) {
     Seen.insert(Sample.EffAddr);
     Stream.UniqueAddrCount = 1;
     return;
   }
-  if (!Seen.insert(Sample.EffAddr).second)
+  if (!Seen.insert(Sample.EffAddr))
     return; // Duplicate address: no new stride information (Eq. 2 uses
             // unique addresses).
   uint64_t Diff = Sample.EffAddr > Stream.LastAddr

@@ -25,9 +25,9 @@
 #include "mem/DataObjectTable.h"
 #include "pmu/AddressSampling.h"
 #include "profile/Profile.h"
+#include "support/FlatHash.h"
 
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 namespace structslim {
 namespace runtime {
@@ -75,9 +75,12 @@ private:
   profile::Profile P;
 
   /// Per-stream sets of unique sampled addresses (bounded by the sample
-  /// count, which address sampling keeps small by construction). Keyed
-  /// by index into P.Streams.
-  std::unordered_map<uint32_t, std::unordered_set<uint64_t>> UniqueAddrs;
+  /// count, which address sampling keeps small by construction),
+  /// indexed by position in P.Streams. Flat open-addressing sets: the
+  /// per-sample hot path does one probe, no node allocation — this
+  /// runs inside the simulated PMU interrupt handler, where the
+  /// paper's overhead budget (Sec. 6.1) is spent.
+  std::vector<support::FlatU64Set> UniqueAddrs;
 };
 
 } // namespace runtime

@@ -92,6 +92,13 @@ public:
   /// Hits of \p Site since the last reset.
   uint64_t hitCount(FaultSite Site) const;
 
+  /// True while any fault (or chaos mode) is armed. Components whose
+  /// parallel schedules would scramble the observable hit order — the
+  /// streaming merge loader issues reads out of order — check this and
+  /// fall back to their serial path so armed hit indices keep meaning
+  /// "the Nth operation in program order".
+  bool anyArmed() const { return AnyArmed.load(std::memory_order_relaxed); }
+
 private:
   FaultInjector();
 

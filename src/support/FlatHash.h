@@ -1,0 +1,223 @@
+//===- support/FlatHash.h - Open-addressing hash containers ----*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two small open-addressing hash containers for the profile hot paths:
+///
+///  - FlatPairMap: (uint64_t, uint32_t) -> uint32_t, the shape of every
+///    interning index in the profile layer — stream records key on
+///    (IP, object index) and CCT children on (IP, parent id). One flat
+///    slot array, linear probing, power-of-two capacity: no node
+///    allocation per insert and no pointer chase per lookup, unlike the
+///    std::unordered_map / std::map indices they replace.
+///
+///  - FlatU64Set: a set of uint64_t (sampled addresses) with the same
+///    layout, replacing a per-stream std::unordered_set on the online
+///    profiling path.
+///
+/// Both are value types (copyable with their contents, so a Profile
+/// copy stays self-contained), start unallocated, and grow at 7/8
+/// load. Iteration order is never exposed; all ordered outputs come
+/// from the side vectors these containers index into, which is what
+/// keeps merge results bit-identical to the node-based originals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_SUPPORT_FLATHASH_H
+#define STRUCTSLIM_SUPPORT_FLATHASH_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace structslim {
+namespace support {
+
+/// Mixes a (u64, u32) key into a well-distributed 64-bit hash
+/// (splitmix64-style finalizer).
+inline uint64_t hashPair64(uint64_t A, uint32_t B) {
+  uint64_t H = A ^ (static_cast<uint64_t>(B) * 0x9e3779b97f4a7c15ULL);
+  H ^= H >> 30;
+  H *= 0xbf58476d1ce4e5b9ULL;
+  H ^= H >> 27;
+  H *= 0x94d049bb133111ebULL;
+  H ^= H >> 31;
+  return H;
+}
+
+/// Open-addressing map from (uint64_t A, uint32_t B) to a uint32_t
+/// value. The value 0xffffffff is reserved as the empty sentinel (all
+/// stored values are vector indices, which never reach it).
+class FlatPairMap {
+public:
+  static constexpr uint32_t Npos = 0xffffffffu;
+
+  /// Returns the value stored under (A, B); when absent, stores
+  /// \p Value and returns it. \p Inserted reports which happened.
+  uint32_t getOrInsert(uint64_t A, uint32_t B, uint32_t Value,
+                       bool &Inserted) {
+    assert(Value != Npos && "sentinel value");
+    if ((Count + 1) * 8 >= Slots.size() * 7)
+      grow();
+    size_t Mask = Slots.size() - 1;
+    size_t I = static_cast<size_t>(hashPair64(A, B)) & Mask;
+    while (true) {
+      Slot &S = Slots[I];
+      if (S.Value == Npos) {
+        S.A = A;
+        S.B = B;
+        S.Value = Value;
+        ++Count;
+        Inserted = true;
+        return Value;
+      }
+      if (S.A == A && S.B == B) {
+        Inserted = false;
+        return S.Value;
+      }
+      I = (I + 1) & Mask;
+    }
+  }
+
+  /// The value stored under (A, B), or Npos.
+  uint32_t find(uint64_t A, uint32_t B) const {
+    if (Slots.empty())
+      return Npos;
+    size_t Mask = Slots.size() - 1;
+    size_t I = static_cast<size_t>(hashPair64(A, B)) & Mask;
+    while (true) {
+      const Slot &S = Slots[I];
+      if (S.Value == Npos)
+        return Npos;
+      if (S.A == A && S.B == B)
+        return S.Value;
+      I = (I + 1) & Mask;
+    }
+  }
+
+  /// Pre-sizes for \p Expected entries (no-op when already larger).
+  void reserve(size_t Expected) {
+    size_t Needed = nextPow2(Expected * 8 / 7 + 1);
+    if (Needed > Slots.size())
+      rehash(Needed);
+  }
+
+  void clear() {
+    for (Slot &S : Slots)
+      S.Value = Npos;
+    Count = 0;
+  }
+
+  size_t size() const { return Count; }
+
+private:
+  struct Slot {
+    uint64_t A = 0;
+    uint32_t B = 0;
+    uint32_t Value = Npos;
+  };
+
+  static size_t nextPow2(size_t N) {
+    size_t P = 16;
+    while (P < N)
+      P <<= 1;
+    return P;
+  }
+
+  void grow() { rehash(Slots.empty() ? 16 : Slots.size() * 2); }
+
+  void rehash(size_t NewSize) {
+    std::vector<Slot> Old;
+    Old.swap(Slots);
+    Slots.resize(NewSize);
+    size_t Mask = NewSize - 1;
+    for (const Slot &S : Old) {
+      if (S.Value == Npos)
+        continue;
+      size_t I = static_cast<size_t>(hashPair64(S.A, S.B)) & Mask;
+      while (Slots[I].Value != Npos)
+        I = (I + 1) & Mask;
+      Slots[I] = S;
+    }
+  }
+
+  std::vector<Slot> Slots;
+  size_t Count = 0;
+};
+
+/// Open-addressing set of uint64_t keys. Slot value 0 is the empty
+/// sentinel; a real 0 key is tracked out of band so arbitrary sampled
+/// addresses round-trip.
+class FlatU64Set {
+public:
+  /// True when \p V was newly inserted.
+  bool insert(uint64_t V) {
+    if (V == 0) {
+      bool Fresh = !HasZero;
+      HasZero = true;
+      return Fresh;
+    }
+    if ((Count + 1) * 8 >= Slots.size() * 7)
+      grow();
+    size_t Mask = Slots.size() - 1;
+    size_t I = static_cast<size_t>(mix(V)) & Mask;
+    while (true) {
+      uint64_t &S = Slots[I];
+      if (S == 0) {
+        S = V;
+        ++Count;
+        return true;
+      }
+      if (S == V)
+        return false;
+      I = (I + 1) & Mask;
+    }
+  }
+
+  /// Empties the set but keeps its capacity (the per-stream sets are
+  /// cleared whenever a heap object is re-allocated).
+  void clear() {
+    std::fill(Slots.begin(), Slots.end(), 0);
+    Count = 0;
+    HasZero = false;
+  }
+
+  size_t size() const { return Count + (HasZero ? 1 : 0); }
+
+private:
+  static uint64_t mix(uint64_t V) {
+    V ^= V >> 33;
+    V *= 0xff51afd7ed558ccdULL;
+    V ^= V >> 33;
+    return V;
+  }
+
+  void grow() {
+    std::vector<uint64_t> Old;
+    Old.swap(Slots);
+    Slots.resize(Old.empty() ? 16 : Old.size() * 2);
+    size_t Mask = Slots.size() - 1;
+    for (uint64_t V : Old) {
+      if (V == 0)
+        continue;
+      size_t I = static_cast<size_t>(mix(V)) & Mask;
+      while (Slots[I] != 0)
+        I = (I + 1) & Mask;
+      Slots[I] = V;
+    }
+  }
+
+  std::vector<uint64_t> Slots;
+  size_t Count = 0;
+  bool HasZero = false;
+};
+
+} // namespace support
+} // namespace structslim
+
+#endif // STRUCTSLIM_SUPPORT_FLATHASH_H

@@ -135,6 +135,15 @@ void ThreadPool::run(const std::vector<std::function<void()>> &Tasks) {
   L.Done.wait(Lock, [&L] { return L.Remaining == 0; });
 }
 
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Workers[NextDeque]->Deque.push_back(std::move(Task));
+    NextDeque = (NextDeque + 1) % Workers.size();
+  }
+  WorkAvailable.notify_all();
+}
+
 void ThreadPool::parallelFor(size_t Begin, size_t End,
                              const std::function<void(size_t)> &Body) {
   if (Begin >= End)

@@ -64,6 +64,11 @@ public:
   void parallelFor(size_t Begin, size_t End,
                    const std::function<void(size_t)> &Body);
 
+  /// Enqueues one task and returns immediately. The caller owns
+  /// completion tracking (the streaming merge loader counts its slots);
+  /// the destructor still drains every queued task before joining.
+  void submit(std::function<void()> Task);
+
   /// Process-wide shared pool, lazily created at defaultThreadCount().
   static ThreadPool &global();
 

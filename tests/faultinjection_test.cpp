@@ -159,10 +159,11 @@ TEST_F(FaultInjection, InjectedOpenFailureFailsTheWrite) {
 TEST_F(FaultInjection, TornWriteIsDetectedOnRead) {
   std::string Path = scratchDir() + "/torn.structslim";
   std::string Full = profileToString(makeShard(0));
-  // Tear the write at a line boundary inside the stream section — the
-  // failure mode the unversioned format could not detect.
-  size_t Cut = Full.find("\nstream") + 1;
-  Cut = Full.find('\n', Cut) + 1;
+  // Tear the write inside the payload, past the v3 header but short of
+  // the end marker — the failure mode the unversioned format could not
+  // detect.
+  ASSERT_GT(Full.size(), 40u);
+  size_t Cut = Full.size() - 20;
   FaultInjector::instance().arm(FaultSite::ProfileWrite,
                                 FaultAction::TruncateTail, 0, Cut);
   ASSERT_TRUE(writeProfileFile(makeShard(0), Path));
@@ -265,10 +266,10 @@ TEST_F(FaultInjection, DumpReportsInjectedOpenFailures) {
 TEST_F(FaultInjection, FlippedByteShardIsRejectedNotMisread) {
   std::string Dir = scratchDir();
   std::string Blob = profileToString(makeShard(0));
-  // Flip a byte inside the stream section during the dump; the loader
-  // must reject the shard (malformed line or checksum mismatch — never
-  // a silent misread).
-  size_t Pos = Blob.find("\nstream") + 20;
+  // Flip a byte in the middle of the v3 payload during the dump; the
+  // loader must reject the shard (checksum mismatch — never a silent
+  // misread).
+  size_t Pos = Blob.size() / 2;
   FaultInjector::instance().arm(FaultSite::ProfileWrite,
                                 FaultAction::FlipByte, 0, Pos);
   std::string Path = Dir + "/flipped.structslim";
@@ -284,13 +285,31 @@ TEST_F(FaultInjection, DigitSubstitutionFailsTheSectionChecksum) {
   // A digit swapped for another digit still parses as a well-formed
   // record — the exact corruption the unversioned v1 format merged as
   // silently wrong data. The v2 section checksum catches it.
-  std::string Blob = profileToString(makeShard(0));
+  std::string Blob = profileToString(makeShard(0), 2);
   size_t Meta = Blob.find("meta ");
+  ASSERT_NE(Meta, std::string::npos);
   size_t Pos = Blob.find_first_of("0123456789", Meta);
+  ASSERT_NE(Pos, std::string::npos);
   Blob[Pos] = Blob[Pos] == '9' ? '1' : static_cast<char>(Blob[Pos] + 1);
 
   std::string Path = scratchDir() + "/substituted.structslim";
-  std::ofstream(Path) << Blob;
+  std::ofstream(Path, std::ios::binary) << Blob;
+  std::string Error;
+  auto Read = readProfileFile(Path, &Error);
+  EXPECT_FALSE(Read.has_value());
+  EXPECT_NE(Error.find("checksum mismatch"), std::string::npos);
+}
+
+TEST_F(FaultInjection, PayloadByteSubstitutionFailsTheV3Checksum) {
+  // The binary-format analog: overwrite one payload byte with a
+  // different value (framing intact, lengths unchanged). The section
+  // CRC must catch it.
+  std::string Blob = profileToString(makeShard(0), 3);
+  size_t Pos = Blob.size() - 24; // Inside the last payload section.
+  Blob[Pos] = static_cast<char>(Blob[Pos] + 1);
+
+  std::string Path = scratchDir() + "/substituted_v3.structslim";
+  std::ofstream(Path, std::ios::binary) << Blob;
   std::string Error;
   auto Read = readProfileFile(Path, &Error);
   EXPECT_FALSE(Read.has_value());

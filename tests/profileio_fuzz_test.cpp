@@ -98,24 +98,6 @@ void checkMutation(const std::string &Blob, const std::string &Canonical) {
   }
 }
 
-/// Rewrites a v2 blob as its legacy v1 equivalent: v1 header, record
-/// lines kept, integrity trailer dropped. This is exactly what the
-/// pre-versioning writer emitted.
-std::string toLegacyV1(const std::string &V2) {
-  std::string Out = "structslim-profile v1\n";
-  size_t Pos = V2.find('\n') + 1; // Skip the v2 header.
-  while (Pos < V2.size()) {
-    size_t End = V2.find('\n', Pos);
-    std::string Line = V2.substr(Pos, End - Pos);
-    Pos = End == std::string::npos ? V2.size() : End + 1;
-    if (Line.rfind("crc ", 0) == 0 || Line == "end v2")
-      continue;
-    Out += Line;
-    Out += '\n';
-  }
-  return Out;
-}
-
 class ProfileIoFuzz : public ::testing::TestWithParam<int> {};
 
 } // namespace
@@ -185,12 +167,91 @@ TEST_P(ProfileIoFuzz, RandomMultiEditMutations) {
   }
 }
 
+// The previous-generation v2 text format stays readable and keeps its
+// integrity contract: the same mutation families against an explicit
+// v2 serialization must yield the exact profile or a clean error.
+TEST_P(ProfileIoFuzz, V2TruncationAndFlipAtEveryOffset) {
+  Rng R(7700 + GetParam());
+  Profile P = makeRandomProfile(R);
+  std::string Canonical = profileToString(P); // Comparison basis (v3).
+  std::string V2 = profileToString(P, 2);
+  {
+    std::string Error;
+    auto Back = profileFromString(V2, &Error);
+    ASSERT_TRUE(Back.has_value()) << Error;
+    EXPECT_EQ(profileToString(*Back), Canonical);
+  }
+  for (size_t Cut = 0; Cut < V2.size(); ++Cut)
+    checkMutation(V2.substr(0, Cut), Canonical);
+  for (size_t Pos = 0; Pos != V2.size(); ++Pos) {
+    std::string Mutated = V2;
+    Mutated[Pos] = static_cast<char>(Mutated[Pos] ^ 0xFF);
+    checkMutation(Mutated, Canonical);
+  }
+}
+
+// Targeted v3 structural mutations: corrupt each fixed-header field
+// (section byte count, record count, per-section CRC) and a byte
+// inside each section payload, located through the header's own
+// offsets. Every such edit must be rejected (or, for the untouched
+// blob, parse exactly) — this exercises each validation branch of the
+// binary reader deliberately rather than by random chance.
+TEST_P(ProfileIoFuzz, V3SectionTargetedMutations) {
+  Rng R(7700 + GetParam());
+  Profile P = makeRandomProfile(R);
+  std::string Canonical = profileToString(P, 3);
+  const size_t MagicLen = std::string("structslim-profile v3\n").size();
+  const size_t NumSections = 5;
+  const size_t EntryBytes = 8 + 8 + 4;
+  ASSERT_GT(Canonical.size(), MagicLen + 4 + NumSections * EntryBytes + 4);
+
+  // Section payload offsets from the header's byte counts.
+  auto ReadLE64 = [&](size_t Off) {
+    uint64_t V = 0;
+    for (unsigned I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(
+               static_cast<uint8_t>(Canonical[Off + I]))
+           << (8 * I);
+    return V;
+  };
+  size_t HeaderStart = MagicLen;
+  size_t PayloadStart = HeaderStart + 4 + NumSections * EntryBytes + 4;
+  size_t SectionOffset = PayloadStart;
+  for (size_t S = 0; S != NumSections; ++S) {
+    size_t Entry = HeaderStart + 4 + S * EntryBytes;
+    uint64_t Bytes = ReadLE64(Entry);
+    // Corrupt each header field of this section.
+    for (size_t FieldOff : {Entry, Entry + 8, Entry + 16}) {
+      std::string Mutated = Canonical;
+      Mutated[FieldOff] = static_cast<char>(Mutated[FieldOff] ^ 0x5A);
+      checkMutation(Mutated, Canonical);
+    }
+    // Corrupt one byte inside the payload (when the section is
+    // non-empty).
+    if (Bytes != 0) {
+      std::string Mutated = Canonical;
+      size_t Pos = SectionOffset + R.nextBelow(Bytes);
+      Mutated[Pos] = static_cast<char>(Mutated[Pos] ^ 0x5A);
+      checkMutation(Mutated, Canonical);
+      // A payload flip must never be silently accepted: the section
+      // CRC covers every byte.
+      EXPECT_FALSE(profileFromString(Mutated).has_value());
+    }
+    SectionOffset += Bytes;
+  }
+  // Damage the end marker.
+  std::string NoEnd = Canonical.substr(0, Canonical.size() - 1);
+  std::string Error;
+  EXPECT_FALSE(profileFromString(NoEnd, &Error).has_value());
+  EXPECT_NE(Error.find("missing end marker"), std::string::npos);
+}
+
 // The legacy v1 reader has no checksums to lean on: assert only that
 // it never crashes and that every rejection carries a message.
 TEST_P(ProfileIoFuzz, LegacyV1MutationsNeverCrash) {
   Rng R(5500 + GetParam());
   Profile P = makeRandomProfile(R);
-  std::string V1 = toLegacyV1(profileToString(P));
+  std::string V1 = profileToString(P, 1);
   {
     std::string Error;
     auto Back = profileFromString(V1, &Error);

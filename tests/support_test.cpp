@@ -1,11 +1,13 @@
 //===- tests/support_test.cpp - support library tests ----------*- C++ -*-===//
 
 #include "support/DotWriter.h"
+#include "support/FlatHash.h"
 #include "support/Error.h"
 #include "support/Format.h"
 #include "support/MathUtil.h"
 #include "support/Random.h"
 #include "support/Stats.h"
+#include "support/VarInt.h"
 #include "support/TablePrinter.h"
 
 #include <gtest/gtest.h>
@@ -183,4 +185,115 @@ TEST(ErrorDeath, FatalAborts) {
 
 TEST(ErrorDeath, UnreachableAborts) {
   EXPECT_DEATH(unreachable("nope"), "structslim unreachable: nope");
+}
+
+// --- VarInt -------------------------------------------------------------
+
+TEST(VarInt, RoundTripsBoundaryValues) {
+  const uint64_t Values[] = {0,      1,        127,        128,
+                             16383,  16384,    0xffffffff, 1ull << 62,
+                             ~0ull,  0x80,     0x3fff,     0x4000};
+  std::string Buf;
+  for (uint64_t V : Values)
+    support::appendVarint(Buf, V);
+  support::VarintReader R(Buf.data(), Buf.data() + Buf.size());
+  for (uint64_t V : Values)
+    EXPECT_EQ(R.readVarint(), V);
+  EXPECT_TRUE(R.ok());
+  EXPECT_TRUE(R.atEnd());
+}
+
+TEST(VarInt, ZigzagRoundTripsSignedExtremes) {
+  const int64_t Values[] = {0,  -1, 1,  -2, 2, INT64_MAX, INT64_MIN,
+                            -4096, 4096};
+  for (int64_t V : Values)
+    EXPECT_EQ(support::zigzagDecode(support::zigzagEncode(V)), V);
+  std::string Buf;
+  for (int64_t V : Values)
+    support::appendSVarint(Buf, V);
+  support::VarintReader R(Buf.data(), Buf.data() + Buf.size());
+  for (int64_t V : Values)
+    EXPECT_EQ(R.readSVarint(), V);
+  EXPECT_TRUE(R.ok());
+}
+
+TEST(VarInt, TruncatedReadLatchesError) {
+  std::string Buf;
+  support::appendVarint(Buf, 1u << 20); // Multi-byte encoding.
+  for (size_t Cut = 0; Cut != Buf.size(); ++Cut) {
+    support::VarintReader R(Buf.data(), Buf.data() + Cut);
+    R.readVarint();
+    EXPECT_FALSE(R.ok()) << "cut=" << Cut;
+    // Error state latches: later reads stay failed.
+    EXPECT_EQ(R.readVarint(), 0u);
+    EXPECT_FALSE(R.ok());
+  }
+}
+
+TEST(VarInt, NonTerminatingSequenceRejected) {
+  std::string Buf(11, static_cast<char>(0x80)); // 11 continuation bytes.
+  support::VarintReader R(Buf.data(), Buf.data() + Buf.size());
+  R.readVarint();
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(VarInt, ReadBytesBoundsChecked) {
+  std::string Buf = "abcdef";
+  support::VarintReader R(Buf.data(), Buf.data() + Buf.size());
+  const char *P = R.readBytes(4);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(std::string(P, 4), "abcd");
+  EXPECT_EQ(R.readBytes(3), nullptr); // Only 2 left.
+  EXPECT_FALSE(R.ok());
+}
+
+// --- FlatHash -----------------------------------------------------------
+
+TEST(FlatHash, PairMapInsertFindGrow) {
+  support::FlatPairMap Map;
+  // Enough keys to force several growth steps.
+  for (uint32_t I = 0; I != 1000; ++I) {
+    bool Inserted = false;
+    uint32_t V = Map.getOrInsert(0x400000 + I, I % 7, I, Inserted);
+    EXPECT_TRUE(Inserted);
+    EXPECT_EQ(V, I);
+  }
+  EXPECT_EQ(Map.size(), 1000u);
+  for (uint32_t I = 0; I != 1000; ++I) {
+    EXPECT_EQ(Map.find(0x400000 + I, I % 7), I);
+    bool Inserted = true;
+    EXPECT_EQ(Map.getOrInsert(0x400000 + I, I % 7, 9999, Inserted), I);
+    EXPECT_FALSE(Inserted);
+  }
+  EXPECT_EQ(Map.find(0x500000, 0), support::FlatPairMap::Npos);
+  Map.clear();
+  EXPECT_EQ(Map.size(), 0u);
+  EXPECT_EQ(Map.find(0x400000, 0), support::FlatPairMap::Npos);
+}
+
+TEST(FlatHash, PairMapDistinguishesBothKeyHalves) {
+  support::FlatPairMap Map;
+  bool Inserted = false;
+  Map.getOrInsert(1, 1, 11, Inserted);
+  Map.getOrInsert(1, 2, 12, Inserted);
+  Map.getOrInsert(2, 1, 21, Inserted);
+  EXPECT_EQ(Map.find(1, 1), 11u);
+  EXPECT_EQ(Map.find(1, 2), 12u);
+  EXPECT_EQ(Map.find(2, 1), 21u);
+  EXPECT_EQ(Map.find(2, 2), support::FlatPairMap::Npos);
+}
+
+TEST(FlatHash, U64SetHandlesZeroAndDuplicates) {
+  support::FlatU64Set Set;
+  EXPECT_TRUE(Set.insert(0)); // Zero needs its own slot logic.
+  EXPECT_FALSE(Set.insert(0));
+  for (uint64_t V = 1; V != 500; ++V)
+    EXPECT_TRUE(Set.insert(V * 0x10001));
+  for (uint64_t V = 1; V != 500; ++V)
+    EXPECT_FALSE(Set.insert(V * 0x10001));
+  EXPECT_EQ(Set.size(), 500u);
+  Set.clear();
+  EXPECT_EQ(Set.size(), 0u);
+  EXPECT_TRUE(Set.insert(0));
+  EXPECT_TRUE(Set.insert(42));
 }

@@ -181,6 +181,9 @@ int main(int argc, char **argv) {
   profile::MergeLoadResult Load =
       profile::loadAndMergeProfiles(Opts.Files, MergeOpts);
   Stats.MergeSeconds = secondsSince(MergeBegin);
+  Stats.MergeLoadSeconds = Load.LoadSeconds;
+  Stats.MergeReduceSeconds = Load.ReduceSeconds;
+  Stats.PeakResidentProfiles = Load.PeakResidentProfiles;
   Stats.ShardsMerged = Load.Loaded.size();
   Stats.ShardsSkipped = Load.Skipped.size();
   for (const profile::ShardFailure &F : Load.Skipped) {
