@@ -23,8 +23,10 @@
 #include "runtime/ThreadedRuntime.h"
 #include "support/Format.h"
 #include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <thread>
@@ -128,9 +130,27 @@ int main(int argc, char **argv) {
   const int64_t N = 1 << 16;
   const int64_t Reps = 24;
   const unsigned HostCores = std::thread::hardware_concurrency();
+  // The engine's OS-thread count: STRUCTSLIM_THREADS when set (explicit
+  // oversubscription — N workers time-share the host's cores),
+  // otherwise hardware_concurrency. Identity never depends on it, but
+  // wall-clock speedups do, so the JSON records both values.
+  const unsigned WorkerThreads = support::ThreadPool::defaultThreadCount();
+  const bool Oversubscribed = WorkerThreads > (HostCores ? HostCores : 1);
+  const bool SingleCore = HostCores <= 1;
 
   std::cout << "Parallel engine scaling (host hardware_concurrency="
-            << HostCores << ", constant total work)\n\n";
+            << HostCores << ", effective worker threads=" << WorkerThreads
+            << (std::getenv("STRUCTSLIM_THREADS") ? " [STRUCTSLIM_THREADS]"
+                                                  : "")
+            << ", constant total work)\n";
+  if (SingleCore)
+    std::cout << "WARNING: single-core host — the parallel engine can only\n"
+              << "time-share one core, so speedups below measure scheduling\n"
+              << "overhead, not scaling. Treat them as a lower bound.\n";
+  if (Oversubscribed)
+    std::cout << "note: " << WorkerThreads << " worker threads oversubscribe "
+              << HostCores << " core(s) (STRUCTSLIM_THREADS)\n";
+  std::cout << "\n";
 
   TablePrinter Table;
   Table.setHeader({"threads", "serial s", "parallel s", "speedup",
@@ -138,6 +158,11 @@ int main(int argc, char **argv) {
   std::ofstream Json(JsonPath);
   Json << "{\n  \"bench\": \"micro_engine_scaling\",\n"
        << "  \"host_hardware_concurrency\": " << HostCores << ",\n"
+       << "  \"effective_worker_threads\": " << WorkerThreads << ",\n"
+       << "  \"oversubscribed\": " << (Oversubscribed ? "true" : "false")
+       << ",\n"
+       << "  \"single_core_host_warning\": " << (SingleCore ? "true" : "false")
+       << ",\n"
        << "  \"total_elements\": " << N << ",\n"
        << "  \"reps\": " << Reps << ",\n  \"points\": [\n";
 

@@ -27,3 +27,69 @@ bool SetAssocCache::contains(uint64_t LineAddr) const {
       return true;
   return false;
 }
+
+void SetAssocCache::accessBatch(const BatchLineOp *Ops, size_t N,
+                                uint8_t *Hit) {
+  // Small batches: grouping overhead (O(NumSets) bucket reset) would
+  // dominate; the sequential path is bit-identical by definition.
+  if (N < 32 || N * 4 < NumSets) {
+    for (size_t I = 0; I != N; ++I) {
+      Hit[I] = access(Ops[I].Line) ? 1 : 0;
+      if (Ops[I].Repeat)
+        repeatMru(Ops[I].Repeat);
+    }
+    return;
+  }
+
+  // Stable counting sort of the batch positions by set index. Same-set
+  // lookups keep their relative order (LRU state within a set is order
+  // sensitive); sets share no state, so the cross-set reorder is
+  // unobservable.
+  BatchBucket.assign(NumSets + 1, 0);
+  BatchOrder.resize(N);
+  for (size_t I = 0; I != N; ++I)
+    ++BatchBucket[setIndex(Ops[I].Line) + 1];
+  for (size_t S = 0; S != NumSets; ++S)
+    BatchBucket[S + 1] += BatchBucket[S];
+  for (size_t I = 0; I != N; ++I)
+    BatchOrder[BatchBucket[setIndex(Ops[I].Line)]++] =
+        static_cast<uint32_t>(I);
+
+  const unsigned Assoc = Config.Assoc;
+  for (size_t K = 0; K != N; ++K) {
+    size_t I = BatchOrder[K];
+    uint64_t Line = Ops[I].Line;
+    size_t Set = setIndex(Line);
+    size_t Base = Set * Assoc;
+    uint64_t Tick = ++SetTick[Set];
+
+    // Word-parallel probe: evaluate every way branch-free, then reduce
+    // the match mask. A line occupies at most one way, so the mask has
+    // at most one bit set.
+    unsigned Match = 0;
+    for (unsigned W = 0; W != Assoc; ++W)
+      Match |= static_cast<unsigned>((Tags[Base + W] == Line) &
+                                     (Ages[Base + W] != 0))
+               << W;
+
+    size_t Way;
+    if (Match) {
+      Way = Base + static_cast<unsigned>(__builtin_ctz(Match));
+      Ages[Way] = Tick;
+      ++Hits;
+      Hit[I] = 1;
+    } else {
+      ++Misses;
+      Way = installAt(Base, Line, Tick);
+      Hit[I] = 0;
+    }
+    MruTag = Line;
+    MruWay = Way;
+    if (Ops[I].Repeat) {
+      // The collapsed tail of a run: each access re-touches the way
+      // through the MRU path, advancing the set tick once per access.
+      Hits += Ops[I].Repeat;
+      Ages[Way] = (SetTick[Set] += Ops[I].Repeat);
+    }
+  }
+}

@@ -40,6 +40,18 @@ struct CacheConfig {
   unsigned HitLatency = 4; ///< Cycles when this level serves the access.
 };
 
+/// One lookup of a batched access sequence (decoupled pipeline
+/// consumer). \p Repeat extra touches of the line follow the lookup —
+/// the run-length-collapsed tail of consecutive same-line accesses,
+/// which are guaranteed hits of the just-touched way (see
+/// SetAssocCache::repeatMru). \p Index is an opaque caller tag
+/// (original access position) carried through the level cascade.
+struct BatchLineOp {
+  uint64_t Line;
+  uint32_t Repeat;
+  uint32_t Index;
+};
+
 /// One cache level. Addresses are pre-shifted line addresses.
 class SetAssocCache {
 public:
@@ -74,6 +86,25 @@ public:
     MruWay = installAt(Base, LineAddr, Tick);
     return false;
   }
+
+  /// Re-touches the most recently accessed way \p N times — the state
+  /// effect of \p N consecutive accesses to the line access() just
+  /// returned for. Each such access would take the MRU path above:
+  /// advance the set tick and re-age the way, counting a hit. Valid
+  /// only directly after access() (MruWay must still hold the line),
+  /// which the pipeline consumer guarantees by construction.
+  void repeatMru(uint64_t N) {
+    Hits += N;
+    Ages[MruWay] = (SetTick[MruWay / Config.Assoc] += N);
+  }
+
+  /// Batched equivalent of `for (I) { Hit[I] = access(Ops[I].Line);
+  /// repeatMru(Ops[I].Repeat); }` — bit-identical final state and
+  /// counters. Large batches are grouped by set index (stable, so all
+  /// same-set orderings survive) and probed with a branch-free
+  /// word-parallel tag compare across the ways; sets are independent
+  /// (per-set LRU ticks), so cross-set reordering is unobservable.
+  void accessBatch(const BatchLineOp *Ops, size_t N, uint8_t *Hit);
 
   /// Installs \p LineAddr without counting a demand access (prefetch
   /// fill). No-op when already present (refreshes LRU).
@@ -149,6 +180,10 @@ private:
   uint64_t Hits = 0;
   uint64_t Misses = 0;
   uint64_t PrefetchFills = 0;
+  // Reusable accessBatch scratch (counting-sort buckets + sorted
+  // order), so the pipeline consumer's steady state is allocation-free.
+  std::vector<uint32_t> BatchBucket;
+  std::vector<uint32_t> BatchOrder;
 };
 
 /// Per-thread buffer of one quantum round's shared-L3 traffic. The

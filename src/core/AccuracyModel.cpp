@@ -2,6 +2,7 @@
 
 #include "core/AccuracyModel.h"
 
+#include "core/StrideKernel.h"
 #include "support/MathUtil.h"
 
 #include <algorithm>
@@ -79,9 +80,8 @@ double structslim::core::measureAccuracy(uint64_t N, uint64_t K,
     // Samples arrive in temporal order: positions are visited in
     // increasing order by a forward loop.
     std::sort(Positions.begin(), Positions.end());
-    uint64_t G = 0;
-    for (size_t I = 1; I != Positions.size(); ++I)
-      G = std::gcd(G, (Positions[I] - Positions[I - 1]) * StrideR);
+    uint64_t G =
+        gcdAdjacentDiffs(Positions.data(), Positions.size(), StrideR);
     if (G == StrideR)
       ++Correct;
   }

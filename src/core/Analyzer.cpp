@@ -3,6 +3,7 @@
 #include "core/Analyzer.h"
 
 #include "core/AccuracyModel.h"
+#include "core/StrideKernel.h"
 #include "support/MathUtil.h"
 #include "support/ThreadPool.h"
 
@@ -110,16 +111,20 @@ void StructSlimAnalyzer::analyzeObject(
   // A stream participates when it shows a non-unit constant stride
   // pattern (stride larger than its own access width) backed by enough
   // unique addresses (Eq. 4 accuracy).
-  uint64_t Size = 0;
   uint64_t BestUnique = 0;
+  std::vector<uint64_t> Strides;
+  Strides.reserve(Streams.size());
   for (const profile::StreamRecord *S : Streams) {
     if (S->UniqueAddrCount < Config.MinUniqueAddrs)
       continue;
     if (S->StrideGcd == 0 || S->StrideGcd <= S->AccessSize)
       continue; // Unit-stride or irregular: no splitting opportunity.
-    Size = gcd64(Size, S->StrideGcd);
+    Strides.push_back(S->StrideGcd);
     BestUnique = std::max(BestUnique, S->UniqueAddrCount);
   }
+  // Four-lane binary-GCD fold; gcd's associativity makes the result
+  // equal to the sequential gcd64 chain this replaced.
+  uint64_t Size = gcdReduce(Strides.data(), Strides.size());
   Out.StructSize = Size;
   // Eq. 4 confidence: the inferred size can only be wrong (a multiple
   // of the truth) if every contributing stream's GCD is inflated; the

@@ -337,6 +337,14 @@ std::string structslim::core::renderJsonReport(
   OS << "    \"analyze_seconds\": " << jsonNumber(Stats.AnalyzeSeconds)
      << ",\n";
   OS << "    \"render_seconds\": " << jsonNumber(Stats.RenderSeconds) << "\n";
+  OS << "  },\n";
+
+  // Online-pipeline health, recorded by the profiled run itself
+  // (schema-additive: absent counters decode as zero).
+  OS << "  \"pipeline\": {\n";
+  OS << "    \"queue_depth_max\": " << Stats.QueueDepthMax << ",\n";
+  OS << "    \"producer_stalls\": " << Stats.ProducerStalls << ",\n";
+  OS << "    \"consumer_batches\": " << Stats.ConsumerBatches << "\n";
   OS << "  }\n";
   OS << "}\n";
   return OS.str();
@@ -359,6 +367,12 @@ std::string structslim::core::renderStatsText(const AnalysisResult &Result,
      << " object(s), " << Result.Stats.StreamsAnalyzed << " stream(s), jobs="
      << Stats.Jobs << ")\n";
   OS << "render:  " << formatDouble(Stats.RenderSeconds, 6) << "s\n";
+  // Only decoupled-pipeline runs record these; keep inline-run output
+  // byte-for-byte what it was before the counters existed.
+  if (Stats.ConsumerBatches)
+    OS << "pipeline: max queue depth " << Stats.QueueDepthMax
+       << ", producer stalls " << Stats.ProducerStalls
+       << ", consumer batches " << Stats.ConsumerBatches << "\n";
   if (Result.Stats.SkippedInconsistentStreams)
     OS << "skipped inconsistent streams: "
        << Result.Stats.SkippedInconsistentStreams << "\n";

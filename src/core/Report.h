@@ -43,6 +43,12 @@ struct ReportStats {
   uint64_t ShardsSkipped = 0;
   /// High-water mark of decoded profiles resident during the merge.
   uint64_t PeakResidentProfiles = 0;
+  /// Online decoupled-pipeline counters carried in the merged profile
+  /// (zero when the profiled run simulated inline or the shards predate
+  /// the pipeline); schema-additive, mirroring PeakResidentProfiles.
+  uint64_t QueueDepthMax = 0;
+  uint64_t ProducerStalls = 0;
+  uint64_t ConsumerBatches = 0;
 };
 
 /// Hot data objects ranked by l_d (Eq. 1). When \p CodeMap is given,

@@ -4,6 +4,7 @@
 
 #include "support/MathUtil.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace structslim;
@@ -110,6 +111,9 @@ void Profile::mergeBody(const Profile &Other,
   Instructions += Other.Instructions;
   MemoryAccesses += Other.MemoryAccesses;
   Cycles += Other.Cycles; // Aggregate work across threads.
+  QueueDepthMax = std::max(QueueDepthMax, Other.QueueDepthMax);
+  ProducerStalls += Other.ProducerStalls;
+  ConsumerBatches += Other.ConsumerBatches;
   if (SamplePeriod == 0)
     SamplePeriod = Other.SamplePeriod;
   Contexts.merge(Other.Contexts);

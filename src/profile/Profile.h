@@ -114,6 +114,14 @@ public:
   uint64_t Instructions = 0;       ///< Executed instruction count.
   uint64_t MemoryAccesses = 0;
   uint64_t Cycles = 0;             ///< Simulated execution cycles.
+  // Decoupled-pipeline health counters (runtime/SimPipeline), zero for
+  // inline-simulation runs. Carried on one profile per phase so the
+  // merge reproduces run totals. Host-timing dependent: serialized in
+  // the binary format (schema-additive v3 extension) but excluded from
+  // the canonical text form, which the bit-identity tests compare.
+  uint64_t QueueDepthMax = 0;   ///< Deepest drain batch (records); merge: max.
+  uint64_t ProducerStalls = 0;  ///< Ring-full backpressure events; merge: sum.
+  uint64_t ConsumerBatches = 0; ///< Drain batches processed; merge: sum.
 
   // --- Content ----------------------------------------------------------
   std::vector<ObjectAgg> Objects;

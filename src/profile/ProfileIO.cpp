@@ -262,7 +262,10 @@ static std::string profileToStringV3(const Profile &P) {
   std::string Payload[NumV3Sections];
   uint64_t Counts[NumV3Sections] = {};
 
-  // meta: one record of eight varints.
+  // meta: one record of eight varints, plus the schema-additive
+  // pipeline-counter triple (readers of the original layout stop after
+  // eight; this reader detects the extension by the section not being
+  // exhausted, so old files decode with zero counters).
   {
     std::string &Out = Payload[V3Meta];
     appendVarint(Out, P.ThreadId);
@@ -273,6 +276,9 @@ static std::string profileToStringV3(const Profile &P) {
     appendVarint(Out, P.Instructions);
     appendVarint(Out, P.MemoryAccesses);
     appendVarint(Out, P.Cycles);
+    appendVarint(Out, P.QueueDepthMax);
+    appendVarint(Out, P.ProducerStalls);
+    appendVarint(Out, P.ConsumerBatches);
     Counts[V3Meta] = 1;
   }
 
@@ -665,6 +671,14 @@ static std::optional<Profile> readProfileV3(std::string_view Data,
     P.Instructions = R.readVarint();
     P.MemoryAccesses = R.readVarint();
     P.Cycles = R.readVarint();
+    if (R.ok() && !R.atEnd()) {
+      // Schema-additive extension: pipeline counters. Files written
+      // before the decoupled pipeline end after the eight base fields
+      // and keep the zero defaults.
+      P.QueueDepthMax = R.readVarint();
+      P.ProducerStalls = R.readVarint();
+      P.ConsumerBatches = R.readVarint();
+    }
     if (!R.ok() || ThreadId > 0xffffffffull)
       return SectionFail(V3Meta, "record malformed");
     if (!R.atEnd())

@@ -99,6 +99,22 @@ uint64_t Interpreter::memAccess(uint64_t Ip, uint64_t Ea, uint8_t Size,
   if (Defer && Defer->RoundMode == DeferredRound::Mode::Buffered)
     return memAccessBuffered(Ip, Ea, Size, IsWrite, StoreValue);
 
+  if (Queue) {
+    // Decoupled pipeline: tick the PMU now (the selection is
+    // outcome-independent, so this preserves the serial jitter draw
+    // order — same argument as the buffered path above), enqueue the
+    // access for deferred simulation, and touch only the functional
+    // memory here.
+    ++Stats.MemoryAccesses;
+    bool Sampled = Pmu && Pmu->tick(IsWrite);
+    Queue->noteAccess(QTid, Ip, Ea, Size, IsWrite, Sampled, CallPath);
+    if (IsWrite) {
+      PageCache.write(Ea, Size, StoreValue);
+      return 0;
+    }
+    return PageCache.read(Ea, Size);
+  }
+
   cache::AccessResult Result = Hierarchy.access(Ea, Size, IsWrite, Ip);
   ++Stats.MemoryAccesses;
   Stats.Cycles += Result.Latency;
@@ -207,6 +223,9 @@ void Interpreter::storeBuffered(uint64_t Ea, unsigned Size, uint64_t Value) {
 
 uint64_t Interpreter::doAlloc(uint64_t Ip, uint64_t Size,
                               const std::string &Sym) {
+  if (Queue) // The pipeline consumer reads the DataObjectTable at
+             // delivery time; drain before mutating it.
+    Queue->sync();
   uint64_t Addr = M.Allocator.allocate(Size);
   CallPath.push_back(Ip);
   M.Objects.addHeap(Sym, Addr, Size, CallPath);
@@ -215,6 +234,8 @@ uint64_t Interpreter::doAlloc(uint64_t Ip, uint64_t Size,
 }
 
 void Interpreter::doFree(uint64_t Ip, uint64_t Addr) {
+  if (Queue)
+    Queue->sync();
   if (!M.Allocator.deallocate(Addr))
     fatalError("invalid free at ip " + std::to_string(Ip));
   M.Objects.release(Addr);
@@ -403,7 +424,9 @@ bool Interpreter::stepReference(uint64_t MaxInstructions) {
   X(Shl) X(Shr) X(AddI) X(MulI) X(AndI) X(CmpLt) X(CmpLe) X(CmpEq) X(CmpNe)    \
   X(Work) X(Load) X(LoadX) X(Store) X(StoreX) X(Alloc) X(Free) X(Call)         \
   X(Br) X(CondBr) X(Ret) X(FusedAddILoad) X(FusedConstIStore)                  \
-  X(FusedCmpLtBr) X(FusedCmpLeBr) X(FusedCmpEqBr) X(FusedCmpNeBr)
+  X(FusedCmpLtBr) X(FusedCmpLeBr) X(FusedCmpEqBr) X(FusedCmpNeBr)              \
+  X(FusedConstIShl) X(FusedConstIShr) X(FusedXorMulI) X(FusedXorAddI)          \
+  X(FusedXorAdd)
 
 #if defined(__GNUC__) || defined(__clang__)
 #define SS_THREADED_DISPATCH 1
@@ -422,8 +445,19 @@ bool Interpreter::stepReference(uint64_t MaxInstructions) {
 #define SS_DISPATCH() goto dispatch
 #endif
 
-#define SS_RETIRE1() (++Stats.Instructions, ++Stats.Cycles, --Budget)
-#define SS_RETIRE2() (Stats.Instructions += 2, Stats.Cycles += 2, Budget -= 2)
+// Retirement only decrements the local budget; the retired-instruction
+// count (and its 1-cycle-per-instruction charge) is derived from
+// MaxInstructions - Budget in one fold per step() exit, keeping two
+// memory increments out of every handler. Handlers that charge extra
+// cycles (Work, memAccess latency) still add to Stats.Cycles directly.
+#define SS_RETIRE1() (--Budget)
+#define SS_RETIRE2() (Budget -= 2)
+#define SS_FOLD_RETIRED()                                                      \
+  do {                                                                         \
+    uint64_t Retired = MaxInstructions - Budget;                               \
+    Stats.Instructions += Retired;                                             \
+    Stats.Cycles += Retired;                                                   \
+  } while (0)
 
 bool Interpreter::stepPredecoded(uint64_t MaxInstructions) {
   if (PFrames.empty())
@@ -708,6 +742,7 @@ L_Ret: {
     CallPath.pop_back();
   if (PFrames.empty()) {
     Result = Value;
+    SS_FOLD_RETIRED();
     return false;
   }
   Fr = &PFrames.back();
@@ -811,15 +846,87 @@ L_FusedCmpNeBr: {
   PC = R[O.C] != 0 ? O.Target : O.Target2;
   SS_DISPATCH();
 }
+L_FusedConstIShl: {
+  const POp &O = Ops[PC];
+  if (Budget < 2) {
+    SS_RETIRE1();
+    R[O.T] = static_cast<uint64_t>(O.Imm);
+    ++PC;
+    SS_DISPATCH();
+  }
+  SS_RETIRE2();
+  R[O.T] = static_cast<uint64_t>(O.Imm); // written before R[A] is read
+  R[O.Dst] = R[O.A] << (O.Imm & 63);
+  PC += 2;
+  SS_DISPATCH();
+}
+L_FusedConstIShr: {
+  const POp &O = Ops[PC];
+  if (Budget < 2) {
+    SS_RETIRE1();
+    R[O.T] = static_cast<uint64_t>(O.Imm);
+    ++PC;
+    SS_DISPATCH();
+  }
+  SS_RETIRE2();
+  R[O.T] = static_cast<uint64_t>(O.Imm);
+  R[O.Dst] = R[O.A] >> (O.Imm & 63);
+  PC += 2;
+  SS_DISPATCH();
+}
+L_FusedXorMulI: {
+  const POp &O = Ops[PC];
+  if (Budget < 2) {
+    SS_RETIRE1();
+    R[O.T] = R[O.C] ^ R[O.B];
+    ++PC;
+    SS_DISPATCH();
+  }
+  SS_RETIRE2();
+  R[O.T] = R[O.C] ^ R[O.B]; // written before R[A] is read
+  R[O.Dst] = R[O.A] * static_cast<uint64_t>(O.Imm);
+  PC += 2;
+  SS_DISPATCH();
+}
+L_FusedXorAddI: {
+  const POp &O = Ops[PC];
+  if (Budget < 2) {
+    SS_RETIRE1();
+    R[O.T] = R[O.C] ^ R[O.B];
+    ++PC;
+    SS_DISPATCH();
+  }
+  SS_RETIRE2();
+  R[O.T] = R[O.C] ^ R[O.B];
+  R[O.Dst] = R[O.A] + static_cast<uint64_t>(O.Imm);
+  PC += 2;
+  SS_DISPATCH();
+}
+L_FusedXorAdd: {
+  const POp &O = Ops[PC];
+  if (Budget < 2) {
+    SS_RETIRE1();
+    R[O.T] = R[O.C] ^ R[O.B];
+    ++PC;
+    SS_DISPATCH();
+  }
+  SS_RETIRE2();
+  R[O.T] = R[O.C] ^ R[O.B];
+  R[O.Dst] = R[O.A] + R[O.Scale]; // Scale carries the Add's 2nd register
+  PC += 2;
+  SS_DISPATCH();
+}
 
 out_budget:
   Fr->PC = PC;
+  SS_FOLD_RETIRED();
   return true;
 
 out_paused:
   // Serializing instruction in a buffered round: pause without
   // consuming it; the barrier finishes this quantum in Committing mode.
   Fr->PC = PC;
+  SS_FOLD_RETIRED();
   Defer->Paused = true;
   return true;
 }

@@ -36,6 +36,7 @@
 #include "ir/Program.h"
 #include "mem/SimMemory.h"
 #include "pmu/AddressSampling.h"
+#include "runtime/AccessQueue.h"
 #include "runtime/DeferredRound.h"
 #include "runtime/Machine.h"
 #include "runtime/Predecode.h"
@@ -111,6 +112,19 @@ public:
   /// front of the serializing Alloc/Free opcodes.
   void setDeferredRound(DeferredRound *D) { Defer = D; }
 
+  /// Attaches (or, with null, detaches) the decoupled sample pipeline:
+  /// memory accesses append records tagged with phase-local index
+  /// \p Tid to \p Q instead of driving the hierarchy and PMU delivery
+  /// inline (the PMU period counter still ticks here, preserving the
+  /// jitter draw order). The serializing Alloc/Free opcodes sync the
+  /// queue first, so delivery-time DataObjectTable lookups observe the
+  /// serial schedule's state. Mutually exclusive with a TraceSink and
+  /// with the parallel engine's DeferredRound.
+  void setAccessQueue(AccessQueue *Q, uint8_t Tid) {
+    Queue = Q;
+    QTid = Tid;
+  }
+
   /// True when the last step() stopped in front of a serializing
   /// instruction rather than exhausting its budget or returning.
   bool isPaused() const { return Defer && Defer->Paused; }
@@ -171,6 +185,8 @@ private:
   pmu::PmuModel *Pmu;
   TraceSink *Tracer = nullptr;
   DeferredRound *Defer = nullptr;
+  AccessQueue *Queue = nullptr;
+  uint8_t QTid = 0;
   uint32_t ThreadId;
   ExecCore Core = ExecCore::Predecoded;
 

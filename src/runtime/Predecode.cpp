@@ -198,6 +198,38 @@ PredecodedProgram::PredecodedProgram(const ir::Program &Prog) : P(&Prog) {
           First.Target = Second.Target;
           First.Target2 = Second.Target2;
           Fused = First.Op;
+        } else if (First.Op == POpc::ConstI &&
+                   (Second.Op == POpc::Shl || Second.Op == POpc::Shr) &&
+                   Second.B == First.Dst) {
+          // Constant shift amount: bake it into Imm. The shifted value
+          // may itself be the constant (Second.A == First.Dst); the
+          // handler writes R[T] before reading R[A], so that works too.
+          POp O = Second;
+          O.Op = Second.Op == POpc::Shl ? POpc::FusedConstIShl
+                                        : POpc::FusedConstIShr;
+          O.T = First.Dst;
+          O.Imm = First.Imm;
+          First = O;
+          Fused = O.Op;
+        } else if (First.Op == POpc::Xor &&
+                   (Second.Op == POpc::MulI || Second.Op == POpc::AddI ||
+                    Second.Op == POpc::Add)) {
+          // The Xor's operands move to C/B (MulI/AddI leave B free;
+          // for Add the second half's B register rides in Scale, which
+          // plain ALU ops never use). The usual data flow has
+          // Second.A == First.Dst; the handler's write-T-then-read-A
+          // order makes that a non-case, as above.
+          POp O = Second;
+          if (Second.Op == POpc::Add)
+            O.Scale = Second.B;
+          O.Op = Second.Op == POpc::MulI   ? POpc::FusedXorMulI
+                 : Second.Op == POpc::AddI ? POpc::FusedXorAddI
+                                           : POpc::FusedXorAdd;
+          O.T = First.Dst;
+          O.C = First.A;
+          O.B = First.B;
+          First = O;
+          Fused = O.Op;
         }
         if (Fused != POpc::NumPOpcs) {
           ++NumFusedPairs;

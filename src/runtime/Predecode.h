@@ -81,6 +81,17 @@ enum class POpc : uint8_t {
   FusedCmpLeBr,
   FusedCmpEqBr,
   FusedCmpNeBr,
+  // ALU pairs from hash/mix loop tails. The constant-shift forms
+  // require the shift amount register to be the ConstI's destination,
+  // so the amount is baked into Imm.
+  FusedConstIShl,  ///< R[T] = Imm; R[Dst] = R[A] << (Imm & 63)
+  FusedConstIShr,  ///< R[T] = Imm; R[Dst] = R[A] >> (Imm & 63)
+  FusedXorMulI,    ///< R[T] = R[C] ^ R[B]; R[Dst] = R[A] * Imm
+  FusedXorAddI,    ///< R[T] = R[C] ^ R[B]; R[Dst] = R[A] + Imm
+  FusedXorAdd,     ///< R[T] = R[C] ^ R[B]; R[Dst] = R[A] + R[Scale]
+                   ///< (Scale holds the Add's second register: both
+                   ///< halves have two sources, so the index field is
+                   ///< repurposed for the fourth one)
   NumPOpcs
 };
 

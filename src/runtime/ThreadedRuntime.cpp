@@ -5,6 +5,7 @@
 #include "profile/ProfileIO.h"
 #include "runtime/DeferredRound.h"
 #include "runtime/ProfileBuilder.h"
+#include "runtime/SimPipeline.h"
 #include "support/Error.h"
 #include "support/ThreadPool.h"
 
@@ -32,6 +33,22 @@ struct PhaseThread {
 /// The reference engine: deterministic round-robin on the calling
 /// thread.
 void runSerialLoop(const RunConfig &Config, std::vector<PhaseThread> &States) {
+  if (States.size() == 1) {
+    // One logical thread: there is no interleave to reproduce, so the
+    // quantum is only loop-entry overhead — step in large slices. The
+    // counters and every simulation outcome are granularity-invariant;
+    // the runaway guard just trips up to one slice later.
+    PhaseThread &S = States[0];
+    uint64_t Slice = std::max<uint64_t>(Config.Quantum, 1ull << 20);
+    while (S.Interp->step(Slice)) {
+      if (S.Interp->getStats().Instructions > Config.InstructionBudget)
+        fatalError("thread exceeded its instruction budget");
+    }
+    if (S.Interp->getStats().Instructions > Config.InstructionBudget)
+      fatalError("thread exceeded its instruction budget");
+    S.Alive = false;
+    return;
+  }
   size_t AliveCount = States.size();
   while (AliveCount != 0) {
     for (PhaseThread &S : States) {
@@ -251,19 +268,64 @@ void ThreadedRuntime::runPhase(const ir::Program &P,
                  Config.ReferenceInterpreter ? "reference" : "predecoded");
   }
 
+  // Pipeline selection for serial-engine phases. A tracer forces
+  // inline simulation: it observes the per-access outcome at access
+  // time. Decoupled records carry an 8-bit thread index, which every
+  // realistic phase fits (fall back inline otherwise).
+  bool UseDecoupled = false;
+  if (!UseParallel && !Tracer && States.size() <= 256 &&
+      Config.Pipeline != PipelineKind::Inline)
+    UseDecoupled = true;
+
+  std::unique_ptr<AccessQueue> Queue;
+  std::unique_ptr<SimPipeline> Pipe;
+  if (UseDecoupled) {
+    // The consumer runs on its own thread only when the host actually
+    // has a core for it; on one core it would merely time-share with
+    // the producer, so the producer drains the ring inline in batches.
+    bool ThreadedConsumer = support::ThreadPool::defaultThreadCount() > 1;
+    Queue = std::make_unique<AccessQueue>(
+        Config.PipelineCapacity, States[0].Hierarchy->lineShift(),
+        /*CollapseRuns=*/States[0].Hierarchy->mode() == 0);
+    std::vector<SimPipeline::Lane> Lanes;
+    Lanes.reserve(States.size());
+    for (PhaseThread &S : States)
+      Lanes.push_back(
+          {S.Hierarchy.get(), Config.AttachProfiler ? S.Pmu.get() : nullptr});
+    Pipe = std::make_unique<SimPipeline>(*Queue, std::move(Lanes),
+                                         ThreadedConsumer);
+    Pipe->start();
+    for (size_t T = 0; T != States.size(); ++T)
+      States[T].Interp->setAccessQueue(Queue.get(), static_cast<uint8_t>(T));
+  }
+
   auto Begin = std::chrono::steady_clock::now();
   if (UseParallel)
     runParallelLoop(Config, M, States);
   else
     runSerialLoop(Config, States);
+  if (Pipe) {
+    Pipe->finish();
+    for (PhaseThread &S : States)
+      S.Interp->setAccessQueue(nullptr, 0);
+  }
   auto End = std::chrono::steady_clock::now();
   Accum.WallSeconds +=
       std::chrono::duration<double>(End - Begin).count();
+  if (Pipe) {
+    Accum.QueueDepthMax = std::max(Accum.QueueDepthMax, Pipe->queueDepthMax());
+    Accum.ProducerStalls += Queue->producerStalls();
+    Accum.ConsumerBatches += Pipe->consumerBatches();
+  }
 
   // Fold this phase's results into the accumulated run result.
   uint64_t PhaseMaxCycles = 0;
-  for (PhaseThread &S : States) {
+  for (size_t T = 0; T != States.size(); ++T) {
+    PhaseThread &S = States[T];
     RunStats Stats = S.Interp->getStats();
+    if (Pipe) // Latency cycles the consumer accrued on this thread's
+              // behalf; the inline engine adds them in memAccess.
+      Stats.Cycles += Pipe->cyclesFor(T);
     // Charge the simulated sampling-interrupt cost to the thread that
     // took the samples.
     uint64_t Samples = S.Pmu->getSamplesDelivered();
@@ -286,6 +348,11 @@ void ThreadedRuntime::runPhase(const ir::Program &P,
       Prof.Instructions = Stats.Instructions;
       Prof.MemoryAccesses = Stats.MemoryAccesses;
       Prof.Cycles = Stats.Cycles;
+      // Pipeline counters deliberately stay off the in-memory profiles:
+      // the engine-identity contract compares per-thread profiles
+      // between the inline and decoupled simulators, and the counters
+      // are host-timing diagnostics (like WallSeconds). dumpProfiles
+      // stamps them onto the first shard when given the RunResult.
       Accum.Profiles.push_back(std::move(Prof));
     }
   }
@@ -296,14 +363,31 @@ std::vector<std::string>
 structslim::runtime::dumpProfiles(const std::vector<profile::Profile> &Profiles,
                                   const std::string &Dir,
                                   const std::string &Prefix,
-                                  std::vector<std::string> *Failures) {
+                                  std::vector<std::string> *Failures,
+                                  const RunResult *Run) {
   std::vector<std::string> Written;
   Written.reserve(Profiles.size());
-  for (const profile::Profile &P : Profiles) {
+  for (size_t I = 0; I != Profiles.size(); ++I) {
+    const profile::Profile &P = Profiles[I];
     std::string Path = Dir + "/" + Prefix + "thread" +
                        std::to_string(P.ThreadId) + ".structslim";
     std::string Error;
-    if (profile::writeProfileFile(P, Path, &Error))
+    bool Ok;
+    if (I == 0 && Run &&
+        (Run->QueueDepthMax | Run->ProducerStalls | Run->ConsumerBatches)) {
+      // Stamp the run's pipeline counters onto exactly one shard (the
+      // merge rule max/sum/sum then reproduces the run totals). Done
+      // here rather than in the runtime so in-memory profiles stay
+      // comparable across simulation modes.
+      profile::Profile Stamped = P;
+      Stamped.QueueDepthMax = Run->QueueDepthMax;
+      Stamped.ProducerStalls = Run->ProducerStalls;
+      Stamped.ConsumerBatches = Run->ConsumerBatches;
+      Ok = profile::writeProfileFile(Stamped, Path, &Error);
+    } else {
+      Ok = profile::writeProfileFile(P, Path, &Error);
+    }
+    if (Ok)
       Written.push_back(std::move(Path));
     else if (Failures)
       Failures->push_back(Path + ": " + Error);

@@ -61,6 +61,22 @@ struct ThreadSpec {
 /// Parallel when a tracer is present).
 enum class EngineKind : uint8_t { Auto, Serial, Parallel };
 
+/// Whether serial-engine phases run the cache/PMU simulation inline on
+/// the execution thread or decoupled behind a lock-free access queue.
+///
+/// Inline is the original engine and the checked oracle: every access
+/// drives the hierarchy and sample delivery before the next
+/// instruction executes. Decoupled turns the interpreter into a pure
+/// producer of compact access records (runtime/AccessQueue) drained by
+/// a simulation consumer (runtime/SimPipeline) — on multi-core hosts a
+/// dedicated consumer thread, on single-core hosts a batched inline
+/// drain. Results are bit-identical either way (the differential
+/// pipeline tests assert it). Auto picks Decoupled for every
+/// serial-engine phase without an instrumentation TraceSink (tracers
+/// need the per-access outcome at access time, forcing Inline); the
+/// parallel engine keeps its own deferred-round machinery.
+enum class PipelineKind : uint8_t { Auto, Inline, Decoupled };
+
 /// Runtime configuration.
 struct RunConfig {
   cache::HierarchyConfig Hierarchy;
@@ -80,6 +96,11 @@ struct RunConfig {
   /// instead of the predecoded engine. Results are bit-identical; the
   /// differential tests and benchmarks flip this to compare the two.
   bool ReferenceInterpreter = false;
+  /// Simulation placement for serial-engine phases; see PipelineKind.
+  PipelineKind Pipeline = PipelineKind::Auto;
+  /// Access-queue capacity in records (decoupled pipeline; rounded up
+  /// to a power of two). The default keeps the ring L2-resident.
+  size_t PipelineCapacity = 1 << 13;
 };
 
 /// Aggregated outcome of a full run.
@@ -99,6 +120,12 @@ struct RunResult {
   // Aggregated cache event counters (EBS role; Table 4 inputs).
   uint64_t Accesses[3] = {0, 0, 0}; ///< L1, L2, L3 demand accesses.
   uint64_t Misses[3] = {0, 0, 0};   ///< L1, L2, L3 demand misses.
+  // Decoupled-pipeline health counters (zero when every phase ran
+  // inline). Host-timing dependent — excluded from bit-identity
+  // comparisons, like WallSeconds.
+  uint64_t QueueDepthMax = 0;   ///< Deepest drain batch seen (records).
+  uint64_t ProducerStalls = 0;  ///< Ring-full backpressure events.
+  uint64_t ConsumerBatches = 0; ///< Non-empty drain batches processed.
 };
 
 /// Writes each profile in \p Profiles to its own shard file
@@ -109,11 +136,16 @@ struct RunResult {
 /// open or tear a write exactly as a crashing production run would.
 /// Returns the paths written, in profile order; shards that failed are
 /// reported as "<path>: <reason>" in \p Failures when non-null and are
-/// absent from the returned list.
+/// absent from the returned list. When \p Run is given and carries
+/// decoupled-pipeline counters, they are stamped onto the first shard
+/// only (the profile merge rule — max/sum/sum — then reproduces the
+/// run totals), keeping the in-memory profiles free of host-timing
+/// diagnostics.
 std::vector<std::string>
 dumpProfiles(const std::vector<profile::Profile> &Profiles,
              const std::string &Dir, const std::string &Prefix = "",
-             std::vector<std::string> *Failures = nullptr);
+             std::vector<std::string> *Failures = nullptr,
+             const RunResult *Run = nullptr);
 
 /// Owns the Machine and runs phases of threads over it.
 class ThreadedRuntime {

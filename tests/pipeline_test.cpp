@@ -1,0 +1,278 @@
+//===- tests/pipeline_test.cpp - Decoupled pipeline identity ---*- C++ -*-===//
+//
+// The decoupled sample pipeline's contract is the same as the parallel
+// engine's: bit-identical results. These tests stress the threaded
+// producer/consumer pair under TSan against a serial replay oracle,
+// then sweep every paper workload under both interpreter cores,
+// diffing the decoupled runs against the inline-simulation oracle —
+// every counter and every serialized profile byte.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/Hierarchy.h"
+#include "profile/MergeTree.h"
+#include "profile/ProfileIO.h"
+#include "runtime/AccessQueue.h"
+#include "runtime/SimPipeline.h"
+#include "runtime/ThreadedRuntime.h"
+#include "support/Random.h"
+#include "workloads/Driver.h"
+#include "workloads/Registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+using namespace structslim;
+using namespace structslim::runtime;
+
+namespace {
+
+std::string profileText(const profile::Profile &P) {
+  std::ostringstream OS;
+  profile::writeProfile(P, OS);
+  return OS.str();
+}
+
+/// Bit-identity check between an inline-simulation run and a decoupled
+/// run. Pipeline health counters (QueueDepthMax &c.) are host-timing
+/// diagnostics and intentionally excluded, like WallSeconds.
+void expectIdenticalRuns(const RunResult &Inline, const RunResult &Decoupled) {
+  EXPECT_EQ(Inline.ElapsedCycles, Decoupled.ElapsedCycles);
+  EXPECT_EQ(Inline.TotalCycles, Decoupled.TotalCycles);
+  EXPECT_EQ(Inline.Instructions, Decoupled.Instructions);
+  EXPECT_EQ(Inline.MemoryAccesses, Decoupled.MemoryAccesses);
+  EXPECT_EQ(Inline.Samples, Decoupled.Samples);
+  for (unsigned Level = 0; Level != 3; ++Level) {
+    EXPECT_EQ(Inline.Accesses[Level], Decoupled.Accesses[Level])
+        << "level " << Level;
+    EXPECT_EQ(Inline.Misses[Level], Decoupled.Misses[Level])
+        << "level " << Level;
+  }
+  EXPECT_EQ(Inline.ReturnValues, Decoupled.ReturnValues);
+  ASSERT_EQ(Inline.Profiles.size(), Decoupled.Profiles.size());
+  for (size_t I = 0; I != Inline.Profiles.size(); ++I)
+    EXPECT_EQ(profileText(Inline.Profiles[I]),
+              profileText(Decoupled.Profiles[I]))
+        << "profile " << I;
+}
+
+//===----------------------------------------------------------------------===//
+// Threaded producer/consumer stress (the TSan target).
+//===----------------------------------------------------------------------===//
+
+// A deterministic two-thread access stream pushed through a real
+// threaded SimPipeline (dedicated consumer thread, small ring so
+// backpressure engages), compared against an inline access() replay of
+// the same stream on a second set of hierarchies. Counters, per-level
+// cache state effects, and deferred cycle totals must all match.
+TEST(SimPipelineStress, ThreadedConsumerMatchesInlineReplay) {
+  cache::HierarchyConfig HC; // Mode 0: no TLB, no prefetcher.
+
+  auto PipeL3 = std::make_unique<cache::SetAssocCache>(HC.L3);
+  cache::MemoryHierarchy P0(HC, PipeL3.get());
+  cache::MemoryHierarchy P1(HC, PipeL3.get());
+  AccessQueue Q(/*Capacity=*/1024, P0.lineShift(), /*CollapseRuns=*/true);
+  std::vector<SimPipeline::Lane> Lanes;
+  Lanes.push_back({&P0, nullptr});
+  Lanes.push_back({&P1, nullptr});
+  SimPipeline Pipe(Q, std::move(Lanes), /*Threaded=*/true);
+  Pipe.start();
+
+  auto RefL3 = std::make_unique<cache::SetAssocCache>(HC.L3);
+  cache::MemoryHierarchy R0(HC, RefL3.get());
+  cache::MemoryHierarchy R1(HC, RefL3.get());
+  cache::MemoryHierarchy *Ref[2] = {&R0, &R1};
+  uint64_t RefCycles[2] = {0, 0};
+
+  // Alternating bursts per thread: sequential walks (collapse into
+  // runs), random jumps (run breaks), occasional straddles (exact
+  // records), writes mixed in. Thread 1 works a disjoint region but
+  // shares the L3, so consumer-side L3 merge order matters.
+  const std::vector<uint64_t> NoPath;
+  Rng Gen(0x9151);
+  for (int Burst = 0; Burst != 6000; ++Burst) {
+    uint8_t Tid = Burst & 1;
+    uint64_t Base =
+        Gen.nextBelow(1 << 22) * 8 + (Tid ? (1ull << 30) : 1ull << 20);
+    unsigned Len = 1 + static_cast<unsigned>(Gen.nextBelow(24));
+    for (unsigned I = 0; I != Len; ++I) {
+      uint64_t Ea = Base + I * 8;
+      uint8_t Size = Gen.nextBelow(20) == 0 ? 16 : 8;
+      bool IsWrite = Gen.nextBelow(4) == 0;
+      uint64_t Ip = 0x4000 + (Burst & 255);
+      Q.noteAccess(Tid, Ip, Ea, Size, IsWrite, false, NoPath);
+      RefCycles[Tid] += Ref[Tid]->access(Ea, Size, IsWrite, Ip).Latency;
+    }
+  }
+  Q.close();
+  Pipe.finish();
+
+  EXPECT_EQ(Pipe.cyclesFor(0), RefCycles[0]);
+  EXPECT_EQ(Pipe.cyclesFor(1), RefCycles[1]);
+  cache::MemoryHierarchy *Got[2] = {&P0, &P1};
+  for (int T = 0; T != 2; ++T) {
+    EXPECT_EQ(Got[T]->l1().getHits(), Ref[T]->l1().getHits()) << "tid " << T;
+    EXPECT_EQ(Got[T]->l1().getMisses(), Ref[T]->l1().getMisses())
+        << "tid " << T;
+    EXPECT_EQ(Got[T]->l2().getHits(), Ref[T]->l2().getHits()) << "tid " << T;
+    EXPECT_EQ(Got[T]->l2().getMisses(), Ref[T]->l2().getMisses())
+        << "tid " << T;
+  }
+  EXPECT_EQ(PipeL3->getHits(), RefL3->getHits());
+  EXPECT_EQ(PipeL3->getMisses(), RefL3->getMisses());
+  EXPECT_GT(Pipe.consumerBatches(), 0u);
+  EXPECT_GT(Pipe.queueDepthMax(), 0u);
+}
+
+// Same shape with a capacity-floor ring and sync() every burst: the
+// producer repeatedly waits for full drains, exercising the
+// stall/publish/drain handshake from both sides.
+TEST(SimPipelineStress, SyncHeavyStreamStaysIdentical) {
+  cache::HierarchyConfig HC;
+  auto PipeL3 = std::make_unique<cache::SetAssocCache>(HC.L3);
+  cache::MemoryHierarchy P0(HC, PipeL3.get());
+  AccessQueue Q(1, P0.lineShift(), true); // Rounds up to the 1024 floor.
+  std::vector<SimPipeline::Lane> Lanes;
+  Lanes.push_back({&P0, nullptr});
+  SimPipeline Pipe(Q, std::move(Lanes), /*Threaded=*/true);
+  Pipe.start();
+
+  auto RefL3 = std::make_unique<cache::SetAssocCache>(HC.L3);
+  cache::MemoryHierarchy R0(HC, RefL3.get());
+  uint64_t RefCycles = 0;
+
+  const std::vector<uint64_t> NoPath;
+  Rng Gen(0x77);
+  for (int Burst = 0; Burst != 500; ++Burst) {
+    unsigned Len = 1 + static_cast<unsigned>(Gen.nextBelow(2048));
+    uint64_t Base = Gen.nextBelow(1 << 20) * 64;
+    for (unsigned I = 0; I != Len; ++I) {
+      uint64_t Ea = Base + I * 8;
+      Q.noteAccess(0, 0x4000, Ea, 8, false, false, NoPath);
+      RefCycles += R0.access(Ea, 8, false, 0x4000).Latency;
+    }
+    Q.sync(); // Alloc/Free-style barrier: ring fully drained here.
+  }
+  Q.close();
+  Pipe.finish();
+
+  EXPECT_EQ(Pipe.cyclesFor(0), RefCycles);
+  EXPECT_EQ(P0.l1().getHits(), R0.l1().getHits());
+  EXPECT_EQ(P0.l1().getMisses(), R0.l1().getMisses());
+  EXPECT_EQ(P0.l2().getHits(), R0.l2().getHits());
+  EXPECT_EQ(P0.l2().getMisses(), R0.l2().getMisses());
+  EXPECT_EQ(PipeL3->getHits(), RefL3->getHits());
+  EXPECT_EQ(PipeL3->getMisses(), RefL3->getMisses());
+}
+
+//===----------------------------------------------------------------------===//
+// Differential sweep: every paper workload, both interpreter cores.
+//===----------------------------------------------------------------------===//
+
+workloads::WorkloadRun runWith(const workloads::Workload &W,
+                               PipelineKind Pipeline, bool Reference) {
+  workloads::DriverConfig Cfg;
+  Cfg.Scale = 0.08;
+  Cfg.Run.Sampling.Period = 2000;
+  // Force the serial phase engine: the pipeline only applies there
+  // (the parallel engine has its own deferred-round machinery, covered
+  // by parallel_runtime_test).
+  Cfg.Run.Engine = EngineKind::Serial;
+  Cfg.Run.Pipeline = Pipeline;
+  Cfg.Run.ReferenceInterpreter = Reference;
+  // A small ring guarantees backpressure engages on every workload.
+  Cfg.Run.PipelineCapacity = 1 << 10;
+  transform::FieldMap Map(W.hotLayout());
+  return workloads::runWorkload(W, Map, Cfg, /*Attach=*/true);
+}
+
+TEST(PipelineDifferential, PaperWorkloadsDecoupledMatchesInlineOracle) {
+  for (const auto &W : workloads::makePaperWorkloads()) {
+    for (bool Reference : {false, true}) {
+      SCOPED_TRACE(W->name() +
+                   (Reference ? " [reference core]" : " [predecoded core]"));
+      workloads::WorkloadRun Oracle =
+          runWith(*W, PipelineKind::Inline, Reference);
+      workloads::WorkloadRun Decoupled =
+          runWith(*W, PipelineKind::Decoupled, Reference);
+      expectIdenticalRuns(Oracle.Result, Decoupled.Result);
+      EXPECT_EQ(profileText(Oracle.Merged), profileText(Decoupled.Merged));
+      // The two runs really took different paths: the oracle simulated
+      // inline (no drain batches), the decoupled run drained the ring.
+      EXPECT_EQ(Oracle.Result.ConsumerBatches, 0u);
+      EXPECT_GT(Decoupled.Result.ConsumerBatches, 0u);
+      EXPECT_GT(Oracle.Result.Samples, 0u);
+    }
+  }
+}
+
+// PipelineKind::Auto must resolve to the decoupled pipeline for
+// profiled serial phases and stay bit-identical to the inline oracle.
+TEST(PipelineDifferential, AutoResolvesToDecoupledAndStaysIdentical) {
+  auto W = workloads::makeTsp();
+  workloads::WorkloadRun Oracle = runWith(*W, PipelineKind::Inline, false);
+  workloads::WorkloadRun Auto = runWith(*W, PipelineKind::Auto, false);
+  expectIdenticalRuns(Oracle.Result, Auto.Result);
+  EXPECT_EQ(profileText(Oracle.Merged), profileText(Auto.Merged));
+  EXPECT_GT(Auto.Result.ConsumerBatches, 0u);
+}
+
+// The counter reporting path end to end: dumpProfiles stamps the run's
+// pipeline counters onto the first shard only, shard merging (rule:
+// max / sum / sum) reconstructs the run totals, and the in-memory
+// profiles themselves stay clean (they feed bit-identity comparisons).
+TEST(PipelineCounters, StampedShardMergeReproducesRunTotals) {
+  // runWorkload merges (and consumes) the per-thread profiles, so
+  // drive the runtime directly to keep RunResult::Profiles around.
+  auto W = workloads::makeTsp();
+  RunConfig Cfg;
+  Cfg.Sampling.Period = 2000;
+  Cfg.Pipeline = PipelineKind::Decoupled;
+  Cfg.PipelineCapacity = 1 << 10;
+  ThreadedRuntime RT(Cfg);
+  transform::FieldMap Map(W->hotLayout());
+  workloads::BuiltWorkload Built = W->build(RT.machine(), Map, /*Scale=*/0.08);
+  analysis::CodeMap CodeMap(*Built.Program);
+  for (const auto &Phase : Built.Phases)
+    RT.runPhase(*Built.Program, &CodeMap, Phase);
+  RunResult Run = RT.finish();
+
+  ASSERT_FALSE(Run.Profiles.empty());
+  ASSERT_GT(Run.ConsumerBatches, 0u);
+  for (const profile::Profile &P : Run.Profiles) {
+    EXPECT_EQ(P.QueueDepthMax, 0u);
+    EXPECT_EQ(P.ProducerStalls, 0u);
+    EXPECT_EQ(P.ConsumerBatches, 0u);
+  }
+
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::temp_directory_path() / "ss_pipeline_counters_test";
+  fs::remove_all(Dir);
+  fs::create_directories(Dir);
+  std::vector<std::string> Files =
+      runtime::dumpProfiles(Run.Profiles, Dir.string(), "tsp.", nullptr, &Run);
+  ASSERT_EQ(Files.size(), Run.Profiles.size());
+
+  std::vector<profile::Profile> Loaded;
+  for (const std::string &Name : Files) {
+    std::ifstream In(Name, std::ios::binary);
+    std::string Error;
+    auto P = profile::readProfile(In, &Error);
+    ASSERT_TRUE(P) << Name << ": " << Error;
+    Loaded.push_back(std::move(*P));
+  }
+  profile::Profile Merged = profile::mergeProfiles(std::move(Loaded), 1);
+  EXPECT_GT(Merged.TotalSamples, 0u);
+  EXPECT_EQ(Merged.QueueDepthMax, Run.QueueDepthMax);
+  EXPECT_EQ(Merged.ProducerStalls, Run.ProducerStalls);
+  EXPECT_EQ(Merged.ConsumerBatches, Run.ConsumerBatches);
+  fs::remove_all(Dir);
+}
+
+} // namespace

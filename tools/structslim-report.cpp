@@ -201,6 +201,12 @@ int main(int argc, char **argv) {
     return 1;
   }
   profile::Profile Merged = std::move(Load.Merged);
+  // Decoupled-pipeline health counters travel inside the profiles
+  // (merge rule: max/sum/sum), so the merged profile already holds the
+  // run totals; zero for inline-simulation runs and pre-pipeline shards.
+  Stats.QueueDepthMax = Merged.QueueDepthMax;
+  Stats.ProducerStalls = Merged.ProducerStalls;
+  Stats.ConsumerBatches = Merged.ConsumerBatches;
 
   Opts.Analysis.Jobs = Opts.Jobs;
   core::StructSlimAnalyzer Analyzer(Opts.Analysis);
