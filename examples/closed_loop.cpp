@@ -1,0 +1,55 @@
+//===- examples/closed_loop.cpp - Advice to measured speedup ---*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+//
+// The whole pipeline as one call: for a serial workload (ART) and a
+// parallel one (CLOMP), core::verifyWorkload profiles the original
+// program, runs the offline analyzer, converts the hot object's
+// SplitPlan into an actual rewrite — the IR-level split when the
+// allocation token permits it, the FieldMap source rebuild when the
+// splitter rejects (CLOMP's workers receive the array through a
+// mailbox, so its base pointer escapes and the splitter must refuse) —
+// and re-simulates under the identical cache hierarchy.
+//
+// The printed verdicts show what closing the loop adds over advice
+// alone: the measured speedup next to the BenefitModel's prediction,
+// per-level miss-rate reductions, and the semantic results_match check
+// that the rewritten program computed the same answers.
+//
+// Build & run:
+//   cmake --build build -j --target closed_loop
+//   ./build/examples/closed_loop
+//
+// The same loop is available from the command line over all seven
+// paper workloads as tools/structslim-verify.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ClosedLoop.h"
+#include "workloads/Registry.h"
+
+#include <iostream>
+
+using namespace structslim;
+
+int main() {
+  core::ClosedLoopConfig Config;
+  Config.Driver.Scale = 0.2; // Keep the demo under a second.
+
+  std::vector<std::unique_ptr<workloads::Workload>> Workloads;
+  Workloads.push_back(workloads::makeArt());   // Serial: IR-split path.
+  Workloads.push_back(workloads::makeClomp()); // Parallel: rebuild path.
+
+  core::VerifyReport Report = core::verifyWorkloads(Workloads, Config);
+  std::cout << core::renderVerifyText(Report);
+
+  for (const core::WorkloadVerdict &V : Report.Workloads) {
+    std::cout << "\n" << V.Name << " via " << core::applyModeName(V.Mode)
+              << ": " << V.Before.ElapsedCycles << " -> "
+              << V.After.ElapsedCycles << " cycles, plan:\n"
+              << core::renderSplitPlanJson(V.Plan) << "\n";
+  }
+  return Report.allOk() ? 0 : 1;
+}

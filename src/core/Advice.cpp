@@ -149,6 +149,27 @@ structslim::core::renderAdviceText(const SplitPlan &Plan,
   return Text;
 }
 
+std::string structslim::core::renderSplitPlanJson(const SplitPlan &Plan,
+                                                  const std::string &Indent) {
+  std::string Out;
+  Out += Indent + "{\n";
+  Out += Indent + "  \"object\": \"" + Plan.ObjectName + "\",\n";
+  Out += Indent + "  \"original_size\": " +
+         std::to_string(Plan.OriginalSize) + ",\n";
+  Out += Indent + "  \"split\": " + (Plan.isSplit() ? "true" : "false") +
+         ",\n";
+  Out += Indent + "  \"clusters\": [";
+  for (size_t C = 0; C != Plan.ClusterOffsets.size(); ++C) {
+    Out += C ? ", [" : "[";
+    for (size_t I = 0; I != Plan.ClusterOffsets[C].size(); ++I)
+      Out += (I ? ", " : "") + std::to_string(Plan.ClusterOffsets[C][I]);
+    Out += "]";
+  }
+  Out += "]\n";
+  Out += Indent + "}";
+  return Out;
+}
+
 std::string structslim::core::affinityGraphDot(const ObjectAnalysis &Analysis) {
   DotWriter Writer("affinity_" + Analysis.Name);
 

@@ -67,6 +67,13 @@ std::string renderAdviceText(const SplitPlan &Plan,
                              const ObjectAnalysis &Analysis,
                              const ir::StructLayout *Original = nullptr);
 
+/// The plan as one machine-readable JSON object (deterministic key
+/// order and formatting): {"object", "original_size", "split",
+/// "clusters": [[offsets...], ...]}. \p Indent prefixes every line,
+/// letting callers embed the object into a larger document.
+std::string renderSplitPlanJson(const SplitPlan &Plan,
+                                const std::string &Indent = "");
+
 /// Graphviz rendering of the affinity graph: nodes are fields, edge
 /// labels are A_ij, subgraph clusters are the suggested structures.
 std::string affinityGraphDot(const ObjectAnalysis &Analysis);

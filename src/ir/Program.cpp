@@ -93,6 +93,13 @@ uint32_t Program::makeToken(const std::string &Name) {
   return static_cast<uint32_t>(Tokens.size() - 1);
 }
 
+uint32_t Program::findToken(const std::string &Name) const {
+  for (uint32_t T = 1; T < Tokens.size(); ++T)
+    if (Tokens[T] == Name)
+      return T;
+  return 0;
+}
+
 size_t Function::countInstructions() const {
   size_t Count = 0;
   for (const auto &BB : Blocks)

@@ -152,6 +152,9 @@ public:
 
   /// Registers a data-object token name; returns its id (>= 1).
   uint32_t makeToken(const std::string &Name);
+  /// Token id registered under \p Name, or 0 (the "no token" id) when
+  /// no such token exists. With duplicates, the first registration wins.
+  uint32_t findToken(const std::string &Name) const;
   const std::string &getTokenName(uint32_t Token) const {
     return Tokens[Token];
   }

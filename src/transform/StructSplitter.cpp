@@ -5,6 +5,7 @@
 #include "transform/FieldMap.h"
 
 #include <map>
+#include <set>
 #include <vector>
 
 using namespace structslim;
@@ -56,10 +57,65 @@ struct SplitContext {
   std::map<ir::Reg, std::vector<ir::Reg>> GroupBases;
 };
 
+/// Safety pass over one function before any rewriting: the base
+/// register of every annotated allocation may only ever be used as the
+/// base of a token-annotated access or as the operand of Free. Any
+/// other use — stored as a value (publishing it to other threads or
+/// functions), passed to a callee, returned, copied, or fed into
+/// arithmetic — means the pointer escapes the pattern the rewriter
+/// understands; and a memory access through the base that lacks the
+/// token would keep the original layout after fission, silently
+/// reading garbage. Both cases must reject, not miscompile.
+bool checkFunction(const ir::Function &F, SplitContext &Ctx) {
+  std::set<ir::Reg> AllocRegs;
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs)
+      if (I.Op == Opcode::Alloc && I.Token == Ctx.Token)
+        AllocRegs.insert(I.Dst);
+  if (AllocRegs.empty())
+    return true;
+
+  auto Escapes = [&](ir::Reg R) { return R != NoReg && AllocRegs.count(R); };
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs) {
+      if (I.Op == Opcode::Free && Escapes(I.A))
+        continue; // Fissioned by the rewrite.
+      if (ir::isMemoryOp(I.Op)) {
+        if (I.Token != Ctx.Token && Escapes(I.A))
+          return Ctx.fail("access at ip " + std::to_string(I.Ip) +
+                          ": unannotated access through a split "
+                          "allocation's base pointer");
+        // An annotated access may use the base as its base operand
+        // only; as index or stored value it escapes like anywhere else.
+        if (Escapes(I.B) || Escapes(I.C))
+          return Ctx.fail("instruction at ip " + std::to_string(I.Ip) +
+                          ": allocation base pointer escapes (stored or "
+                          "used as a value); cross-function sharing is "
+                          "not rewritable");
+        continue;
+      }
+      if (Escapes(I.A) || Escapes(I.B) || Escapes(I.C))
+        return Ctx.fail("instruction at ip " + std::to_string(I.Ip) +
+                        ": allocation base pointer escapes (stored or "
+                        "used as a value); cross-function sharing is "
+                        "not rewritable");
+      for (ir::Reg Arg : I.Args)
+        if (Escapes(Arg))
+          return Ctx.fail("instruction at ip " + std::to_string(I.Ip) +
+                          ": allocation base pointer escapes into a "
+                          "call; cross-function sharing is not "
+                          "rewritable");
+    }
+  return true;
+}
+
 /// Rewrites one function in place. Returns false on diagnostics.
 bool rewriteFunction(ir::Program &P, ir::Function &F, SplitContext &Ctx) {
   uint64_t S = Ctx.Original.getSize();
   unsigned NumGroups = Ctx.Map.getNumGroups();
+
+  if (!checkFunction(F, Ctx))
+    return false;
 
   // Pass 1: find token-annotated allocations and fission them.
   for (auto &BB : F.Blocks) {

@@ -119,7 +119,7 @@ BuiltWorkload ClompWorkload::build(runtime::Machine &M,
     ProgramBuilder B(*Out.Program, Worker);
     ir::Reg Tid = 0; // Parameter register.
     B.setLine(320);
-    StructArray Zones = subscribeBases(B, Map, Mailbox, MailboxSlots);
+    StructArray Zones = subscribeBases(B, Map, "_Zone", Mailbox, MailboxSlots);
     Reg Part = B.constI(PartSize);
     Reg Head = B.mul(Tid, Part);
     Reg Acc = B.constI(0);

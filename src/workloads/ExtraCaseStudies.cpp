@@ -188,7 +188,7 @@ public:
       ProgramBuilder B(*Out.Program, Worker);
       Reg Tid = 0;
       B.setLine(60);
-      StructArray Points = subscribeBases(B, Map, Mailbox, 0);
+      StructArray Points = subscribeBases(B, Map, "point", Mailbox, 0);
       Reg Part = B.constI(PartSize);
       Reg Lo = B.mul(Tid, Part);
       Reg Hi = B.add(Lo, Part);

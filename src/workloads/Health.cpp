@@ -114,7 +114,7 @@ BuiltWorkload HealthWorkload::build(runtime::Machine &M,
     ProgramBuilder B(*Out.Program, Worker);
     ir::Reg Tid = 0;
     B.setLine(90);
-    StructArray Patients = subscribeBases(B, Map, Mailbox, 0);
+    StructArray Patients = subscribeBases(B, Map, "Patient", Mailbox, 0);
     Reg Part = B.constI(PartSize);
     Reg Head = B.mul(Tid, Part);
     Reg Acc = B.constI(0);

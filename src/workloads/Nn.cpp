@@ -93,7 +93,7 @@ BuiltWorkload NnWorkload::build(runtime::Machine &M,
     ProgramBuilder B(*Out.Program, Worker);
     ir::Reg Tid = 0;
     B.setLine(110);
-    StructArray Records = subscribeBases(B, Map, Mailbox, 0);
+    StructArray Records = subscribeBases(B, Map, "neighbor", Mailbox, 0);
     Reg Part = B.constI(PartSize);
     Reg Lo = B.mul(Tid, Part);
     Reg Hi = B.add(Lo, Part);

@@ -19,9 +19,14 @@ StructArray structslim::workloads::allocStructArray(
     const std::string &Name, int64_t Count) {
   StructArray Array;
   Array.Map = &Map;
+  ir::Program &P = B.getProgram();
+  Array.Token = P.findToken(Name);
+  if (Array.Token == 0)
+    Array.Token = P.makeToken(Name);
   for (unsigned G = 0; G != Map.getNumGroups(); ++G) {
     Reg Size = B.constI(Count * Map.getGroupSize(G));
-    Array.Bases.push_back(B.alloc(Size, Name + Map.groupSuffix(G)));
+    Array.Bases.push_back(
+        B.alloc(Size, Name + Map.groupSuffix(G), Array.Token));
   }
   return Array;
 }
@@ -37,10 +42,13 @@ void structslim::workloads::publishBases(ProgramBuilder &B,
 }
 
 StructArray structslim::workloads::subscribeBases(
-    ProgramBuilder &B, const transform::FieldMap &Map, uint64_t MailboxAddr,
-    unsigned FirstSlot) {
+    ProgramBuilder &B, const transform::FieldMap &Map,
+    const std::string &Name, uint64_t MailboxAddr, unsigned FirstSlot) {
   StructArray Array;
   Array.Map = &Map;
+  Array.Token = B.getProgram().findToken(Name);
+  if (Array.Token == 0)
+    Array.Token = B.getProgram().makeToken(Name);
   Reg Mailbox = B.constI(static_cast<int64_t>(MailboxAddr));
   for (unsigned G = 0; G != Map.getNumGroups(); ++G)
     Array.Bases.push_back(B.load(Mailbox, NoReg, 1,
@@ -59,7 +67,8 @@ Reg structslim::workloads::loadField(ProgramBuilder &B,
                                          Loc.Size > 8 ? 8 : Loc.Size);
   return B.load(Array.Bases[Loc.Group], Index,
                 Array.Map->getGroupSize(Loc.Group),
-                static_cast<int64_t>(Loc.Offset + InnerOffset), AccessSize);
+                static_cast<int64_t>(Loc.Offset + InnerOffset), AccessSize,
+                Array.Token);
 }
 
 void structslim::workloads::storeField(ProgramBuilder &B,
@@ -73,5 +82,6 @@ void structslim::workloads::storeField(ProgramBuilder &B,
                                          Loc.Size > 8 ? 8 : Loc.Size);
   B.store(Value, Array.Bases[Loc.Group], Index,
           Array.Map->getGroupSize(Loc.Group),
-          static_cast<int64_t>(Loc.Offset + InnerOffset), AccessSize);
+          static_cast<int64_t>(Loc.Offset + InnerOffset), AccessSize,
+          Array.Token);
 }

@@ -76,10 +76,17 @@ public:
 struct StructArray {
   const transform::FieldMap *Map = nullptr;
   std::vector<ir::Reg> Bases; ///< One base register per group.
+  /// Program token tying this array's allocations and accesses
+  /// together, so transform::splitArrayOfStructs can rewrite the built
+  /// program directly (the closed-loop pipeline). One token per object
+  /// name; the profiler never reads it.
+  uint32_t Token = 0;
 };
 
 /// Emits allocations (group 0 named \p Name, further groups suffixed)
-/// for \p Count elements and returns the base registers.
+/// for \p Count elements and returns the base registers. Every
+/// allocation and every later loadField/storeField through the
+/// returned array is annotated with the object's token.
 StructArray allocStructArray(ir::ProgramBuilder &B,
                              const transform::FieldMap &Map,
                              const std::string &Name, int64_t Count);
@@ -91,9 +98,14 @@ void publishBases(ir::ProgramBuilder &B, const StructArray &Array,
                   uint64_t MailboxAddr, unsigned FirstSlot);
 
 /// Loads group base addresses back from the mailbox (worker side).
+/// \p Name is the object name the publisher allocated under; it binds
+/// the worker's accesses to the same token, so the split transform
+/// sees (and rejects, as a cross-function escape) the shared-pointer
+/// pattern instead of silently rewriting only the allocating function.
 StructArray subscribeBases(ir::ProgramBuilder &B,
                            const transform::FieldMap &Map,
-                           uint64_t MailboxAddr, unsigned FirstSlot);
+                           const std::string &Name, uint64_t MailboxAddr,
+                           unsigned FirstSlot);
 
 /// Loads field \p Field of element \p Index. Fields wider than 8 bytes
 /// are accessed at \p InnerOffset with \p Size bytes (e.g. NN's char

@@ -258,6 +258,78 @@ TEST_P(SplitterProperty, RandomPartitionsPreserveSemantics) {
 
 INSTANTIATE_TEST_SUITE_P(Random, SplitterProperty, ::testing::Range(0, 15));
 
+// --- cloneProgram is a deep, faithful copy ---------------------------------
+//
+// The closed-loop rewriter rests on cloneProgram: the clone must be
+// bit-identical in text and ip space, behave identically under the
+// profiled runtime down to every serialized profile byte, and share no
+// mutable state with the original (mutating one never leaks into the
+// other).
+
+namespace {
+
+/// Runs \p P single-threaded with dense sampling; returns the return
+/// values plus every per-thread profile, serialized.
+std::pair<std::vector<uint64_t>, std::vector<std::string>>
+runProfiled(const ir::Program &P) {
+  runtime::RunConfig Cfg;
+  Cfg.Engine = runtime::EngineKind::Serial;
+  Cfg.Pipeline = runtime::PipelineKind::Inline;
+  Cfg.Sampling.Period = 128;
+  runtime::ThreadedRuntime RT(Cfg);
+  analysis::CodeMap CM(P);
+  runtime::ThreadSpec Spec;
+  Spec.FunctionId = P.getEntry();
+  RT.runPhase(P, &CM, {Spec});
+  runtime::RunResult Result = RT.finish();
+  std::vector<std::string> Serialized;
+  for (const profile::Profile &Prof : Result.Profiles)
+    Serialized.push_back(profile::profileToString(Prof));
+  return {Result.ReturnValues, std::move(Serialized)};
+}
+
+} // namespace
+
+class CloneProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CloneProperty, CloneIsDeepAndBitIdentical) {
+  Rng R(4242 + GetParam());
+  TokenProgram T = buildAoSProgram(32 + R.nextBelow(96));
+  auto Clone = transform::cloneProgram(*T.P);
+
+  // Bit-identical structure: text rendering, ip space, tables.
+  EXPECT_EQ(Clone->toString(), T.P->toString());
+  EXPECT_EQ(Clone->getIpEnd(), T.P->getIpEnd());
+  EXPECT_EQ(Clone->getEntry(), T.P->getEntry());
+  EXPECT_EQ(Clone->getNumTokens(), T.P->getNumTokens());
+
+  // Identical behavior under the profiled runtime, down to every byte
+  // of every serialized per-thread profile.
+  auto Original = runProfiled(*T.P);
+  auto Cloned = runProfiled(*Clone);
+  EXPECT_EQ(Original.first, Cloned.first);
+  EXPECT_EQ(Original.second, Cloned.second);
+
+  // No shared mutable state: a random mutation of one program is
+  // invisible to the other, in both directions.
+  std::string OriginalText = T.P->toString();
+  std::string CloneText = Clone->toString();
+  ir::Function &MutF = Clone->getFunction(0);
+  ir::Instr &Victim = MutF.Blocks.front()->Instrs.front();
+  Victim.Line += 1 + static_cast<uint32_t>(R.nextBelow(1 << 20));
+  EXPECT_EQ(T.P->toString(), OriginalText);
+
+  ir::Function &OrigF = T.P->getFunction(0);
+  OrigF.Blocks.front()->Instrs.front().Line += 1000;
+  EXPECT_NE(T.P->toString(), OriginalText);
+  EXPECT_NE(Clone->toString(), CloneText); // Our own mutation above...
+  std::string MutatedClone = Clone->toString();
+  OrigF.Blocks.front()->Instrs.front().Line -= 1000;
+  EXPECT_EQ(Clone->toString(), MutatedClone); // ...but not the original's.
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, CloneProperty, ::testing::Range(0, 10));
+
 // --- ProfileIO fuzz ------------------------------------------------------------
 
 class ProfileIoFuzz : public ::testing::TestWithParam<int> {};

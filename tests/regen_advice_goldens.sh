@@ -1,0 +1,21 @@
+#!/bin/sh
+# Regenerates the closed-loop golden files under tests/data/:
+#   advice_<workload>.golden  - pinned advice text + SplitPlan JSON
+#   golden_verify.json        - structslim-verify's JSON deltas
+# Run after an intentional change to sampling, analysis, clustering,
+# advice rendering, or the verify schema, then review the diff.
+#
+# Usage: tests/regen_advice_goldens.sh [build-dir]   (default: build)
+set -e
+BUILD_DIR="${1:-build}"
+if [ ! -x "$BUILD_DIR/tests/advice_golden_test" ] || \
+   [ ! -x "$BUILD_DIR/tests/verify_golden_test" ]; then
+  echo "error: build the test targets first:" >&2
+  echo "  cmake --build $BUILD_DIR -j --target advice_golden_test verify_golden_test" >&2
+  exit 1
+fi
+STRUCTSLIM_REGEN_GOLDENS=1 "$BUILD_DIR/tests/advice_golden_test" \
+  --gtest_filter='PaperWorkloads/AdviceGolden.*'
+STRUCTSLIM_REGEN_GOLDENS=1 "$BUILD_DIR/tests/verify_golden_test" \
+  --gtest_filter='VerifyGolden.SevenWorkloadJsonDeltasMatchGolden'
+echo "goldens regenerated under tests/data/ - review with git diff"

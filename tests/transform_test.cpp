@@ -239,21 +239,144 @@ TEST(StructSplitter, RejectsNonSplitPlan) {
 }
 
 TEST(StructSplitter, RejectsForeignBaseRegister) {
-  // An annotated access whose base is not the annotated allocation.
+  // An annotated access whose base was loaded from memory (the worker
+  // side of a published pointer): no annotated allocation defines it
+  // in this function, so the rewriter has no group bases to retarget
+  // the access to.
+  ir::Program P;
+  uint32_t Token = P.makeToken("s");
+  ir::Function &F = P.addFunction("main", 0);
+  ir::ProgramBuilder B(P, F);
+  Reg Mailbox = B.constI(0x1000);
+  Reg Base = B.load(Mailbox, NoReg, 1, 0, 8);
+  Reg Zero = B.constI(0);
+  B.load(Base, Zero, 32, 0, 8, Token);
+  B.ret();
+  std::string Before = P.toString();
+  std::string Error;
+  EXPECT_EQ(splitArrayOfStructs(P, Token, abcd(), acBdPlan(), &Error),
+            nullptr);
+  EXPECT_NE(Error.find("base register is not a token-annotated allocation"),
+            std::string::npos)
+      << Error;
+  EXPECT_EQ(P.toString(), Before); // Input program untouched.
+}
+
+TEST(StructSplitter, RejectsCopiedBasePointer) {
+  // Copying the allocation's base register defeats the rewriter: the
+  // copy would still point at the old interleaved layout.
   ir::Program P;
   uint32_t Token = P.makeToken("s");
   ir::Function &F = P.addFunction("main", 0);
   ir::ProgramBuilder B(P, F);
   Reg Bytes = B.constI(320);
   Reg Base = B.alloc(Bytes, "s", Token);
-  Reg Alias = B.move(Base); // Copies defeat the rewriter.
-  Reg Zero = B.constI(0);
-  B.load(Alias, Zero, 32, 0, 8, Token);
+  B.move(Base);
   B.ret();
+  std::string Before = P.toString();
   std::string Error;
   EXPECT_EQ(splitArrayOfStructs(P, Token, abcd(), acBdPlan(), &Error),
             nullptr);
-  EXPECT_NE(Error.find("base register"), std::string::npos);
+  EXPECT_NE(Error.find("escapes"), std::string::npos) << Error;
+  EXPECT_EQ(P.toString(), Before);
+}
+
+TEST(StructSplitter, RejectsPublishedBasePointer) {
+  // Storing the base pointer as a *value* (the mailbox publication the
+  // parallel workloads perform) shares it with code the rewriter
+  // cannot see; must reject, not silently rewrite one side.
+  ir::Program P;
+  uint32_t Token = P.makeToken("s");
+  ir::Function &F = P.addFunction("main", 0);
+  ir::ProgramBuilder B(P, F);
+  Reg Bytes = B.constI(320);
+  Reg Base = B.alloc(Bytes, "s", Token);
+  Reg Mailbox = B.constI(0x1000);
+  B.store(Base, Mailbox, NoReg, 1, 0, 8); // Publish: base as value.
+  B.ret();
+  std::string Before = P.toString();
+  std::string Error;
+  EXPECT_EQ(splitArrayOfStructs(P, Token, abcd(), acBdPlan(), &Error),
+            nullptr);
+  EXPECT_NE(Error.find("escapes (stored or used as a value)"),
+            std::string::npos)
+      << Error;
+  EXPECT_EQ(P.toString(), Before);
+}
+
+TEST(StructSplitter, RejectsBasePassedToCall) {
+  ir::Program P;
+  uint32_t Token = P.makeToken("s");
+  ir::Function &Callee = P.addFunction("use", 1);
+  {
+    ir::ProgramBuilder CB(P, Callee);
+    CB.ret();
+  }
+  ir::Function &F = P.addFunction("main", 0);
+  ir::ProgramBuilder B(P, F);
+  Reg Bytes = B.constI(320);
+  Reg Base = B.alloc(Bytes, "s", Token);
+  B.call(Callee, {Base});
+  B.ret();
+  P.setEntry(F.Id);
+  std::string Before = P.toString();
+  std::string Error;
+  EXPECT_EQ(splitArrayOfStructs(P, Token, abcd(), acBdPlan(), &Error),
+            nullptr);
+  EXPECT_NE(Error.find("escapes into a call"), std::string::npos) << Error;
+  EXPECT_EQ(P.toString(), Before);
+}
+
+TEST(StructSplitter, RejectsUnannotatedAccessThroughBase) {
+  // A plain load through the annotated allocation's base would keep
+  // the original 32-byte stride after fission and read garbage.
+  ir::Program P;
+  uint32_t Token = P.makeToken("s");
+  ir::Function &F = P.addFunction("main", 0);
+  ir::ProgramBuilder B(P, F);
+  Reg Bytes = B.constI(320);
+  Reg Base = B.alloc(Bytes, "s", Token);
+  Reg Zero = B.constI(0);
+  B.load(Base, Zero, 32, 0, 8); // No token.
+  B.ret();
+  std::string Before = P.toString();
+  std::string Error;
+  EXPECT_EQ(splitArrayOfStructs(P, Token, abcd(), acBdPlan(), &Error),
+            nullptr);
+  EXPECT_NE(Error.find("unannotated access"), std::string::npos) << Error;
+  EXPECT_EQ(P.toString(), Before);
+}
+
+TEST(StructSplitter, RejectsOutOfBoundsDisplacement) {
+  ir::Program P;
+  uint32_t Token = P.makeToken("s");
+  ir::Function &F = P.addFunction("main", 0);
+  ir::ProgramBuilder B(P, F);
+  Reg Bytes = B.constI(320);
+  Reg Base = B.alloc(Bytes, "s", Token);
+  Reg Zero = B.constI(0);
+  B.load(Base, Zero, 32, 40, 8, Token); // 40 >= sizeof(s) == 32.
+  B.ret();
+  std::string Before = P.toString();
+  std::string Error;
+  EXPECT_EQ(splitArrayOfStructs(P, Token, abcd(), acBdPlan(), &Error),
+            nullptr);
+  EXPECT_NE(Error.find("displacement outside the structure"),
+            std::string::npos)
+      << Error;
+  EXPECT_EQ(P.toString(), Before);
+}
+
+TEST(StructSplitter, RejectsZeroSizeLayout) {
+  TokenProgram T = buildTokenProgram(10);
+  ir::StructLayout Empty("s");
+  Empty.finalize();
+  std::string Before = T.P->toString();
+  std::string Error;
+  EXPECT_EQ(splitArrayOfStructs(*T.P, T.Token, Empty, acBdPlan(), &Error),
+            nullptr);
+  EXPECT_NE(Error.find("zero size"), std::string::npos) << Error;
+  EXPECT_EQ(T.P->toString(), Before);
 }
 
 TEST(StructSplitter, RejectsMisalignedScale) {
