@@ -18,6 +18,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "HostFeatures.h"
 #include "core/Report.h"
 #include "support/Format.h"
 #include "support/Random.h"
@@ -137,6 +138,7 @@ int main(int argc, char **argv) {
 
   std::ofstream Json(JsonPath);
   Json << "{\n  \"bench\": \"micro_analyzer\",\n"
+       << hostFeatureJsonFields()
        << "  \"host_hardware_concurrency\": " << HostCores << ",\n"
        << "  \"objects\": " << Objects << ",\n"
        << "  \"streams_per_object\": " << Streams << ",\n"

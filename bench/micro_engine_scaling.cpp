@@ -18,6 +18,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "HostFeatures.h"
 #include "analysis/CodeMap.h"
 #include "ir/ProgramBuilder.h"
 #include "runtime/ThreadedRuntime.h"
@@ -154,9 +155,10 @@ int main(int argc, char **argv) {
 
   TablePrinter Table;
   Table.setHeader({"threads", "serial s", "parallel s", "speedup",
-                   "Maccess/s par", "identical"});
+                   "Maccess/s par", "identical", "oversub"});
   std::ofstream Json(JsonPath);
   Json << "{\n  \"bench\": \"micro_engine_scaling\",\n"
+       << hostFeatureJsonFields()
        << "  \"host_hardware_concurrency\": " << HostCores << ",\n"
        << "  \"effective_worker_threads\": " << WorkerThreads << ",\n"
        << "  \"oversubscribed\": " << (Oversubscribed ? "true" : "false")
@@ -173,6 +175,17 @@ int main(int argc, char **argv) {
     Measured Serial = runOnce(runtime::EngineKind::Serial, Threads, N, Reps);
     Measured Parallel =
         runOnce(runtime::EngineKind::Parallel, Threads, N, Reps);
+    // This point runs `Threads` OS workers (plus lane consumers when
+    // the decoupled pipeline engaged); flag it individually when the
+    // workers alone already exceed the host's cores, so readers can
+    // discount its speedup without consulting the global warning.
+    bool PointOversubscribed = Threads > (HostCores ? HostCores : 1);
+    // Whether the *per-lane* pipeline ran the multithreaded phase (the
+    // serial main phase decouples under Auto regardless, so the run's
+    // ConsumerBatches alone cannot distinguish the two): Auto engages
+    // lanes only when a parallel phase actually ran on a multi-thread
+    // worker budget (mode 0 holds for this bench's hierarchy).
+    bool LanesEngaged = Parallel.R.ParallelPhases > 0 && WorkerThreads > 1;
 
     bool Identical =
         Serial.R.ElapsedCycles == Parallel.R.ElapsedCycles &&
@@ -196,13 +209,18 @@ int main(int argc, char **argv) {
                   formatDouble(Parallel.Seconds, 3),
                   formatDouble(Speedup, 2) + "x",
                   formatDouble(MAccess, 1),
-                  Identical ? "yes" : "NO"});
+                  Identical ? "yes" : "NO",
+                  PointOversubscribed ? "yes" : "no"});
 
     Json << "    {\"threads\": " << Threads
          << ", \"serial_seconds\": " << Serial.Seconds
          << ", \"parallel_seconds\": " << Parallel.Seconds
          << ", \"speedup\": " << Speedup
-         << ", \"identical\": " << (Identical ? "true" : "false") << "}"
+         << ", \"identical\": " << (Identical ? "true" : "false")
+         << ", \"oversubscribed\": "
+         << (PointOversubscribed ? "true" : "false")
+         << ", \"decoupled_lanes\": " << (LanesEngaged ? "true" : "false")
+         << "}"
          << (W + 1 != sizeof(Widths) / sizeof(*Widths) ? "," : "") << "\n";
   }
   Json << "  ]\n}\n";

@@ -19,6 +19,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "HostFeatures.h"
 #include "analysis/CodeMap.h"
 #include "ir/ProgramBuilder.h"
 #include "profile/ProfileIO.h"
@@ -237,6 +238,7 @@ int main(int argc, char **argv) {
 
   std::ofstream Json(JsonPath);
   Json << "{\n  \"bench\": \"micro_interpreter\",\n"
+       << hostFeatureJsonFields()
        << "  \"slots\": " << N << ",\n  \"reps\": " << Reps << ",\n"
        << "  \"instructions\": " << RefDet.R.Instructions << ",\n"
        << "  \"reference_detached_ips\": " << ips(RefDet) << ",\n"

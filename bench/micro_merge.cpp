@@ -26,6 +26,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "HostFeatures.h"
 #include "profile/MergeTree.h"
 #include "profile/ProfileIO.h"
 #include "support/Format.h"
@@ -225,6 +226,7 @@ int main(int argc, char **argv) {
 
   std::string Json;
   Json += "{\n  \"bench\": \"micro_merge\",\n";
+  Json += hostFeatureJsonFields();
   Json += "  \"host_hardware_concurrency\": " + std::to_string(HostCores) +
           ",\n";
   Json += "  \"objects_per_shard\": " + std::to_string(Objects) + ",\n";

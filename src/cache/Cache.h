@@ -24,6 +24,8 @@
 #ifndef STRUCTSLIM_CACHE_CACHE_H
 #define STRUCTSLIM_CACHE_CACHE_H
 
+#include "support/Simd.h"
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -135,6 +137,17 @@ public:
   }
 
   void resetCounters() { Hits = Misses = PrefetchFills = 0; }
+
+  /// Vector tier accessBatch's way probe dispatches to right now
+  /// (compile-time tier of the Cache.cpp TU, demoted to Scalar when
+  /// forced off). Diagnostics only.
+  static support::simd::Level batchProbeLevel();
+
+  /// Order-independent digest of the complete replacement state (tags,
+  /// ages, set ticks) plus the hit/miss counters. Two caches that
+  /// processed identical access sequences hash equal; the SIMD
+  /// differential tests compare these.
+  uint64_t stateHash() const;
 
 private:
   // Sets are indexed by modulo so non-power-of-two geometries (like a

@@ -344,7 +344,8 @@ std::string structslim::core::renderJsonReport(
   OS << "  \"pipeline\": {\n";
   OS << "    \"queue_depth_max\": " << Stats.QueueDepthMax << ",\n";
   OS << "    \"producer_stalls\": " << Stats.ProducerStalls << ",\n";
-  OS << "    \"consumer_batches\": " << Stats.ConsumerBatches << "\n";
+  OS << "    \"consumer_batches\": " << Stats.ConsumerBatches << ",\n";
+  OS << "    \"queue_capacity\": " << Stats.PipelineCapacity << "\n";
   OS << "  }\n";
   OS << "}\n";
   return OS.str();
@@ -369,10 +370,14 @@ std::string structslim::core::renderStatsText(const AnalysisResult &Result,
   OS << "render:  " << formatDouble(Stats.RenderSeconds, 6) << "s\n";
   // Only decoupled-pipeline runs record these; keep inline-run output
   // byte-for-byte what it was before the counters existed.
-  if (Stats.ConsumerBatches)
+  if (Stats.ConsumerBatches) {
     OS << "pipeline: max queue depth " << Stats.QueueDepthMax
        << ", producer stalls " << Stats.ProducerStalls
-       << ", consumer batches " << Stats.ConsumerBatches << "\n";
+       << ", consumer batches " << Stats.ConsumerBatches;
+    if (Stats.PipelineCapacity)
+      OS << ", queue capacity " << Stats.PipelineCapacity;
+    OS << "\n";
+  }
   if (Result.Stats.SkippedInconsistentStreams)
     OS << "skipped inconsistent streams: "
        << Result.Stats.SkippedInconsistentStreams << "\n";

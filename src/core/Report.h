@@ -49,6 +49,8 @@ struct ReportStats {
   uint64_t QueueDepthMax = 0;
   uint64_t ProducerStalls = 0;
   uint64_t ConsumerBatches = 0;
+  /// Resolved per-lane queue capacity (records); max across shards.
+  uint64_t PipelineCapacity = 0;
 };
 
 /// Hot data objects ranked by l_d (Eq. 1). When \p CodeMap is given,

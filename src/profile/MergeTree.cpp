@@ -195,16 +195,17 @@ MergeLoadResult loadStreaming(const std::vector<std::string> &Files,
       std::string Error;
       std::optional<Profile> P = readProfileFile(Files[I], &Error);
       double Seconds = secondsSince(Start);
-      {
-        std::lock_guard<std::mutex> Lock(Mutex);
-        Slots[I].P = std::move(P);
-        Slots[I].Error = std::move(Error);
-        Slots[I].Seconds = Seconds;
-        Slots[I].Done = true;
-        ++Completed;
-        if (Slots[I].P)
-          ++ResidentDecoded;
-      }
+      // Notify under the lock: the coordinator destroys SlotDone as
+      // soon as it sees Completed == Issued, so an unlocked notify
+      // could land on a dead condvar.
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Slots[I].P = std::move(P);
+      Slots[I].Error = std::move(Error);
+      Slots[I].Seconds = Seconds;
+      Slots[I].Done = true;
+      ++Completed;
+      if (Slots[I].P)
+        ++ResidentDecoded;
       SlotDone.notify_all();
     });
   };

@@ -114,6 +114,7 @@ void Profile::mergeBody(const Profile &Other,
   QueueDepthMax = std::max(QueueDepthMax, Other.QueueDepthMax);
   ProducerStalls += Other.ProducerStalls;
   ConsumerBatches += Other.ConsumerBatches;
+  PipelineCapacity = std::max(PipelineCapacity, Other.PipelineCapacity);
   if (SamplePeriod == 0)
     SamplePeriod = Other.SamplePeriod;
   Contexts.merge(Other.Contexts);

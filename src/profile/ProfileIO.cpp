@@ -279,6 +279,7 @@ static std::string profileToStringV3(const Profile &P) {
     appendVarint(Out, P.QueueDepthMax);
     appendVarint(Out, P.ProducerStalls);
     appendVarint(Out, P.ConsumerBatches);
+    appendVarint(Out, P.PipelineCapacity);
     Counts[V3Meta] = 1;
   }
 
@@ -678,6 +679,10 @@ static std::optional<Profile> readProfileV3(std::string_view Data,
       P.QueueDepthMax = R.readVarint();
       P.ProducerStalls = R.readVarint();
       P.ConsumerBatches = R.readVarint();
+      if (R.ok() && !R.atEnd())
+        // Second extension step: the resolved access-queue capacity.
+        // Files from the first extension end after eleven fields.
+        P.PipelineCapacity = R.readVarint();
     }
     if (!R.ok() || ThreadId > 0xffffffffull)
       return SectionFail(V3Meta, "record malformed");

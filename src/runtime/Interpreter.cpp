@@ -96,8 +96,26 @@ void Interpreter::enterBlock(const ir::BasicBlock &BB) {
 
 uint64_t Interpreter::memAccess(uint64_t Ip, uint64_t Ea, uint8_t Size,
                                 bool IsWrite, uint64_t StoreValue) {
-  if (Defer && Defer->RoundMode == DeferredRound::Mode::Buffered)
+  if (Defer && Defer->RoundMode == DeferredRound::Mode::Buffered) {
+    if (Queue) {
+      // Decoupled parallel engine, concurrent part of the round: the
+      // simulation record goes to this thread's lane ring (the PMU
+      // period counter ticks now — outcome-independent, so the serial
+      // jitter draw order is preserved), while the functional effects
+      // buffer exactly as in the deferred path: stores land in the
+      // private overlay, loads record their shared-memory ranges for
+      // the barrier's cross-thread conflict check.
+      ++Stats.MemoryAccesses;
+      bool Sampled = Pmu && Pmu->tick(IsWrite);
+      Queue->noteAccess(QTid, Ip, Ea, Size, IsWrite, Sampled, CallPath);
+      if (IsWrite) {
+        storeBuffered(Ea, Size, StoreValue);
+        return 0;
+      }
+      return loadBuffered(Ea, Size);
+    }
     return memAccessBuffered(Ip, Ea, Size, IsWrite, StoreValue);
+  }
 
   if (Queue) {
     // Decoupled pipeline: tick the PMU now (the selection is
@@ -110,6 +128,9 @@ uint64_t Interpreter::memAccess(uint64_t Ip, uint64_t Ea, uint8_t Size,
     Queue->noteAccess(QTid, Ip, Ea, Size, IsWrite, Sampled, CallPath);
     if (IsWrite) {
       PageCache.write(Ea, Size, StoreValue);
+      if (Defer) // Committing-mode remainder of a parallel round: later
+                 // threads' conflict checks must see this footprint.
+        Defer->WriteRanges.emplace_back(Ea, Size);
       return 0;
     }
     return PageCache.read(Ea, Size);

@@ -118,8 +118,11 @@ public:
   /// inline (the PMU period counter still ticks here, preserving the
   /// jitter draw order). The serializing Alloc/Free opcodes sync the
   /// queue first, so delivery-time DataObjectTable lookups observe the
-  /// serial schedule's state. Mutually exclusive with a TraceSink and
-  /// with the parallel engine's DeferredRound.
+  /// serial schedule's state. Mutually exclusive with a TraceSink.
+  /// Combined with a DeferredRound (the decoupled parallel engine),
+  /// records stream to the queue while functional effects still buffer
+  /// in the round: overlay stores, conflict-check read/write ranges,
+  /// and the Alloc/Free pause all behave as in the deferred path.
   void setAccessQueue(AccessQueue *Q, uint8_t Tid) {
     Queue = Q;
     QTid = Tid;

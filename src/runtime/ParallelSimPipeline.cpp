@@ -1,0 +1,365 @@
+//===- runtime/ParallelSimPipeline.cpp ------------------------*- C++ -*-===//
+
+#include "runtime/ParallelSimPipeline.h"
+
+#include "support/Error.h"
+
+using namespace structslim;
+using namespace structslim::runtime;
+
+void ParallelSimPipeline::LaneState::drainInline() {
+  while (Owner->drainLane(Index)) {
+  }
+}
+
+void ParallelSimPipeline::LaneState::syncDelivered() {
+  Owner->laneSyncDelivered(Index);
+}
+
+ParallelSimPipeline::ParallelSimPipeline(std::vector<AccessQueue *> Queues,
+                                         std::vector<Lane> SimLanes,
+                                         bool Threaded)
+    : Threaded(Threaded) {
+  if (Queues.empty() || Queues.size() != SimLanes.size())
+    fatalError("parallel sim pipeline needs one queue per lane");
+  LineShift = SimLanes[0].Hierarchy->lineShift();
+  if (SimLanes[0].Hierarchy->mode() != 0)
+    fatalError("parallel sim pipeline requires hierarchy mode 0");
+  MergedEnd.assign(Queues.size(), 0);
+  Lanes.reserve(Queues.size());
+  for (size_t T = 0; T != Queues.size(); ++T) {
+    auto L = std::make_unique<LaneState>();
+    L->Owner = this;
+    L->Index = T;
+    L->Q = Queues[T];
+    L->Hierarchy = SimLanes[T].Hierarchy;
+    L->Pmu = SimLanes[T].Pmu;
+    Lanes.push_back(std::move(L));
+  }
+}
+
+ParallelSimPipeline::~ParallelSimPipeline() { finish(); }
+
+void ParallelSimPipeline::start() {
+  for (auto &L : Lanes) {
+    L->Q->setSyncHook(L.get());
+    // Without dedicated workers the producer drains its own ring into
+    // staging on backpressure (and the barrier drains the remainder).
+    if (!Threaded)
+      L->Q->setDrainHook(L.get());
+  }
+  if (Threaded) {
+    for (auto &L : Lanes)
+      L->Worker = std::thread([this, T = L->Index] { workerLoop(T); });
+    Merge = std::thread([this] { mergeLoop(); });
+  }
+}
+
+void ParallelSimPipeline::commitLane(size_t T) {
+  LaneState &L = *Lanes[T];
+  L.Q->publishAll();
+  uint64_t End = L.Q->publishedEnd();
+  if (!Threaded) {
+    while (drainLane(T)) {
+    }
+    pushSegment(T, End);
+    mergeAll();
+    return;
+  }
+  pushSegment(T, End);
+}
+
+void ParallelSimPipeline::finish() {
+  if (Finished)
+    return;
+  Finished = true;
+  for (auto &L : Lanes)
+    L->Q->close();
+  // Safety net: cover any records produced after the last barrier
+  // (there should be none, but an uncovered tail would silently skew
+  // cycle totals).
+  for (auto &L : Lanes)
+    pushSegment(L->Index, L->Q->publishedEnd());
+  if (Threaded) {
+    for (auto &L : Lanes)
+      if (L->Worker.joinable())
+        L->Worker.join();
+    {
+      std::lock_guard<std::mutex> Lk(MergeM);
+      Closed = true;
+    }
+    MergeCv.notify_all();
+    if (Merge.joinable())
+      Merge.join();
+  } else {
+    for (auto &L : Lanes)
+      while (drainLane(L->Index)) {
+      }
+    mergeAll();
+  }
+  for (auto &L : Lanes) {
+    L->Q->setSyncHook(nullptr);
+    L->Q->setDrainHook(nullptr);
+  }
+}
+
+uint64_t ParallelSimPipeline::cyclesFor(size_t T) const {
+  return Lanes[T]->Cycles;
+}
+
+uint64_t ParallelSimPipeline::queueDepthMax() const {
+  uint64_t Max = 0;
+  for (const auto &L : Lanes)
+    Max = std::max(Max, L->DepthMax);
+  return Max;
+}
+
+uint64_t ParallelSimPipeline::consumerBatches() const {
+  uint64_t Sum = 0;
+  for (const auto &L : Lanes)
+    Sum += L->Batches;
+  return Sum;
+}
+
+void ParallelSimPipeline::workerLoop(size_t T) {
+  LaneState &L = *Lanes[T];
+  for (;;) {
+    if (drainLane(T))
+      continue;
+    if (L.Q->isClosed()) {
+      // close() published before the flag store; one more sweep picks
+      // up the final records.
+      while (drainLane(T)) {
+      }
+      return;
+    }
+    std::this_thread::yield();
+  }
+}
+
+bool ParallelSimPipeline::drainLane(size_t T) {
+  LaneState &L = *Lanes[T];
+  AccessQueue &Q = *L.Q;
+  size_t N = Q.available();
+  if (N == 0)
+    return false;
+  if (N > L.DepthMax)
+    L.DepthMax = N;
+  ++L.Batches;
+
+  // Pass 1: expand records into line ops (lane-local index space) and
+  // stage one StagedRec per ring slot — path slots ride along 1:1 so
+  // the staging cursor stays aligned with the ring's record cursor.
+  L.Ops.clear();
+  L.Pend.clear();
+  L.Local.clear();
+  uint32_t Gi = 0;
+  for (size_t I = 0; I != N; ++I) {
+    AccessRec &R = Q.at(I);
+    StagedRec SR;
+    SR.R = R;
+    SR.Lv[0] = SR.Lv[1] = PendingLv;
+    if (R.Kind == RecRun) {
+      L.Ops.push_back({R.A, R.Count - 1, Gi++});
+      L.Local.push_back(SR);
+      continue;
+    }
+    uint64_t First = R.A >> LineShift;
+    uint64_t Last = (R.A + R.Size - 1) >> LineShift;
+    L.Ops.push_back({First, 0, Gi++});
+    if (Last != First)
+      L.Ops.push_back({Last, 0, Gi++});
+    L.Local.push_back(SR);
+    if (R.Kind == RecSampled) {
+      size_t PathRecs = (R.Count + 1) / 2;
+      for (size_t P = 0; P != PathRecs; ++P) {
+        StagedRec PS;
+        PS.R = Q.at(I + 1 + P);
+        PS.Lv[0] = PS.Lv[1] = 0;
+        L.Local.push_back(PS);
+      }
+      I += PathRecs;
+    }
+  }
+
+  // Pass 2: private L1/L2, batched (set-grouped lookups). Lines that
+  // miss both private levels keep the PendingLv sentinel — the merge
+  // probes the shared L3 for them in serial order.
+  L.OpLevel.assign(Gi, static_cast<cache::MemLevel>(PendingLv));
+  if (!L.Ops.empty())
+    L.Hierarchy->simulateLines(L.Ops.data(), L.Ops.size(), L.OpLevel.data(),
+                               L.Pend);
+
+  // Pass 3: write resolved levels back onto the staged records (the op
+  // cursor advances exactly as in pass 1).
+  Gi = 0;
+  for (StagedRec &SR : L.Local) {
+    AccessRec &R = SR.R;
+    if (R.Kind == RecPath)
+      continue;
+    if (R.Kind == RecRun) {
+      SR.Lv[0] = static_cast<uint8_t>(L.OpLevel[Gi++]);
+      continue;
+    }
+    uint64_t First = R.A >> LineShift;
+    uint64_t Last = (R.A + R.Size - 1) >> LineShift;
+    SR.Lv[0] = static_cast<uint8_t>(L.OpLevel[Gi++]);
+    if (Last != First)
+      SR.Lv[1] = static_cast<uint8_t>(L.OpLevel[Gi++]);
+  }
+
+  {
+    std::lock_guard<std::mutex> Lk(L.M);
+    L.Staged.insert(L.Staged.end(), L.Local.begin(), L.Local.end());
+    L.StagedEnd += N;
+  }
+  L.Cv.notify_all();
+  Q.pop(N);
+  return true;
+}
+
+void ParallelSimPipeline::pushSegment(size_t T, uint64_t End) {
+  {
+    std::lock_guard<std::mutex> Lk(MergeM);
+    Segments.push_back({static_cast<uint32_t>(T), End});
+  }
+  MergeCv.notify_all();
+}
+
+void ParallelSimPipeline::laneSyncDelivered(size_t T) {
+  // Runs on the runtime thread, inside the barrier's Committing-mode
+  // remainder, right before an Alloc/Free mutates state the merge
+  // reads at delivery time. Everything this lane published so far is
+  // earlier in serial order than the mutation; later lanes' segments
+  // have not been pushed yet, so waiting for this segment suffices.
+  LaneState &L = *Lanes[T];
+  uint64_t End = L.Q->publishedEnd();
+  if (!Threaded) {
+    while (drainLane(T)) {
+    }
+    pushSegment(T, End);
+    mergeAll();
+    return;
+  }
+  pushSegment(T, End);
+  std::unique_lock<std::mutex> Lk(MergeM);
+  MergeCv.wait(Lk, [&] { return MergedEnd[T] >= End; });
+}
+
+void ParallelSimPipeline::mergeLoop() {
+  for (;;) {
+    Segment S;
+    {
+      std::unique_lock<std::mutex> Lk(MergeM);
+      MergeCv.wait(Lk, [&] { return !Segments.empty() || Closed; });
+      if (Segments.empty())
+        return;
+      S = Segments.front();
+      Segments.pop_front();
+    }
+    mergeSegment(S.Lane, S.End);
+    {
+      std::lock_guard<std::mutex> Lk(MergeM);
+      if (S.End > MergedEnd[S.Lane])
+        MergedEnd[S.Lane] = S.End;
+    }
+    MergeCv.notify_all();
+  }
+}
+
+void ParallelSimPipeline::mergeAll() {
+  for (;;) {
+    Segment S;
+    {
+      std::lock_guard<std::mutex> Lk(MergeM);
+      if (Segments.empty())
+        return;
+      S = Segments.front();
+      Segments.pop_front();
+    }
+    mergeSegment(S.Lane, S.End);
+    {
+      std::lock_guard<std::mutex> Lk(MergeM);
+      if (S.End > MergedEnd[S.Lane])
+        MergedEnd[S.Lane] = S.End;
+    }
+  }
+}
+
+void ParallelSimPipeline::mergeSegment(size_t LaneIdx, uint64_t End) {
+  LaneState &L = *Lanes[LaneIdx];
+  if (End <= L.MergedLocal)
+    return; // Duplicate cut (e.g. sync followed by barrier commit).
+  size_t Count = static_cast<size_t>(End - L.MergedLocal);
+  MergeScratch.clear();
+  {
+    std::unique_lock<std::mutex> Lk(L.M);
+    L.Cv.wait(Lk, [&] { return L.StagedEnd >= End; });
+    MergeScratch.assign(L.Staged.begin(), L.Staged.begin() + Count);
+    L.Staged.erase(L.Staged.begin(), L.Staged.begin() + Count);
+  }
+  L.MergedLocal = End;
+
+  // Replay: shared-L3 probes for pending lines in staged (= lane
+  // production = serial within-quantum) order, cycle accrual with the
+  // straddle slower-line rule, and parked sample delivery — mirroring
+  // SimPipeline's pass 4.
+  cache::SetAssocCache &L3 = L.Hierarchy->l3();
+  const cache::HierarchyConfig &C = L.Hierarchy->getConfig();
+  const unsigned Lat[4] = {C.L1.HitLatency, C.L2.HitLatency, C.L3.HitLatency,
+                           C.DramLatency};
+  auto Resolve = [&](uint8_t Lv, uint64_t Line) -> size_t {
+    if (Lv != PendingLv)
+      return Lv;
+    return L3.access(Line) ? static_cast<size_t>(cache::MemLevel::L3)
+                           : static_cast<size_t>(cache::MemLevel::Dram);
+  };
+  for (size_t I = 0; I != MergeScratch.size(); ++I) {
+    StagedRec &SR = MergeScratch[I];
+    AccessRec &R = SR.R;
+    if (R.Kind == RecPath)
+      continue; // Unreachable (groups are skipped below); be safe.
+    if (R.Kind == RecRun) {
+      // First access at its resolved level, then Count-1 L1 hits.
+      size_t Lv = Resolve(SR.Lv[0], R.A);
+      L.Cycles += Lat[Lv] + static_cast<uint64_t>(R.Count - 1) * Lat[0];
+      continue;
+    }
+    uint64_t First = R.A >> LineShift;
+    uint64_t Last = (R.A + R.Size - 1) >> LineShift;
+    size_t Lv0 = Resolve(SR.Lv[0], First);
+    cache::MemLevel Served = static_cast<cache::MemLevel>(Lv0);
+    unsigned Latency = Lat[Lv0];
+    if (Last != First) {
+      // Straddling access: the slower line dominates (ties keep the
+      // first line's level) — accessSlow()'s combine rule.
+      size_t Lv1 = Resolve(SR.Lv[1], Last);
+      if (Lat[Lv1] > Latency) {
+        Served = static_cast<cache::MemLevel>(Lv1);
+        Latency = Lat[Lv1];
+      }
+    }
+    L.Cycles += Latency;
+    if (R.Kind == RecSampled) {
+      uint32_t Words = R.Count;
+      size_t PathRecs = (Words + 1) / 2;
+      PathScratch.clear();
+      for (size_t P = 0; P != PathRecs; ++P) {
+        AccessRec &PR = MergeScratch[I + 1 + P].R;
+        PathScratch.push_back(PR.A);
+        if (PathScratch.size() < Words)
+          PathScratch.push_back(PR.B);
+      }
+      pmu::AddressSample S;
+      S.Ip = R.B;
+      S.EffAddr = R.A;
+      S.AccessSize = R.Size;
+      S.Latency = Latency;
+      S.Served = Served;
+      S.IsWrite = (R.Flags & 1) != 0;
+      S.TlbMiss = false;
+      L.Pmu->deliverDeferred(S, PathScratch.data(), Words);
+      I += PathRecs;
+    }
+  }
+}

@@ -1,0 +1,181 @@
+//===- runtime/ParallelSimPipeline.h - Per-lane decoupled sim --*- C++ -*-===//
+//
+// Part of the StructSlim reproduction of Roy & Liu, CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decoupled sample pipeline for the parallel phase engine
+/// (DESIGN.md Sec. 14). Each phase thread produces access records into
+/// its own SpscRing-backed AccessQueue lane; per-lane worker threads
+/// drain the rings and simulate the private L1/L2 immediately (private
+/// caches never cross lanes), parking each record — annotated with its
+/// resolved serving level or a pending-L3 mark — in an unbounded
+/// staging FIFO. A single merge stage then consumes the staged records
+/// *segment by segment*: the round barrier, committing lanes in
+/// thread-id order, appends one segment per lane (a cut of that lane's
+/// ring at its current published index) to a global segment queue, and
+/// the segment append order IS the serial schedule. The merge replays
+/// pending lines against the shared L3 and delivers parked PMU samples
+/// in exactly that order, so profiles, counters, and cycles are
+/// bit-identical to the Serial+Inline oracle for any thread count.
+///
+/// Deadlock freedom: lane workers never wait on the merge (staging is
+/// unbounded), so ring backpressure always resolves; the merge waits
+/// only for staging to reach a segment's cut, which a lane worker (or,
+/// on single-core hosts, an inline drain by the producer) always
+/// provides.
+///
+/// Two placements, mirroring SimPipeline:
+///  - *threaded* (multi-core hosts): one worker thread per lane plus a
+///    dedicated merge thread overlap all simulation with execution;
+///  - *inline* (single-core hosts): no extra threads — producers drain
+///    their own ring into staging when it fills, and the round barrier
+///    runs the merge on the spot.
+///
+/// Alloc/Free serialization: those opcodes execute only in the
+/// barrier's Committing mode, and AccessQueue::sync() routes through a
+/// per-lane AccessSyncHook that waits for *delivery* (merge complete),
+/// not merely a drained ring, before the allocator or DataObjectTable
+/// mutate — delivery-time object lookups therefore observe the serial
+/// schedule's state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STRUCTSLIM_RUNTIME_PARALLELSIMPIPELINE_H
+#define STRUCTSLIM_RUNTIME_PARALLELSIMPIPELINE_H
+
+#include "cache/Hierarchy.h"
+#include "pmu/AddressSampling.h"
+#include "runtime/AccessQueue.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace structslim {
+namespace runtime {
+
+/// Drains one AccessQueue per phase thread and merges the shared-L3
+/// traffic back into serial order. Requires hierarchy mode 0 (no TLB,
+/// no prefetcher) — the same precondition as SimPipeline's batch path.
+class ParallelSimPipeline {
+public:
+  /// One logical thread's simulation targets (same shape as
+  /// SimPipeline::Lane). \p Pmu may be null (profiler detached).
+  struct Lane {
+    cache::MemoryHierarchy *Hierarchy = nullptr;
+    pmu::PmuModel *Pmu = nullptr;
+  };
+
+  /// \p Queues and \p Lanes are parallel arrays, one entry per phase
+  /// thread. \p Threaded selects worker + merge threads; otherwise all
+  /// simulation runs inline at ring-full and barrier points.
+  ParallelSimPipeline(std::vector<AccessQueue *> Queues,
+                      std::vector<Lane> Lanes, bool Threaded);
+  ~ParallelSimPipeline();
+
+  /// Installs the per-lane hooks (and spawns the worker and merge
+  /// threads in threaded mode).
+  void start();
+
+  /// Round-barrier commit for lane \p T, called on the runtime thread
+  /// in thread-id order after the lane's quantum (including any paused
+  /// Alloc/Free remainder) finished: publishes the lane's ring and
+  /// appends its segment to the global merge order.
+  void commitLane(size_t T);
+
+  /// Closes every queue and completes all pending simulation. Counters
+  /// and cycle totals are valid after this returns. Idempotent.
+  void finish();
+
+  /// Deferred simulation cycles accrued on behalf of lane \p T.
+  uint64_t cyclesFor(size_t T) const;
+
+  uint64_t queueDepthMax() const;   ///< Max drain batch across lanes.
+  uint64_t consumerBatches() const; ///< Non-empty drain batches, summed.
+
+private:
+  /// One ring record, staged after private L1/L2 simulation. Lv[i] is
+  /// the resolved serving level of line i (0 = first, 1 = straddle
+  /// second), or PendingLv when the line must still probe the shared
+  /// L3 at merge time (the line address is recomputed from R there).
+  struct StagedRec {
+    AccessRec R;
+    uint8_t Lv[2];
+  };
+  static constexpr uint8_t PendingLv = 0xFF;
+
+  /// A cut of one lane's record stream; segments are appended at the
+  /// round barrier in thread-id order, which makes the global segment
+  /// sequence the serial schedule.
+  struct Segment {
+    uint32_t Lane;
+    uint64_t End; ///< Cumulative published-record cursor.
+  };
+
+  struct LaneState final : AccessDrainHook, AccessSyncHook {
+    ParallelSimPipeline *Owner = nullptr;
+    size_t Index = 0;
+    AccessQueue *Q = nullptr;
+    cache::MemoryHierarchy *Hierarchy = nullptr;
+    pmu::PmuModel *Pmu = nullptr;
+    std::thread Worker;
+
+    // Staging FIFO: appended by the lane worker (or inline drain),
+    // consumed by the merge.
+    std::mutex M;
+    std::condition_variable Cv; ///< StagedEnd advanced.
+    std::deque<StagedRec> Staged;
+    uint64_t StagedEnd = 0; ///< Cumulative records staged (guarded by M).
+
+    // Worker-owned drain scratch, allocation-free in steady state.
+    std::vector<cache::BatchLineOp> Ops;
+    std::vector<cache::MemoryHierarchy::PendingL3> Pend;
+    std::vector<cache::MemLevel> OpLevel;
+    std::vector<StagedRec> Local;
+    uint64_t DepthMax = 0;
+    uint64_t Batches = 0;
+
+    // Merge-owned.
+    uint64_t MergedLocal = 0; ///< Cumulative records merged.
+    uint64_t Cycles = 0;
+
+    void drainInline() override;
+    void syncDelivered() override;
+  };
+
+  void workerLoop(size_t T);
+  bool drainLane(size_t T);
+  void mergeLoop();
+  void mergeAll();
+  void mergeSegment(size_t LaneIdx, uint64_t End);
+  void pushSegment(size_t T, uint64_t End);
+  void laneSyncDelivered(size_t T);
+
+  std::vector<std::unique_ptr<LaneState>> Lanes;
+  bool Threaded;
+  unsigned LineShift;
+  bool Finished = false;
+
+  // Global merge order and delivery cursor (guarded by MergeM).
+  std::mutex MergeM;
+  std::condition_variable MergeCv; ///< Segments appended / merge advanced.
+  std::deque<Segment> Segments;
+  std::vector<uint64_t> MergedEnd; ///< Per lane, delivery high-water.
+  bool Closed = false;
+  std::thread Merge;
+
+  // Merge-owned scratch.
+  std::vector<StagedRec> MergeScratch;
+  std::vector<uint64_t> PathScratch;
+};
+
+} // namespace runtime
+} // namespace structslim
+
+#endif // STRUCTSLIM_RUNTIME_PARALLELSIMPIPELINE_H

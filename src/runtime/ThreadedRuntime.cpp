@@ -4,6 +4,7 @@
 
 #include "profile/ProfileIO.h"
 #include "runtime/DeferredRound.h"
+#include "runtime/ParallelSimPipeline.h"
 #include "runtime/ProfileBuilder.h"
 #include "runtime/SimPipeline.h"
 #include "support/Error.h"
@@ -69,7 +70,8 @@ void runSerialLoop(const RunConfig &Config, std::vector<PhaseThread> &States) {
 /// process-shared effects commit in thread-id order — so the result is
 /// bit-identical to runSerialLoop on the same inputs.
 void runParallelLoop(const RunConfig &Config, Machine &M,
-                     std::vector<PhaseThread> &States) {
+                     std::vector<PhaseThread> &States,
+                     ParallelSimPipeline *Pipe) {
   support::ThreadPool &Pool = support::ThreadPool::global();
   Pool.ensureWorkers(static_cast<unsigned>(States.size()));
 
@@ -143,11 +145,15 @@ void runParallelLoop(const RunConfig &Config, Machine &M,
       for (const auto &KV : D.StoreBytes)
         M.Memory.write(KV.first, 1, KV.second);
 
-      // (3) Replay this thread's shared-L3 traffic.
-      D.L3.replay(S.Hierarchy->l3());
-
-      // (4) Account deferred latencies; deliver parked PMU samples.
-      S.Interp->resolveDeferredRound();
+      // (3)+(4) Replay this thread's shared-L3 traffic, account the
+      // deferred latencies, and deliver parked PMU samples — unless
+      // the lane pipeline is attached: then the round produced access
+      // records instead (D.L3 and D.Recs are empty) and the pipeline's
+      // merge replays and delivers after commitLane below.
+      if (!Pipe) {
+        D.L3.replay(S.Hierarchy->l3());
+        S.Interp->resolveDeferredRound();
+      }
 
       // (5) A thread paused in front of Alloc/Free finishes its
       // quantum here, in commit order, with direct execution.
@@ -158,6 +164,13 @@ void runParallelLoop(const RunConfig &Config, Machine &M,
         AliveAfter[T] = S.Interp->step(Config.Quantum - Done) ? 1 : 0;
       }
       S.Interp->setDeferredRound(nullptr);
+
+      // (5b) Cut this lane's merge segment: everything it produced
+      // this round — including the committing remainder — is now
+      // earlier in serial order than anything a higher-id thread will
+      // commit, so the segment append order is the serial schedule.
+      if (Pipe)
+        Pipe->commitLane(T);
 
       // (6) Publish this thread's write footprint for the checks of
       // higher-id threads.
@@ -184,6 +197,16 @@ void runParallelLoop(const RunConfig &Config, Machine &M,
 
 ThreadedRuntime::ThreadedRuntime(RunConfig Config)
     : Config(std::move(Config)) {
+  // Resolve the access-queue capacity here, once, rather than relying
+  // on ring internals to clean up the value later: zero is a
+  // configuration error, anything else rounds up to a power of two
+  // with a 1024-record floor (multi-slot sampled groups must fit).
+  if (this->Config.PipelineCapacity == 0)
+    fatalError("RunConfig::PipelineCapacity must be nonzero (default 8192)");
+  size_t Cap = 1024;
+  while (Cap < this->Config.PipelineCapacity)
+    Cap *= 2;
+  this->Config.PipelineCapacity = Cap;
   SharedL3 = std::make_unique<cache::SetAssocCache>(this->Config.Hierarchy.L3);
 }
 
@@ -277,8 +300,47 @@ void ThreadedRuntime::runPhase(const ir::Program &P,
       Config.Pipeline != PipelineKind::Inline)
     UseDecoupled = true;
 
+  // Pipeline selection for parallel-engine phases: one lane ring per
+  // thread, merged against the shared L3 in serial segment order.
+  // Requires hierarchy mode 0 (the batch replay precondition; with a
+  // TLB or prefetcher the deferred-round machinery stays in charge).
+  // Auto engages it on multi-core hosts, where the lane workers and
+  // merge actually overlap execution; forcing PipelineKind::Decoupled
+  // takes the (still bit-identical) inline-drain path on one core.
+  bool UseParallelDecoupled = false;
+  if (UseParallel && States.size() <= 256 &&
+      States[0].Hierarchy->mode() == 0) {
+    if (Config.Pipeline == PipelineKind::Decoupled)
+      UseParallelDecoupled = true;
+    else if (Config.Pipeline == PipelineKind::Auto)
+      UseParallelDecoupled = support::ThreadPool::defaultThreadCount() > 1;
+  }
+
   std::unique_ptr<AccessQueue> Queue;
   std::unique_ptr<SimPipeline> Pipe;
+  std::vector<std::unique_ptr<AccessQueue>> LaneQueues;
+  std::unique_ptr<ParallelSimPipeline> LanePipe;
+  if (UseParallelDecoupled) {
+    bool ThreadedConsumers = support::ThreadPool::defaultThreadCount() > 1;
+    std::vector<AccessQueue *> Qs;
+    std::vector<ParallelSimPipeline::Lane> Lanes;
+    Qs.reserve(States.size());
+    Lanes.reserve(States.size());
+    for (PhaseThread &S : States) {
+      LaneQueues.push_back(std::make_unique<AccessQueue>(
+          Config.PipelineCapacity, S.Hierarchy->lineShift(),
+          /*CollapseRuns=*/true));
+      Qs.push_back(LaneQueues.back().get());
+      Lanes.push_back(
+          {S.Hierarchy.get(), Config.AttachProfiler ? S.Pmu.get() : nullptr});
+    }
+    LanePipe = std::make_unique<ParallelSimPipeline>(
+        std::move(Qs), std::move(Lanes), ThreadedConsumers);
+    LanePipe->start();
+    for (size_t T = 0; T != States.size(); ++T)
+      States[T].Interp->setAccessQueue(LaneQueues[T].get(),
+                                       static_cast<uint8_t>(T));
+  }
   if (UseDecoupled) {
     // The consumer runs on its own thread only when the host actually
     // has a core for it; on one core it would merely time-share with
@@ -301,11 +363,16 @@ void ThreadedRuntime::runPhase(const ir::Program &P,
 
   auto Begin = std::chrono::steady_clock::now();
   if (UseParallel)
-    runParallelLoop(Config, M, States);
+    runParallelLoop(Config, M, States, LanePipe.get());
   else
     runSerialLoop(Config, States);
   if (Pipe) {
     Pipe->finish();
+    for (PhaseThread &S : States)
+      S.Interp->setAccessQueue(nullptr, 0);
+  }
+  if (LanePipe) {
+    LanePipe->finish();
     for (PhaseThread &S : States)
       S.Interp->setAccessQueue(nullptr, 0);
   }
@@ -316,6 +383,19 @@ void ThreadedRuntime::runPhase(const ir::Program &P,
     Accum.QueueDepthMax = std::max(Accum.QueueDepthMax, Pipe->queueDepthMax());
     Accum.ProducerStalls += Queue->producerStalls();
     Accum.ConsumerBatches += Pipe->consumerBatches();
+    Accum.PipelineCapacity =
+        std::max(Accum.PipelineCapacity,
+                 static_cast<uint64_t>(Queue->capacity()));
+  }
+  if (LanePipe) {
+    Accum.QueueDepthMax =
+        std::max(Accum.QueueDepthMax, LanePipe->queueDepthMax());
+    for (const auto &Q : LaneQueues)
+      Accum.ProducerStalls += Q->producerStalls();
+    Accum.ConsumerBatches += LanePipe->consumerBatches();
+    Accum.PipelineCapacity =
+        std::max(Accum.PipelineCapacity,
+                 static_cast<uint64_t>(LaneQueues[0]->capacity()));
   }
 
   // Fold this phase's results into the accumulated run result.
@@ -326,6 +406,8 @@ void ThreadedRuntime::runPhase(const ir::Program &P,
     if (Pipe) // Latency cycles the consumer accrued on this thread's
               // behalf; the inline engine adds them in memAccess.
       Stats.Cycles += Pipe->cyclesFor(T);
+    if (LanePipe)
+      Stats.Cycles += LanePipe->cyclesFor(T);
     // Charge the simulated sampling-interrupt cost to the thread that
     // took the samples.
     uint64_t Samples = S.Pmu->getSamplesDelivered();
@@ -374,15 +456,17 @@ structslim::runtime::dumpProfiles(const std::vector<profile::Profile> &Profiles,
     std::string Error;
     bool Ok;
     if (I == 0 && Run &&
-        (Run->QueueDepthMax | Run->ProducerStalls | Run->ConsumerBatches)) {
+        (Run->QueueDepthMax | Run->ProducerStalls | Run->ConsumerBatches |
+         Run->PipelineCapacity)) {
       // Stamp the run's pipeline counters onto exactly one shard (the
-      // merge rule max/sum/sum then reproduces the run totals). Done
-      // here rather than in the runtime so in-memory profiles stay
-      // comparable across simulation modes.
+      // merge rule max/sum/sum/max then reproduces the run totals).
+      // Done here rather than in the runtime so in-memory profiles
+      // stay comparable across simulation modes.
       profile::Profile Stamped = P;
       Stamped.QueueDepthMax = Run->QueueDepthMax;
       Stamped.ProducerStalls = Run->ProducerStalls;
       Stamped.ConsumerBatches = Run->ConsumerBatches;
+      Stamped.PipelineCapacity = Run->PipelineCapacity;
       Ok = profile::writeProfileFile(Stamped, Path, &Error);
     } else {
       Ok = profile::writeProfileFile(P, Path, &Error);

@@ -73,8 +73,15 @@ enum class EngineKind : uint8_t { Auto, Serial, Parallel };
 /// drain. Results are bit-identical either way (the differential
 /// pipeline tests assert it). Auto picks Decoupled for every
 /// serial-engine phase without an instrumentation TraceSink (tracers
-/// need the per-access outcome at access time, forcing Inline); the
-/// parallel engine keeps its own deferred-round machinery.
+/// need the per-access outcome at access time, forcing Inline).
+///
+/// Parallel-engine phases in hierarchy mode 0 get the per-lane variant
+/// (runtime/ParallelSimPipeline): one ring per phase thread, private
+/// L1/L2 simulated by parallel lane workers, shared-L3 traffic merged
+/// back into serial segment order at the round barriers — also
+/// bit-identical. Auto engages it when the host has more than one
+/// core; Decoupled forces it (inline drain on one core). With a TLB or
+/// prefetcher the parallel engine keeps its deferred-round machinery.
 enum class PipelineKind : uint8_t { Auto, Inline, Decoupled };
 
 /// Runtime configuration.
@@ -98,8 +105,10 @@ struct RunConfig {
   bool ReferenceInterpreter = false;
   /// Simulation placement for serial-engine phases; see PipelineKind.
   PipelineKind Pipeline = PipelineKind::Auto;
-  /// Access-queue capacity in records (decoupled pipeline; rounded up
-  /// to a power of two). The default keeps the ring L2-resident.
+  /// Access-queue capacity in records (decoupled pipeline). Resolved
+  /// at ThreadedRuntime construction: rounded up to a power of two, at
+  /// least 1024 (multi-slot sampled groups must always fit); zero is a
+  /// configuration error. The default keeps the ring L2-resident.
   size_t PipelineCapacity = 1 << 13;
 };
 
@@ -126,6 +135,9 @@ struct RunResult {
   uint64_t QueueDepthMax = 0;   ///< Deepest drain batch seen (records).
   uint64_t ProducerStalls = 0;  ///< Ring-full backpressure events.
   uint64_t ConsumerBatches = 0; ///< Non-empty drain batches processed.
+  /// Resolved per-lane queue capacity (records); zero when every phase
+  /// simulated inline.
+  uint64_t PipelineCapacity = 0;
 };
 
 /// Writes each profile in \p Profiles to its own shard file

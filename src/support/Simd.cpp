@@ -1,0 +1,64 @@
+//===- support/Simd.cpp ---------------------------------------*- C++ -*-===//
+
+#include "support/Simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+using namespace structslim;
+using namespace structslim::support;
+
+namespace {
+
+// -1 = environment not read yet; 0/1 = resolved. forceScalar() writes
+// the resolved states directly, so a test override wins over the
+// environment regardless of call order.
+std::atomic<int> ForcedState{-1};
+
+} // namespace
+
+const char *simd::levelName(Level L) {
+  switch (L) {
+  case Level::Sse2:
+    return "sse2";
+  case Level::Avx2:
+    return "avx2";
+  case Level::Scalar:
+    break;
+  }
+  return "scalar";
+}
+
+bool simd::scalarForced() {
+  int S = ForcedState.load(std::memory_order_relaxed);
+  if (S < 0) {
+    const char *E = std::getenv("STRUCTSLIM_NO_SIMD");
+    S = (E && E[0] != '\0' && !(E[0] == '0' && E[1] == '\0')) ? 1 : 0;
+    ForcedState.store(S, std::memory_order_relaxed);
+  }
+  return S == 1;
+}
+
+void simd::forceScalar(bool Force) {
+  ForcedState.store(Force ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool simd::hostAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool Has = __builtin_cpu_supports("avx2");
+  return Has;
+#else
+  return false;
+#endif
+}
+
+bool simd::hostSse2() {
+#if defined(__x86_64__)
+  return true; // x86-64 baseline.
+#elif defined(__i386__)
+  static const bool Has = __builtin_cpu_supports("sse2");
+  return Has;
+#else
+  return false;
+#endif
+}

@@ -1,0 +1,375 @@
+//===- tests/pipeline_parallel_test.cpp - Parallel decoupled lanes -*-C++-*-==//
+//
+// The parallel-engine decoupled pipeline stacks both machineries: each
+// phase thread produces access records into its own lane ring, private
+// L1/L2 simulation runs in lane consumers, and shared-L3 traffic is
+// merged back in serial segment order at the round barriers. Its
+// contract is the strongest in the codebase — bit-identical results to
+// the Serial+Inline oracle for any thread count and either consumer
+// placement (inline lane drains on a single-core host, lane workers
+// plus a merge thread elsewhere; the threaded placement is the TSan
+// target). These tests sweep partitioned custom programs over
+// {1,2,4,8} threads under both placements, push Alloc/Free churn
+// through the delivery-sync hook, and diff every paper workload.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CodeMap.h"
+#include "ir/ProgramBuilder.h"
+#include "profile/ProfileIO.h"
+#include "runtime/ThreadedRuntime.h"
+#include "workloads/Driver.h"
+#include "workloads/Registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace structslim;
+using namespace structslim::runtime;
+using structslim::ir::NoReg;
+using structslim::ir::Reg;
+
+namespace {
+
+std::string profileText(const profile::Profile &P) {
+  std::ostringstream OS;
+  profile::writeProfile(P, OS);
+  return OS.str();
+}
+
+/// Bit-identity check between the Serial+Inline oracle and a
+/// parallel-decoupled run. Pipeline health counters (QueueDepthMax &c.)
+/// are host-timing diagnostics and intentionally excluded, like
+/// WallSeconds and the engine phase tallies.
+void expectIdenticalRuns(const RunResult &Oracle, const RunResult &Run) {
+  EXPECT_EQ(Oracle.ElapsedCycles, Run.ElapsedCycles);
+  EXPECT_EQ(Oracle.TotalCycles, Run.TotalCycles);
+  EXPECT_EQ(Oracle.Instructions, Run.Instructions);
+  EXPECT_EQ(Oracle.MemoryAccesses, Run.MemoryAccesses);
+  EXPECT_EQ(Oracle.Samples, Run.Samples);
+  for (unsigned Level = 0; Level != 3; ++Level) {
+    EXPECT_EQ(Oracle.Accesses[Level], Run.Accesses[Level])
+        << "level " << Level;
+    EXPECT_EQ(Oracle.Misses[Level], Run.Misses[Level]) << "level " << Level;
+  }
+  EXPECT_EQ(Oracle.ReturnValues, Run.ReturnValues);
+  ASSERT_EQ(Oracle.Profiles.size(), Run.Profiles.size());
+  for (size_t I = 0; I != Oracle.Profiles.size(); ++I)
+    EXPECT_EQ(profileText(Oracle.Profiles[I]), profileText(Run.Profiles[I]))
+        << "profile " << I;
+}
+
+/// Scoped STRUCTSLIM_THREADS override: ThreadPool::defaultThreadCount()
+/// consults it on every call, so this flips the consumer placement
+/// (inline lane drains vs dedicated workers + merge thread) at will on
+/// any host.
+class ThreadsEnv {
+public:
+  explicit ThreadsEnv(const char *Value) {
+    const char *Old = std::getenv("STRUCTSLIM_THREADS");
+    Had = Old != nullptr;
+    Saved = Old ? Old : "";
+    setenv("STRUCTSLIM_THREADS", Value, 1);
+  }
+  ~ThreadsEnv() {
+    if (Had)
+      setenv("STRUCTSLIM_THREADS", Saved.c_str(), 1);
+    else
+      unsetenv("STRUCTSLIM_THREADS");
+  }
+
+private:
+  std::string Saved;
+  bool Had = false;
+};
+
+/// Health-style phase, parameterizable in thread count: each worker
+/// increments then re-reads its own partition of a shared array
+/// published through a static mailbox. Reads, writes, cross-round
+/// read-own-writes, shared L3 — the full merge surface.
+struct WriterProgram {
+  ir::Program P;
+  uint32_t MainId = 0;
+  uint32_t WorkerId = 0;
+
+  WriterProgram(Machine &M, int64_t N, unsigned Threads) {
+    uint64_t Mailbox = M.defineStatic("mailbox", 64);
+    int64_t Part = N / Threads;
+    ir::Function &Main = P.addFunction("main", 0);
+    MainId = Main.Id;
+    {
+      ir::ProgramBuilder B(P, Main);
+      Reg Bytes = B.constI(N * 8);
+      Reg Base = B.alloc(Bytes, "field");
+      B.forLoopI(0, N, 1, [&](Reg I) { B.store(I, Base, I, 8, 0, 8); });
+      Reg Mb = B.constI(static_cast<int64_t>(Mailbox));
+      B.store(Base, Mb, NoReg, 1, 0, 8);
+      B.ret();
+    }
+    ir::Function &Worker = P.addFunction("writer", 1);
+    WorkerId = Worker.Id;
+    {
+      ir::ProgramBuilder B(P, Worker);
+      Reg Tid = 0;
+      Reg Mb = B.constI(static_cast<int64_t>(Mailbox));
+      Reg Base = B.load(Mb, NoReg, 1, 0, 8);
+      Reg Lo = B.mul(Tid, B.constI(Part));
+      Reg Hi = B.add(Lo, B.constI(Part));
+      B.setLine(20);
+      B.forLoop(Lo, Hi, 1, [&](Reg I) {
+        B.setLine(21);
+        Reg V = B.load(Base, I, 8, 0, 8);
+        Reg W = B.add(V, B.constI(3));
+        B.store(W, Base, I, 8, 0, 8);
+        B.setLine(20);
+      });
+      Reg Acc = B.constI(0);
+      B.setLine(22);
+      B.forLoop(Lo, Hi, 1, [&](Reg I) {
+        B.setLine(23);
+        Reg V = B.load(Base, I, 8, 0, 8);
+        B.accumulate(Acc, V);
+        B.setLine(22);
+      });
+      B.ret(Acc);
+    }
+  }
+};
+
+/// Workers that allocate, fill, sum, and free private heap buffers in a
+/// loop — every Alloc/Free crosses the serializing sync hook, which in
+/// the parallel-decoupled engine must wait for *delivery* (the merge
+/// catching up), not merely for the ring to drain.
+struct AllocProgram {
+  ir::Program P;
+  uint32_t WorkerId = 0;
+
+  AllocProgram(int64_t Elems, int64_t Iters) {
+    ir::Function &Worker = P.addFunction("churn", 1);
+    WorkerId = Worker.Id;
+    ir::ProgramBuilder B(P, Worker);
+    Reg Tid = 0;
+    Reg Acc = B.constI(0);
+    B.forLoopI(0, Iters, 1, [&](Reg R) {
+      Reg Bytes = B.constI(Elems * 8);
+      Reg Buf = B.alloc(Bytes, "scratch");
+      B.setLine(30);
+      B.forLoop(B.constI(0), B.constI(Elems), 1, [&](Reg I) {
+        B.setLine(31);
+        Reg V = B.add(B.add(I, Tid), R);
+        B.store(V, Buf, I, 8, 0, 8);
+        B.setLine(30);
+      });
+      B.setLine(32);
+      B.forLoop(B.constI(0), B.constI(Elems), 1, [&](Reg I) {
+        B.setLine(33);
+        Reg V = B.load(Buf, I, 8, 0, 8);
+        B.accumulate(Acc, V);
+        B.setLine(32);
+      });
+      B.free(Buf);
+    });
+    B.ret(Acc);
+  }
+};
+
+RunConfig pipelineConfig(EngineKind Engine, PipelineKind Pipeline) {
+  RunConfig Cfg;
+  Cfg.Engine = Engine;
+  Cfg.Pipeline = Pipeline;
+  // Dense, jittered sampling so deferred delivery carries real traffic;
+  // the capacity floor so lane-ring backpressure engages in small runs.
+  Cfg.Sampling.Period = 64;
+  Cfg.PipelineCapacity = 1 << 10;
+  return Cfg;
+}
+
+RunResult runWriters(EngineKind Engine, PipelineKind Pipeline,
+                     unsigned Threads, int64_t N) {
+  ThreadedRuntime RT(pipelineConfig(Engine, Pipeline));
+  WriterProgram Program(RT.machine(), N, Threads);
+  analysis::CodeMap Map(Program.P);
+  RT.runPhase(Program.P, &Map, {ThreadSpec{Program.MainId, {}}});
+  std::vector<ThreadSpec> Workers;
+  for (uint64_t T = 0; T != Threads; ++T)
+    Workers.push_back(ThreadSpec{Program.WorkerId, {T}});
+  RT.runPhase(Program.P, &Map, Workers);
+  return RT.finish();
+}
+
+RunResult runChurn(EngineKind Engine, PipelineKind Pipeline,
+                   unsigned Threads) {
+  ThreadedRuntime RT(pipelineConfig(Engine, Pipeline));
+  AllocProgram Program(/*Elems=*/96, /*Iters=*/5);
+  analysis::CodeMap Map(Program.P);
+  std::vector<ThreadSpec> Workers;
+  for (uint64_t T = 0; T != Threads; ++T)
+    Workers.push_back(ThreadSpec{Program.WorkerId, {T}});
+  RT.runPhase(Program.P, &Map, Workers);
+  return RT.finish();
+}
+
+void sweepThreadCounts() {
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE(std::to_string(Threads) + " threads");
+    int64_t N = static_cast<int64_t>(Threads) * 512;
+    RunResult Oracle =
+        runWriters(EngineKind::Serial, PipelineKind::Inline, Threads, N);
+    RunResult Par =
+        runWriters(EngineKind::Parallel, PipelineKind::Decoupled, Threads, N);
+    expectIdenticalRuns(Oracle, Par);
+    EXPECT_GT(Oracle.Samples, 0u);
+    // The decoupled run really took the pipeline path: drain batches
+    // happened and the resolved lane capacity is reported.
+    EXPECT_EQ(Oracle.ConsumerBatches, 0u);
+    EXPECT_GT(Par.ConsumerBatches, 0u);
+    EXPECT_EQ(Par.PipelineCapacity, 1u << 10);
+    // With more than one logical thread the parallel engine really ran.
+    if (Threads > 1)
+      EXPECT_GT(Par.ParallelPhases, 0u);
+  }
+}
+
+} // namespace
+
+// Single-core placement: every lane drains inline on backpressure and
+// the merge runs at the round barriers on the main thread.
+TEST(ParallelDecoupled, ThreadSweepInlineDrainsBitIdentical) {
+  ThreadsEnv SingleCore("1");
+  sweepThreadCounts();
+}
+
+// Multi-core placement: one consumer worker per lane plus a dedicated
+// merge thread — the TSan target for the new pipeline.
+TEST(ParallelDecoupled, ThreadSweepLaneWorkersBitIdentical) {
+  ThreadsEnv FourCores("4");
+  sweepThreadCounts();
+}
+
+// Alloc/Free churn serializes through the delivery-sync hook: the
+// producing thread must observe every prior record fully merged before
+// the DataObjectTable mutates. Sweep both placements and widths.
+TEST(ParallelDecoupled, AllocFreeChurnThroughDeliverySync) {
+  for (const char *Cores : {"1", "4"}) {
+    ThreadsEnv Env(Cores);
+    for (unsigned Threads : {2u, 8u}) {
+      SCOPED_TRACE(std::string("host-threads=") + Cores + " workers=" +
+                   std::to_string(Threads));
+      RunResult Oracle =
+          runChurn(EngineKind::Serial, PipelineKind::Inline, Threads);
+      RunResult Par =
+          runChurn(EngineKind::Parallel, PipelineKind::Decoupled, Threads);
+      expectIdenticalRuns(Oracle, Par);
+      EXPECT_GT(Par.ConsumerBatches, 0u);
+      EXPECT_GT(Oracle.Samples, 0u);
+    }
+  }
+}
+
+// PipelineKind::Auto engages the per-lane pipeline exactly when the
+// host has cores to run it on; either resolution stays bit-identical.
+// The churn program is worker-phase-only, so the counters observe the
+// parallel engine's choice alone (a serial phase would decouple under
+// Auto regardless of core count and muddy them).
+TEST(ParallelDecoupled, AutoEngagesOnMultiCoreHostsOnly) {
+  RunResult Oracle = runChurn(EngineKind::Serial, PipelineKind::Inline, 4);
+  {
+    ThreadsEnv FourCores("4");
+    RunResult Par = runChurn(EngineKind::Parallel, PipelineKind::Auto, 4);
+    expectIdenticalRuns(Oracle, Par);
+    EXPECT_GT(Par.ConsumerBatches, 0u);
+    EXPECT_EQ(Par.PipelineCapacity, 1u << 10);
+  }
+  {
+    ThreadsEnv SingleCore("1");
+    RunResult Par = runChurn(EngineKind::Parallel, PipelineKind::Auto, 4);
+    expectIdenticalRuns(Oracle, Par);
+    // Auto keeps the deferred-round engine without lane pipelines on a
+    // single-core host — no drain batches, no resolved capacity.
+    EXPECT_EQ(Par.ConsumerBatches, 0u);
+    EXPECT_EQ(Par.PipelineCapacity, 0u);
+  }
+}
+
+// A hierarchy with a TLB (mode != 0) keeps the deferred-round engine:
+// the per-lane pipeline's batch replay requires mode 0, and forcing
+// Decoupled must not break identity.
+TEST(ParallelDecoupled, NonZeroHierarchyModeKeepsDeferredRounds) {
+  ThreadsEnv FourCores("4");
+  auto Execute = [](EngineKind Engine, PipelineKind Pipeline) {
+    RunConfig Cfg = pipelineConfig(Engine, Pipeline);
+    Cfg.Hierarchy.EnableTlb = true;
+    ThreadedRuntime RT(Cfg);
+    WriterProgram Program(RT.machine(), 2048, 4);
+    analysis::CodeMap Map(Program.P);
+    RT.runPhase(Program.P, &Map, {ThreadSpec{Program.MainId, {}}});
+    std::vector<ThreadSpec> Workers;
+    for (uint64_t T = 0; T != 4; ++T)
+      Workers.push_back(ThreadSpec{Program.WorkerId, {T}});
+    RT.runPhase(Program.P, &Map, Workers);
+    return RT.finish();
+  };
+  RunResult Oracle = Execute(EngineKind::Serial, PipelineKind::Inline);
+  RunResult Par = Execute(EngineKind::Parallel, PipelineKind::Decoupled);
+  expectIdenticalRuns(Oracle, Par);
+}
+
+// A zero queue capacity is a configuration error, not a silent default.
+TEST(ParallelDecoupledDeathTest, ZeroPipelineCapacityAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto Misconfigure = [] {
+    RunConfig Cfg;
+    Cfg.PipelineCapacity = 0;
+    ThreadedRuntime RT(Cfg);
+    RT.finish();
+  };
+  EXPECT_DEATH(Misconfigure(), "PipelineCapacity");
+}
+
+//===----------------------------------------------------------------------===//
+// Differential sweep: every paper workload against the oracle.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+workloads::WorkloadRun runWorkloadWith(const workloads::Workload &W,
+                                       EngineKind Engine,
+                                       PipelineKind Pipeline) {
+  workloads::DriverConfig Cfg;
+  Cfg.Scale = 0.08;
+  Cfg.Run.Sampling.Period = 2000;
+  Cfg.Run.Engine = Engine;
+  Cfg.Run.Pipeline = Pipeline;
+  // A small ring guarantees lane backpressure engages on every workload.
+  Cfg.Run.PipelineCapacity = 1 << 10;
+  transform::FieldMap Map(W.hotLayout());
+  return workloads::runWorkload(W, Map, Cfg, /*Attach=*/true);
+}
+
+} // namespace
+
+// All seven paper workloads, parallel engine + decoupled lanes against
+// the Serial+Inline oracle, under the threaded consumer placement. The
+// parallel workloads run their native four-thread phases through the
+// lane merge; the serial ones cover the single-lane degenerate case.
+TEST(ParallelDecoupled, PaperWorkloadsMatchSerialInlineOracle) {
+  ThreadsEnv FourCores("4");
+  for (const auto &W : workloads::makePaperWorkloads()) {
+    SCOPED_TRACE(W->name());
+    workloads::WorkloadRun Oracle =
+        runWorkloadWith(*W, EngineKind::Serial, PipelineKind::Inline);
+    workloads::WorkloadRun Par =
+        runWorkloadWith(*W, EngineKind::Parallel, PipelineKind::Decoupled);
+    expectIdenticalRuns(Oracle.Result, Par.Result);
+    EXPECT_EQ(profileText(Oracle.Merged), profileText(Par.Merged));
+    EXPECT_EQ(Oracle.Result.ConsumerBatches, 0u);
+    EXPECT_GT(Par.Result.ConsumerBatches, 0u);
+    EXPECT_GT(Oracle.Result.Samples, 0u);
+    if (W->isParallel())
+      EXPECT_GT(Par.Result.ParallelPhases, 0u);
+  }
+}

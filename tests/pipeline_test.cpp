@@ -137,7 +137,7 @@ TEST(SimPipelineStress, SyncHeavyStreamStaysIdentical) {
   cache::HierarchyConfig HC;
   auto PipeL3 = std::make_unique<cache::SetAssocCache>(HC.L3);
   cache::MemoryHierarchy P0(HC, PipeL3.get());
-  AccessQueue Q(1, P0.lineShift(), true); // Rounds up to the 1024 floor.
+  AccessQueue Q(1024, P0.lineShift(), true); // The capacity floor.
   std::vector<SimPipeline::Lane> Lanes;
   Lanes.push_back({&P0, nullptr});
   SimPipeline Pipe(Q, std::move(Lanes), /*Threaded=*/true);

@@ -207,6 +207,7 @@ int main(int argc, char **argv) {
   Stats.QueueDepthMax = Merged.QueueDepthMax;
   Stats.ProducerStalls = Merged.ProducerStalls;
   Stats.ConsumerBatches = Merged.ConsumerBatches;
+  Stats.PipelineCapacity = Merged.PipelineCapacity;
 
   Opts.Analysis.Jobs = Opts.Jobs;
   core::StructSlimAnalyzer Analyzer(Opts.Analysis);
