@@ -83,8 +83,13 @@ AnalysisResult StructSlimAnalyzer::analyze(const profile::Profile &Merged) const
   // the serial path for any job count.
   unsigned Jobs =
       Config.Jobs ? Config.Jobs : support::ThreadPool::defaultThreadCount();
+  // A profile that recorded reservoir evictions is lossy: any sparse
+  // stream may owe its sparseness to the reservoir, not the program.
+  bool ReservoirLossy =
+      Merged.ReservoirCapacity != 0 && Merged.ReservoirEvictions != 0;
   auto AnalyzeOne = [&](size_t I) {
-    analyzeObject(StreamsByObject[Selected[I]], Result.Objects[I]);
+    analyzeObject(StreamsByObject[Selected[I]], ReservoirLossy,
+                  Result.Objects[I]);
   };
   if (Jobs > 1 && Selected.size() > 1)
     support::ThreadPool::global().parallelFor(0, Selected.size(), AnalyzeOne);
@@ -100,23 +105,49 @@ AnalysisResult StructSlimAnalyzer::analyze(const profile::Profile &Merged) const
     Result.Stats.SkippedInconsistentStreams += O.SkippedStreams;
     if (O.LowConfidenceSize)
       ++Result.Stats.LowConfidenceSizes;
+    Result.Stats.SparseStreams += O.SparseStreams;
+    Result.Stats.TruncatedStreams += O.TruncatedStreams;
+    if (O.ReservoirTruncated)
+      ++Result.Stats.ReservoirTruncatedObjects;
   }
   return Result;
 }
 
 void StructSlimAnalyzer::analyzeObject(
     const std::vector<const profile::StreamRecord *> &Streams,
-    ObjectAnalysis &Out) const {
+    bool ReservoirLossy, ObjectAnalysis &Out) const {
   // --- Structure size (Eq. 5): GCD over trustworthy stream strides. --
   // A stream participates when it shows a non-unit constant stride
   // pattern (stride larger than its own access width) backed by enough
   // unique addresses (Eq. 4 accuracy).
   uint64_t BestUnique = 0;
+  double SparsePenalty = 1.0;
   std::vector<uint64_t> Strides;
   Strides.reserve(Streams.size());
   for (const profile::StreamRecord *S : Streams) {
-    if (S->UniqueAddrCount < Config.MinUniqueAddrs)
+    // A stream the reservoir demonstrably starved: more samples were
+    // offered than survived. Under a lossy profile every sparse stream
+    // is suspect — the reservoir cannot prove which evictions cost
+    // unique addresses, so the conservative reading flags all of them.
+    bool Truncated = S->OfferedSamples > S->SampleCount;
+    if (S->UniqueAddrCount < Config.MinUniqueAddrs) {
+      // Excluded from Eq. 5 — but not from the confidence model. A
+      // sparse stream showing non-unit stride evidence still had a
+      // chance of contradicting the inferred size; treating the
+      // object's confidence as if it never existed over-trusts sparse
+      // objects (each such stream's own Eq. 4 accuracy discounts the
+      // reported confidence multiplicatively).
+      if (S->StrideGcd > S->AccessSize && S->SampleCount != 0) {
+        ++Out.SparseStreams;
+        SparsePenalty *=
+            eq4LowerBound(std::max<uint64_t>(S->UniqueAddrCount, 2));
+      }
+      if ((Truncated || (ReservoirLossy && S->SampleCount != 0))) {
+        ++Out.TruncatedStreams;
+        Out.ReservoirTruncated = true;
+      }
       continue;
+    }
     if (S->StrideGcd == 0 || S->StrideGcd <= S->AccessSize)
       continue; // Unit-stride or irregular: no splitting opportunity.
     Strides.push_back(S->StrideGcd);
@@ -128,13 +159,18 @@ void StructSlimAnalyzer::analyzeObject(
   Out.StructSize = Size;
   // Eq. 4 confidence: the inferred size can only be wrong (a multiple
   // of the truth) if every contributing stream's GCD is inflated; the
-  // best-sampled stream bounds that probability.
-  Out.SizeConfidence =
-      Size == 0 || BestUnique < 2 ? 0.0 : eq4LowerBound(BestUnique);
+  // best-sampled stream bounds that probability. Skipped sparse
+  // streams discount it — their stride evidence went unheard.
+  Out.SizeConfidence = Size == 0 || BestUnique < 2
+                           ? 0.0
+                           : eq4LowerBound(BestUnique) * SparsePenalty;
   // The paper's bar: ~10 unique addresses put Eq. 4 above 99%. A size
   // inferred from sparser streams (config with MinUniqueAddrs < 10) is
   // still reported, but flagged so reports cannot present it as exact.
-  Out.LowConfidenceSize = Size != 0 && Out.SizeConfidence < 0.99;
+  // Reservoir truncation forces the flag: the unique-address counts
+  // behind the size are reservoir-effective, not ground truth.
+  Out.LowConfidenceSize =
+      Size != 0 && (Out.SizeConfidence < 0.99 || Out.ReservoirTruncated);
 
   const ir::StructLayout *Layout = nullptr;
   if (auto It = Layouts.find(Out.Name); It != Layouts.end())

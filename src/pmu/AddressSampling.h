@@ -30,6 +30,7 @@
 #include "support/Random.h"
 
 #include <cstdint>
+#include <vector>
 
 namespace structslim {
 namespace pmu {
@@ -53,11 +54,36 @@ enum class PmuFlavor : uint8_t {
 };
 
 /// Sampling parameters. The paper samples one in 10,000 accesses.
+///
+/// Period must be >= 1 (PmuModel construction aborts on 0: a zero
+/// period has no sensible meaning — "never sample" is setSink(nullptr)
+/// and "sample every access" is Period 1). Periods 1-3 sample exactly
+/// every Period-th eligible access with no jitter; from 4 up the
+/// PEBS-style +/- 25% randomization applies (RandomizePeriod permitting).
 struct SamplingConfig {
   uint64_t Period = 10000;
   PmuFlavor Flavor = PmuFlavor::PebsLoadLatency;
   bool RandomizePeriod = true;
   uint64_t Seed = 0x5eed;
+
+  // --- Bounded-memory adaptive sampling (ROADMAP item 3) -------------
+  /// Per-thread weighted-reservoir capacity in samples. 0 keeps the
+  /// original unbounded buffering (every delivered sample reaches the
+  /// profile builder); nonzero caps resident samples per thread and
+  /// keeps a latency-weighted A-ES reservoir instead.
+  uint64_t ReservoirCapacity = 0;
+  /// Overhead-governor budget: target delivered samples per million
+  /// eligible accesses. 0 disables the governor (the nominal Period
+  /// stays in force for the whole run). When enabled, the effective
+  /// period is re-fit at every epoch boundary to hit this rate, clamped
+  /// to [GovernorMinPeriod, GovernorMaxPeriod]; the +/- 25% jitter is
+  /// applied around the *effective* period.
+  uint64_t SampleBudgetPerMAccess = 0;
+  /// Eligible accesses per governor epoch (adaptation granularity).
+  uint64_t EpochAccesses = 1ull << 20;
+  /// Clamp bounds for the governed effective period.
+  uint64_t GovernorMinPeriod = 16;
+  uint64_t GovernorMaxPeriod = 1ull << 26;
 };
 
 /// Receives samples from the PMU "interrupt handler".
@@ -88,6 +114,14 @@ public:
 
   /// Arms the PMU with \p Sink; a null sink disables sampling (the
   /// "profiler detached" configuration used to measure overhead).
+  ///
+  /// Disarm contract: a sample selected by tick() while armed but whose
+  /// delivery (deliver()/deliverDeferred()) happens after a
+  /// setSink(nullptr) is dropped — not delivered, not counted in
+  /// getSamplesDelivered(); getSamplesDroppedDisarmed() counts it. The
+  /// parallel engine hits this path: ticks happen at access time,
+  /// delivery at the round barrier, and the profiler can detach in
+  /// between.
   void setSink(SampleSink *Sink) { this->Sink = Sink; }
 
   /// Observes one memory access; delivers a sample when the period
@@ -109,29 +143,51 @@ public:
   bool tick(bool IsWrite) {
     if (!Sink || (SkipStores && IsWrite))
       return false;
+    if (GovernorOn && --EpochLeft == 0)
+      governorEpoch();
     if (--Countdown != 0)
       return false;
+    ++SamplesSelected;
     Countdown = nextCountdown();
     return true;
   }
 
   /// Delivers a sample whose payload (latency, serving level) was
-  /// resolved after the tick() that selected it.
+  /// resolved after the tick() that selected it. Dropped (and counted
+  /// in getSamplesDroppedDisarmed()) if the PMU was disarmed between
+  /// selection and delivery — see setSink().
   void deliverDeferred(AddressSample Sample, const uint64_t *Path,
                        size_t PathLen) {
+    if (!Sink) {
+      ++SamplesDroppedDisarmed;
+      return;
+    }
     Sample.ThreadId = ThreadId;
     ++SamplesDelivered;
     Sink->onSampleAt(Sample, Path, PathLen);
   }
 
   uint64_t getSamplesDelivered() const { return SamplesDelivered; }
+  uint64_t getSamplesDroppedDisarmed() const {
+    return SamplesDroppedDisarmed;
+  }
   const SamplingConfig &getConfig() const { return Config; }
   uint32_t getThreadId() const { return ThreadId; }
+
+  /// Current governed period (== Config.Period until the first governor
+  /// epoch boundary, or always when the governor is off).
+  uint64_t getEffectivePeriod() const { return EffectivePeriod; }
+  /// Effective period after each completed governor epoch, in order.
+  /// Empty when the governor is off or no epoch has completed.
+  const std::vector<uint64_t> &getPeriodTrajectory() const {
+    return PeriodTrajectory;
+  }
 
 private:
   void deliver(uint64_t Ip, uint64_t EffAddr, uint8_t AccessSize,
                bool IsWrite, const cache::AccessResult &Result);
   uint64_t nextCountdown();
+  void governorEpoch();
 
   SamplingConfig Config;
   uint32_t ThreadId;
@@ -139,7 +195,16 @@ private:
   Rng Jitter;
   uint64_t Countdown;
   uint64_t SamplesDelivered = 0;
+  uint64_t SamplesDroppedDisarmed = 0;
   bool SkipStores; ///< Precomputed: PEBS-LL monitors loads only.
+  // Overhead governor state (all dormant when GovernorOn is false; the
+  // hot path then pays one predictable branch).
+  bool GovernorOn = false;
+  uint64_t EffectivePeriod;
+  uint64_t EpochLeft = 0;
+  uint64_t SamplesSelected = 0;
+  uint64_t EpochStartSelected = 0;
+  std::vector<uint64_t> PeriodTrajectory;
 };
 
 } // namespace pmu

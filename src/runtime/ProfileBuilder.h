@@ -52,6 +52,13 @@ public:
     this->Provider = Provider;
   }
 
+  /// Marks this builder as fed through a bounded SampleReservoir: each
+  /// attributed sample then also counts toward the stream's
+  /// OfferedSamples/OfferedWeight (the reservoir adds the evicted
+  /// remainder at flush time). Off by default so unbounded profiles
+  /// keep all reservoir fields zero — the v1/v2 round-trip contract.
+  void setReservoirActive(bool Active) { ReservoirActive = Active; }
+
   void onSample(const pmu::AddressSample &Sample) override;
 
   /// Delivery with a captured call path (the parallel engine resolves
@@ -72,6 +79,7 @@ private:
   const analysis::CodeMap &CodeMap;
   const mem::DataObjectTable &Objects;
   const CallPathProvider *Provider = nullptr;
+  bool ReservoirActive = false;
   profile::Profile P;
 
   /// Per-stream sets of unique sampled addresses (bounded by the sample

@@ -1,0 +1,188 @@
+//===- runtime/SampleReservoir.cpp ----------------------------*- C++ -*-===//
+
+#include "runtime/SampleReservoir.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace structslim;
+using namespace structslim::runtime;
+
+namespace {
+
+/// Latency weight of a sample: at least 1, so zero-latency samples
+/// (which the cache model never produces, but external traces might)
+/// still have a nonzero survival probability.
+uint64_t weightOf(const pmu::AddressSample &S) {
+  return S.Latency ? S.Latency : 1;
+}
+
+uint64_t slotBytes(size_t PathLen) {
+  return sizeof(pmu::AddressSample) + 3 * sizeof(uint64_t) +
+         sizeof(double) + PathLen * sizeof(uint64_t);
+}
+
+} // namespace
+
+SampleReservoir::SampleReservoir(pmu::SampleSink &Inner, uint64_t Capacity,
+                                 uint64_t Seed)
+    : Inner(Inner), Capacity(Capacity),
+      // Distinct mixing constant from the PMU jitter stream so the two
+      // deterministic streams never correlate even for equal seeds.
+      Rand(Seed * 0xbf58476d1ce4e5b9ULL + 0x2545f4914f6cdd1dULL) {
+  if (Capacity == 0)
+    fatalError("reservoir: capacity must be >= 1");
+  Slots.reserve(Capacity);
+  HeapIdx.reserve(Capacity);
+}
+
+double SampleReservoir::unitDraw() {
+  // U(0,1) clamped away from 0 so log() below stays finite.
+  return std::max(Rand.nextDouble(), 0x1.0p-53);
+}
+
+void SampleReservoir::onSample(const pmu::AddressSample &Sample) {
+  if (Provider) {
+    const std::vector<uint64_t> &Path = Provider->currentCallPath();
+    offer(Sample, Path.data(), Path.size());
+  } else {
+    offer(Sample, nullptr, 0);
+  }
+}
+
+void SampleReservoir::onSampleAt(const pmu::AddressSample &Sample,
+                                 const uint64_t *Path, size_t PathLen) {
+  offer(Sample, Path, PathLen);
+}
+
+void SampleReservoir::noteEviction(uint64_t Ip, uint64_t Weight) {
+  ++Evictions;
+  bool Inserted = false;
+  uint32_t Index = EvictedByIp.getOrInsert(
+      Ip, 0, static_cast<uint32_t>(EvictedAgg.size()), Inserted);
+  if (Inserted)
+    EvictedAgg.emplace_back();
+  EvictedAgg[Index].Count += 1;
+  EvictedAgg[Index].Weight += Weight;
+}
+
+void SampleReservoir::heapPush(uint32_t SlotIndex) {
+  auto MinFirst = [this](uint32_t A, uint32_t B) {
+    const Slot &SA = Slots[A], &SB = Slots[B];
+    return SA.Key != SB.Key ? SA.Key > SB.Key : SA.Seq > SB.Seq;
+  };
+  HeapIdx.push_back(SlotIndex);
+  std::push_heap(HeapIdx.begin(), HeapIdx.end(), MinFirst);
+}
+
+uint32_t SampleReservoir::heapPopMin() {
+  auto MinFirst = [this](uint32_t A, uint32_t B) {
+    const Slot &SA = Slots[A], &SB = Slots[B];
+    return SA.Key != SB.Key ? SA.Key > SB.Key : SA.Seq > SB.Seq;
+  };
+  std::pop_heap(HeapIdx.begin(), HeapIdx.end(), MinFirst);
+  uint32_t Index = HeapIdx.back();
+  HeapIdx.pop_back();
+  return Index;
+}
+
+void SampleReservoir::place(uint32_t SlotIndex, const pmu::AddressSample &Sample,
+                            const uint64_t *Path, size_t PathLen, double Key) {
+  Slot &S = Slots[SlotIndex];
+  S.Sample = Sample;
+  S.Path.assign(Path, Path + PathLen);
+  S.Seq = NextSeq++;
+  S.Key = Key;
+  CurBytes += slotBytes(PathLen);
+  if (CurBytes > PeakBytes)
+    PeakBytes = CurBytes;
+  heapPush(SlotIndex);
+}
+
+void SampleReservoir::drawJump() {
+  // A-ExpJ: with T the smallest kept key, the weight that passes before
+  // the next replacement is exponentially distributed: X = log(r)/log(T),
+  // r ~ U(0,1). Both logs are negative (0 < r, T < 1), so X >= 0; a key
+  // of exactly 0 yields X = 0 and the next arrival replaces it.
+  double T = Slots[HeapIdx.front()].Key;
+  JumpLeft = T > 0 ? std::log(unitDraw()) / std::log(T) : 0.0;
+}
+
+void SampleReservoir::offer(const pmu::AddressSample &Sample,
+                            const uint64_t *Path, size_t PathLen) {
+  uint64_t W = weightOf(Sample);
+  ++Seen;
+  WeightSeen += W;
+
+  if (HeapIdx.size() < Capacity) {
+    // Filling phase: every sample enters with key u^(1/w).
+    double Key = std::pow(unitDraw(), 1.0 / static_cast<double>(W));
+    uint32_t Index = static_cast<uint32_t>(Slots.size());
+    Slots.emplace_back();
+    place(Index, Sample, Path, PathLen, Key);
+    if (HeapIdx.size() == Capacity)
+      drawJump();
+    return;
+  }
+
+  // Saturated: skip arrivals until the jump's weight budget is spent.
+  JumpLeft -= static_cast<double>(W);
+  if (JumpLeft > 0) {
+    noteEviction(Sample.Ip, W);
+    return;
+  }
+
+  // This sample lands: it replaces the minimum with a key drawn from
+  // the conditional distribution U(T^w, 1)^(1/w), which is what makes
+  // the jump statistically identical to per-arrival keying.
+  double T = Slots[HeapIdx.front()].Key;
+  double Tw = std::pow(T, static_cast<double>(W));
+  double R = Tw + unitDraw() * (1.0 - Tw);
+  double Key = std::pow(R, 1.0 / static_cast<double>(W));
+
+  uint32_t Victim = heapPopMin();
+  Slot &V = Slots[Victim];
+  noteEviction(V.Sample.Ip, weightOf(V.Sample));
+  CurBytes -= slotBytes(V.Path.size());
+  place(Victim, Sample, Path, PathLen, Key);
+  drawJump();
+}
+
+void SampleReservoir::flush() {
+  std::vector<uint32_t> Live(HeapIdx.begin(), HeapIdx.end());
+  std::sort(Live.begin(), Live.end(), [this](uint32_t A, uint32_t B) {
+    return Slots[A].Seq < Slots[B].Seq;
+  });
+  for (uint32_t Index : Live) {
+    Slot &S = Slots[Index];
+    WeightKept += weightOf(S.Sample);
+    Inner.onSampleAt(S.Sample, S.Path.data(), S.Path.size());
+  }
+  HeapIdx.clear();
+  Slots.clear();
+  CurBytes = 0;
+  JumpLeft = 0;
+}
+
+void SampleReservoir::stampProfile(profile::Profile &P) const {
+  P.ReservoirCapacity = Capacity;
+  P.ReservoirSeen = Seen;
+  P.ReservoirEvictions = Evictions;
+  P.ReservoirWeightSeen = WeightSeen;
+  P.ReservoirWeightKept = WeightKept;
+  P.ReservoirPeakBytes = PeakBytes;
+  // Per-stream eviction pressure: each IP's evicted mass goes to its
+  // first stream in creation order (see header); consumed entries are
+  // marked so a second stream on the same IP does not double-count.
+  std::vector<bool> Consumed(EvictedAgg.size(), false);
+  for (profile::StreamRecord &Stream : P.Streams) {
+    uint32_t Index = EvictedByIp.find(Stream.Ip, 0);
+    if (Index == support::FlatPairMap::Npos || Consumed[Index])
+      continue;
+    Consumed[Index] = true;
+    Stream.OfferedSamples += EvictedAgg[Index].Count;
+    Stream.OfferedWeight += EvictedAgg[Index].Weight;
+  }
+}

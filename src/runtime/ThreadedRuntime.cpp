@@ -6,6 +6,7 @@
 #include "runtime/DeferredRound.h"
 #include "runtime/ParallelSimPipeline.h"
 #include "runtime/ProfileBuilder.h"
+#include "runtime/SampleReservoir.h"
 #include "runtime/SimPipeline.h"
 #include "support/Error.h"
 #include "support/ThreadPool.h"
@@ -27,6 +28,7 @@ struct PhaseThread {
   std::unique_ptr<cache::MemoryHierarchy> Hierarchy;
   std::unique_ptr<pmu::PmuModel> Pmu;
   std::unique_ptr<ProfileBuilder> Builder;
+  std::unique_ptr<SampleReservoir> Reservoir; ///< Bounded-memory mode only.
   std::unique_ptr<Interpreter> Interp;
   bool Alive = true;
 };
@@ -245,7 +247,17 @@ void ThreadedRuntime::runPhase(const ir::Program &P,
     if (Config.AttachProfiler) {
       S.Builder = std::make_unique<ProfileBuilder>(*CodeMap, M.Objects, Tid,
                                                    Config.Sampling.Period);
-      S.Pmu->setSink(S.Builder.get());
+      if (Config.Sampling.ReservoirCapacity != 0) {
+        // Bounded-memory mode: the PMU feeds a fixed-capacity weighted
+        // reservoir that releases survivors to the builder at phase end.
+        S.Reservoir = std::make_unique<SampleReservoir>(
+            *S.Builder, Config.Sampling.ReservoirCapacity,
+            Config.Sampling.Seed + Tid);
+        S.Builder->setReservoirActive(true);
+        S.Pmu->setSink(S.Reservoir.get());
+      } else {
+        S.Pmu->setSink(S.Builder.get());
+      }
     }
     // A detached profiler arms no sink; skip the PMU on the per-access
     // path entirely (the "measure native speed" configuration).
@@ -254,6 +266,8 @@ void ThreadedRuntime::runPhase(const ir::Program &P,
         Tid, PP);
     if (S.Builder)
       S.Builder->setCallPathProvider(S.Interp.get());
+    if (S.Reservoir)
+      S.Reservoir->setCallPathProvider(S.Interp.get());
     if (Config.ReferenceInterpreter)
       S.Interp->setExecCore(ExecCore::Reference);
     if (Tracer)
@@ -426,10 +440,25 @@ void ThreadedRuntime::runPhase(const ir::Program &P,
     Accum.Misses[1] += S.Hierarchy->l2().getMisses();
 
     if (S.Builder) {
+      if (S.Reservoir)
+        // Release the surviving samples (arrival order) into the
+        // builder before finalizing its profile.
+        S.Reservoir->flush();
       profile::Profile Prof = S.Builder->take();
       Prof.Instructions = Stats.Instructions;
       Prof.MemoryAccesses = Stats.MemoryAccesses;
       Prof.Cycles = Stats.Cycles;
+      if (S.Reservoir) {
+        S.Reservoir->stampProfile(Prof);
+        Accum.ReservoirSeen += Prof.ReservoirSeen;
+        Accum.ReservoirEvictions += Prof.ReservoirEvictions;
+        Accum.ReservoirPeakBytes += Prof.ReservoirPeakBytes;
+      }
+      // Governor metadata is engine-invariant (per-thread tick order is
+      // the same in every engine), so it can live on the in-memory
+      // profile without breaking the engine-identity comparisons.
+      Prof.SampleBudget = Config.Sampling.SampleBudgetPerMAccess;
+      Prof.EffectivePeriods = S.Pmu->getPeriodTrajectory();
       // Pipeline counters deliberately stay off the in-memory profiles:
       // the engine-identity contract compares per-thread profiles
       // between the inline and decoupled simulators, and the counters

@@ -84,6 +84,36 @@ Profile makeRandomProfile(Rng &R) {
   return P;
 }
 
+/// Decorates \p P with bounded-reservoir accounting so serialization
+/// emits the optional sixth v3 section ("rsvr"): profile-level totals,
+/// a governor trajectory, and per-stream offered counts.
+void addReservoirFields(Profile &P, Rng &R) {
+  P.ReservoirCapacity = 1 + R.nextBelow(4096);
+  P.ReservoirSeen = R.nextBelow(1u << 20);
+  P.ReservoirEvictions = R.nextBelow(1u << 20);
+  P.ReservoirWeightSeen = R.nextBelow(1u << 24);
+  P.ReservoirWeightKept = R.nextBelow(1u << 24);
+  P.ReservoirPeakBytes = R.nextBelow(1u << 22);
+  P.SampleBudget = R.nextBelow(10000);
+  unsigned Epochs = static_cast<unsigned>(R.nextBelow(6));
+  for (unsigned E = 0; E != Epochs; ++E)
+    P.EffectivePeriods.push_back(1 + R.nextBelow(1u << 20));
+  for (StreamRecord &S : P.Streams) {
+    S.OfferedSamples = S.SampleCount + R.nextBelow(1000);
+    S.OfferedWeight = S.LatencySum + R.nextBelow(1u << 20);
+  }
+}
+
+/// The LE32 section count straight after the v3 magic line.
+uint32_t v3SectionCount(const std::string &Blob) {
+  const size_t MagicLen = std::string("structslim-profile v3\n").size();
+  uint32_t V = 0;
+  for (unsigned I = 0; I != 4; ++I)
+    V |= static_cast<uint32_t>(static_cast<uint8_t>(Blob[MagicLen + I]))
+         << (8 * I);
+  return V;
+}
+
 /// Parses \p Blob and enforces the fuzz contract against \p Canonical:
 /// exact profile back, or a clean error. Returns 1 mutation exercised.
 void checkMutation(const std::string &Blob, const std::string &Canonical) {
@@ -244,6 +274,77 @@ TEST_P(ProfileIoFuzz, V3SectionTargetedMutations) {
   std::string Error;
   EXPECT_FALSE(profileFromString(NoEnd, &Error).has_value());
   EXPECT_NE(Error.find("missing end marker"), std::string::npos);
+}
+
+// The reservoir extension is strictly schema-additive: profiles without
+// reservoir data keep the original five-section byte layout, profiles
+// with it gain exactly one section.
+TEST_P(ProfileIoFuzz, ReservoirFreeProfilesKeepFiveSections) {
+  Rng R(7700 + GetParam());
+  Profile P = makeRandomProfile(R);
+  EXPECT_EQ(v3SectionCount(profileToString(P, 3)), 5u);
+  addReservoirFields(P, R);
+  EXPECT_EQ(v3SectionCount(profileToString(P, 3)), 6u);
+}
+
+// Reservoir-bearing blobs obey the same integrity contract as the base
+// format: exact round-trip, targeted header/payload corruption of all
+// six sections rejected, a flipped byte anywhere never silently
+// accepted.
+TEST_P(ProfileIoFuzz, V3ReservoirSectionTargetedMutations) {
+  Rng R(8800 + GetParam());
+  Profile P = makeRandomProfile(R);
+  addReservoirFields(P, R);
+  std::string Canonical = profileToString(P, 3);
+  {
+    std::string Error;
+    auto Back = profileFromString(Canonical, &Error);
+    ASSERT_TRUE(Back.has_value()) << Error;
+    EXPECT_EQ(profileToString(*Back), Canonical);
+  }
+  const size_t MagicLen = std::string("structslim-profile v3\n").size();
+  const size_t NumSections = 6;
+  const size_t EntryBytes = 8 + 8 + 4;
+  ASSERT_EQ(v3SectionCount(Canonical), NumSections);
+  ASSERT_GT(Canonical.size(), MagicLen + 4 + NumSections * EntryBytes + 4);
+
+  auto ReadLE64 = [&](size_t Off) {
+    uint64_t V = 0;
+    for (unsigned I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(
+               static_cast<uint8_t>(Canonical[Off + I]))
+           << (8 * I);
+    return V;
+  };
+  size_t HeaderStart = MagicLen;
+  size_t PayloadStart = HeaderStart + 4 + NumSections * EntryBytes + 4;
+  size_t SectionOffset = PayloadStart;
+  for (size_t S = 0; S != NumSections; ++S) {
+    size_t Entry = HeaderStart + 4 + S * EntryBytes;
+    uint64_t Bytes = ReadLE64(Entry);
+    for (size_t FieldOff : {Entry, Entry + 8, Entry + 16}) {
+      std::string Mutated = Canonical;
+      Mutated[FieldOff] = static_cast<char>(Mutated[FieldOff] ^ 0x5A);
+      checkMutation(Mutated, Canonical);
+    }
+    if (Bytes != 0) {
+      std::string Mutated = Canonical;
+      size_t Pos = SectionOffset + R.nextBelow(Bytes);
+      Mutated[Pos] = static_cast<char>(Mutated[Pos] ^ 0x5A);
+      checkMutation(Mutated, Canonical);
+      EXPECT_FALSE(profileFromString(Mutated).has_value());
+    }
+    SectionOffset += Bytes;
+  }
+  // Every single-byte flip: exact profile back or clean rejection.
+  for (size_t Pos = 0; Pos != Canonical.size(); ++Pos) {
+    std::string Mutated = Canonical;
+    Mutated[Pos] = static_cast<char>(Mutated[Pos] ^ 0xFF);
+    checkMutation(Mutated, Canonical);
+  }
+  // And truncation at every offset (mid-write crash).
+  for (size_t Cut = 0; Cut <= Canonical.size(); ++Cut)
+    checkMutation(Canonical.substr(0, Cut), Canonical);
 }
 
 // The legacy v1 reader has no checksums to lean on: assert only that

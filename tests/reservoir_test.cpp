@@ -1,0 +1,304 @@
+//===- tests/reservoir_test.cpp - Bounded sample reservoir tests -*- C++ -*-===//
+//
+// Unit tests for the latency-weighted A-ExpJ reservoir between the PMU
+// and the profile builder (ROADMAP item 3): the capacity bound, the
+// arrival-order flush contract the stride-GCD logic depends on, seed
+// determinism, the latency-weight survival bias, the peak-resident-
+// bytes memory bound, eviction accounting through stampProfile, and the
+// jobs-invariant merge of reservoir-bearing shards.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/MergeTree.h"
+#include "profile/ProfileIO.h"
+#include "runtime/SampleReservoir.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace structslim;
+using namespace structslim::runtime;
+
+namespace {
+
+class Collector : public pmu::SampleSink {
+public:
+  std::vector<pmu::AddressSample> Samples;
+  std::vector<std::vector<uint64_t>> Paths;
+  void onSample(const pmu::AddressSample &S) override {
+    Samples.push_back(S);
+    Paths.emplace_back();
+  }
+  void onSampleAt(const pmu::AddressSample &S, const uint64_t *Path,
+                  size_t PathLen) override {
+    Samples.push_back(S);
+    Paths.emplace_back(Path, Path + PathLen);
+  }
+};
+
+pmu::AddressSample mkSample(uint64_t Index, uint32_t Latency,
+                            uint64_t Ip = 0x400100) {
+  pmu::AddressSample S;
+  S.Ip = Ip;
+  S.EffAddr = Index; // Encodes arrival order for the flush-order check.
+  S.Latency = Latency;
+  S.AccessSize = 8;
+  return S;
+}
+
+} // namespace
+
+TEST(Reservoir, BelowCapacityKeepsEverything) {
+  Collector Sink;
+  SampleReservoir R(Sink, 128, 1);
+  for (uint64_t I = 0; I != 100; ++I)
+    R.onSample(mkSample(I, 10 + static_cast<uint32_t>(I % 7)));
+  R.flush();
+  ASSERT_EQ(Sink.Samples.size(), 100u);
+  EXPECT_EQ(R.getSeen(), 100u);
+  EXPECT_EQ(R.getEvictions(), 0u);
+  EXPECT_EQ(R.getWeightKept(), R.getWeightSeen());
+  for (uint64_t I = 0; I != 100; ++I)
+    EXPECT_EQ(Sink.Samples[I].EffAddr, I);
+}
+
+TEST(Reservoir, CapacityIsAHardBound) {
+  Collector Sink;
+  SampleReservoir R(Sink, 64, 2);
+  for (uint64_t I = 0; I != 10000; ++I) {
+    R.onSample(mkSample(I, 100));
+    ASSERT_LE(R.getLiveCount(), 64u);
+  }
+  R.flush();
+  EXPECT_EQ(Sink.Samples.size(), 64u);
+  EXPECT_EQ(R.getSeen(), 10000u);
+  // Every sample not kept was counted as evicted — whether it was
+  // skipped by a jump or displaced from a slot.
+  EXPECT_EQ(R.getEvictions(), 10000u - 64u);
+  EXPECT_LT(R.getWeightKept(), R.getWeightSeen());
+}
+
+TEST(Reservoir, FlushDeliversSurvivorsInArrivalOrder) {
+  Collector Sink;
+  SampleReservoir R(Sink, 32, 3);
+  for (uint64_t I = 0; I != 5000; ++I)
+    R.onSample(mkSample(I, 50 + static_cast<uint32_t>(I % 13)));
+  R.flush();
+  ASSERT_EQ(Sink.Samples.size(), 32u);
+  for (size_t I = 1; I != Sink.Samples.size(); ++I)
+    EXPECT_LT(Sink.Samples[I - 1].EffAddr, Sink.Samples[I].EffAddr);
+}
+
+TEST(Reservoir, SameSeedSameSurvivorsDifferentSeedDiffers) {
+  auto Run = [](uint64_t Seed) {
+    Collector Sink;
+    SampleReservoir R(Sink, 48, Seed);
+    for (uint64_t I = 0; I != 8000; ++I)
+      R.onSample(mkSample(I, 30 + static_cast<uint32_t>(I % 11)));
+    R.flush();
+    std::vector<uint64_t> Kept;
+    for (const pmu::AddressSample &S : Sink.Samples)
+      Kept.push_back(S.EffAddr);
+    return Kept;
+  };
+  EXPECT_EQ(Run(7), Run(7));
+  EXPECT_NE(Run(7), Run(8));
+}
+
+TEST(Reservoir, HeavySamplesSurvivePreferentially) {
+  // 5000 latency-1 samples and 50 latency-10000 samples: the heavy mass
+  // dominates, so weighted sampling must keep mostly heavy samples.
+  Collector Sink;
+  SampleReservoir R(Sink, 64, 4);
+  uint64_t Index = 0;
+  for (uint64_t I = 0; I != 5000; ++I) {
+    R.onSample(mkSample(Index++, 1));
+    if (I % 100 == 0)
+      R.onSample(mkSample(1000000 + Index++, 10000));
+  }
+  R.flush();
+  size_t Heavy = 0;
+  for (const pmu::AddressSample &S : Sink.Samples)
+    Heavy += S.Latency == 10000;
+  // 50 heavy samples carry 500k of the 505k total weight; a weighted
+  // reservoir of 64 should retain nearly all of them.
+  EXPECT_GE(Heavy, 40u);
+}
+
+TEST(Reservoir, PeakBytesIndependentOfStreamLength) {
+  auto PeakAfter = [](uint64_t Offers) {
+    Collector Sink;
+    SampleReservoir R(Sink, 64, 5);
+    for (uint64_t I = 0; I != Offers; ++I)
+      R.onSample(mkSample(I, 100));
+    return R.getPeakBytes();
+  };
+  uint64_t Short = PeakAfter(1000);
+  uint64_t Long = PeakAfter(100000);
+  EXPECT_GT(Short, 0u);
+  // The memory bound: 100x more samples, identical peak (no stored
+  // paths, so every slot has the same footprint).
+  EXPECT_EQ(Short, Long);
+}
+
+TEST(Reservoir, CallPathsCapturedAtOfferTime) {
+  Collector Sink;
+  SampleReservoir R(Sink, 8, 6);
+  const uint64_t Path[] = {0x400000, 0x400040};
+  R.onSampleAt(mkSample(0, 100), Path, 2);
+  R.flush();
+  ASSERT_EQ(Sink.Samples.size(), 1u);
+  ASSERT_EQ(Sink.Paths[0].size(), 2u);
+  EXPECT_EQ(Sink.Paths[0][0], 0x400000u);
+  EXPECT_EQ(Sink.Paths[0][1], 0x400040u);
+}
+
+TEST(Reservoir, StampProfileRecordsTotalsAndEvictionPressure) {
+  Collector Sink;
+  SampleReservoir R(Sink, 16, 7);
+  // Two IPs; far more samples than capacity so both see evictions.
+  for (uint64_t I = 0; I != 2000; ++I)
+    R.onSample(mkSample(I, 100, I % 2 ? 0x400100 : 0x400200));
+  R.flush();
+
+  profile::Profile P;
+  uint32_t Obj = P.getOrCreateObject("arr");
+  P.getOrCreateStream(0x400100, Obj);
+  P.getOrCreateStream(0x400200, Obj);
+  R.stampProfile(P);
+  const profile::StreamRecord &A = P.Streams[0];
+  const profile::StreamRecord &B = P.Streams[1];
+
+  EXPECT_EQ(P.ReservoirCapacity, 16u);
+  EXPECT_EQ(P.ReservoirSeen, 2000u);
+  EXPECT_EQ(P.ReservoirEvictions, 2000u - 16u);
+  EXPECT_EQ(P.ReservoirWeightSeen, 2000u * 100u);
+  EXPECT_EQ(P.ReservoirWeightKept, 16u * 100u);
+  EXPECT_GT(P.ReservoirPeakBytes, 0u);
+  // Eviction pressure lands on the streams by IP, covering all drops.
+  EXPECT_GT(A.OfferedSamples, 0u);
+  EXPECT_GT(B.OfferedSamples, 0u);
+  EXPECT_EQ(A.OfferedSamples + B.OfferedSamples, P.ReservoirEvictions);
+  EXPECT_EQ(A.OfferedWeight + B.OfferedWeight,
+            P.ReservoirWeightSeen - P.ReservoirWeightKept);
+}
+
+TEST(ReservoirDeath, ZeroCapacityAborts) {
+  Collector Sink;
+  EXPECT_DEATH(SampleReservoir(Sink, 0, 1), "capacity");
+}
+
+namespace {
+
+/// A shard with reservoir accounting and cross-shard stream overlap, so
+/// every reservoir merge rule (max, sum, elementwise-max trajectory) is
+/// exercised through the reduction tree.
+profile::Profile makeReservoirShard(unsigned Shard) {
+  profile::Profile P;
+  P.ThreadId = Shard;
+  P.SamplePeriod = 10000;
+  P.TotalSamples = 20 + Shard;
+  P.TotalLatency = 2000 * (Shard + 1);
+  P.ReservoirCapacity = 64;
+  P.ReservoirSeen = 1000 + 10 * Shard;
+  P.ReservoirEvictions = 900 + 10 * Shard;
+  P.ReservoirWeightSeen = 50000 + Shard;
+  P.ReservoirWeightKept = 5000 + Shard;
+  P.ReservoirPeakBytes = 8192;
+  P.SampleBudget = 500;
+  // Different trajectory lengths across shards: the merge extends.
+  for (unsigned E = 0; E != 2 + Shard % 3; ++E)
+    P.EffectivePeriods.push_back(1000 + 100 * Shard + E);
+  uint32_t Obj = P.getOrCreateObject("shared");
+  profile::ObjectAgg &Agg = P.Objects[Obj];
+  Agg.Name = "shared";
+  Agg.Start = 0x10000;
+  Agg.Size = 1 << 14;
+  Agg.SampleCount = 10;
+  Agg.LatencySum = 1000;
+  for (unsigned S = 0; S != 3; ++S) {
+    profile::StreamRecord &Rec = P.getOrCreateStream(0x400000 + 8 * S, Obj);
+    Rec.AccessSize = 8;
+    Rec.SampleCount = 5;
+    Rec.LatencySum = 300;
+    Rec.UniqueAddrCount = 4;
+    Rec.StrideGcd = 64;
+    Rec.ObjectStart = 0x10000;
+    Rec.RepAddr = 0x10000 + 8 * S;
+    Rec.LastAddr = Rec.RepAddr + 64;
+    Rec.OfferedSamples = 5 + 50 * (Shard + 1);
+    Rec.OfferedWeight = 300 + 500 * (Shard + 1);
+  }
+  return P;
+}
+
+} // namespace
+
+TEST(ReservoirMerge, ReservoirShardsMergeJobsInvariantAndByteIdentical) {
+  std::string Dir = "reservoir_tmp/merge";
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  std::vector<std::string> Files;
+  for (unsigned I = 0; I != 5; ++I) {
+    std::string Path = Dir + "/thread" + std::to_string(I) + ".structslim";
+    std::ofstream(Path, std::ios::binary)
+        << profileToString(makeReservoirShard(I));
+    Files.push_back(Path);
+  }
+  std::string Expected;
+  for (unsigned Jobs : {1u, 2u, 4u}) {
+    profile::MergeOptions Opts;
+    Opts.WorkerThreads = Jobs;
+    profile::MergeLoadResult Load = profile::loadAndMergeProfiles(Files, Opts);
+    ASSERT_EQ(Load.Loaded.size(), 5u);
+    std::string Bytes = profileToString(Load.Merged);
+    if (Expected.empty())
+      Expected = Bytes;
+    EXPECT_EQ(Bytes, Expected) << "jobs=" << Jobs;
+    // The documented merge rules.
+    EXPECT_EQ(Load.Merged.ReservoirCapacity, 64u);     // max
+    uint64_t SeenSum = 0, EvictSum = 0, PeakSum = 0;
+    for (unsigned I = 0; I != 5; ++I) {
+      profile::Profile S = makeReservoirShard(I);
+      SeenSum += S.ReservoirSeen;
+      EvictSum += S.ReservoirEvictions;
+      PeakSum += S.ReservoirPeakBytes;
+    }
+    EXPECT_EQ(Load.Merged.ReservoirSeen, SeenSum);         // sum
+    EXPECT_EQ(Load.Merged.ReservoirEvictions, EvictSum);   // sum
+    EXPECT_EQ(Load.Merged.ReservoirPeakBytes, PeakSum);    // sum
+    EXPECT_EQ(Load.Merged.SampleBudget, 500u);             // max
+    // Trajectory: elementwise max over shards, longest length wins.
+    ASSERT_EQ(Load.Merged.EffectivePeriods.size(), 4u);
+    EXPECT_EQ(Load.Merged.EffectivePeriods[0], 1400u); // shard 4
+    EXPECT_EQ(Load.Merged.EffectivePeriods[3], 1203u); // shard 2 only
+    // Stream offered counts: summed across shards.
+    ASSERT_FALSE(Load.Merged.Streams.empty());
+    uint64_t OfferedSum = 0;
+    for (unsigned I = 0; I != 5; ++I)
+      OfferedSum += 5 + 50 * (I + 1);
+    EXPECT_EQ(Load.Merged.Streams[0].OfferedSamples, OfferedSum);
+  }
+}
+
+TEST(ReservoirMerge, RoundTripPreservesReservoirFields) {
+  profile::Profile P = makeReservoirShard(3);
+  std::string Error;
+  auto Back = profile::profileFromString(profileToString(P), &Error);
+  ASSERT_TRUE(Back.has_value()) << Error;
+  EXPECT_EQ(Back->ReservoirCapacity, P.ReservoirCapacity);
+  EXPECT_EQ(Back->ReservoirSeen, P.ReservoirSeen);
+  EXPECT_EQ(Back->ReservoirEvictions, P.ReservoirEvictions);
+  EXPECT_EQ(Back->ReservoirWeightSeen, P.ReservoirWeightSeen);
+  EXPECT_EQ(Back->ReservoirWeightKept, P.ReservoirWeightKept);
+  EXPECT_EQ(Back->ReservoirPeakBytes, P.ReservoirPeakBytes);
+  EXPECT_EQ(Back->SampleBudget, P.SampleBudget);
+  EXPECT_EQ(Back->EffectivePeriods, P.EffectivePeriods);
+  ASSERT_EQ(Back->Streams.size(), P.Streams.size());
+  EXPECT_EQ(Back->Streams[0].OfferedSamples, P.Streams[0].OfferedSamples);
+  EXPECT_EQ(Back->Streams[0].OfferedWeight, P.Streams[0].OfferedWeight);
+}

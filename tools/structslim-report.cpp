@@ -208,6 +208,16 @@ int main(int argc, char **argv) {
   Stats.ProducerStalls = Merged.ProducerStalls;
   Stats.ConsumerBatches = Merged.ConsumerBatches;
   Stats.PipelineCapacity = Merged.PipelineCapacity;
+  // Bounded-reservoir counters travel the same way (merge rule:
+  // max/sum); zero for unbounded runs and pre-reservoir shards.
+  Stats.ReservoirCapacity = Merged.ReservoirCapacity;
+  Stats.ReservoirSeen = Merged.ReservoirSeen;
+  Stats.ReservoirEvictions = Merged.ReservoirEvictions;
+  Stats.ReservoirWeightSeen = Merged.ReservoirWeightSeen;
+  Stats.ReservoirWeightKept = Merged.ReservoirWeightKept;
+  Stats.ReservoirPeakBytes = Merged.ReservoirPeakBytes;
+  Stats.SampleBudget = Merged.SampleBudget;
+  Stats.EffectivePeriods = Merged.EffectivePeriods;
 
   Opts.Analysis.Jobs = Opts.Jobs;
   core::StructSlimAnalyzer Analyzer(Opts.Analysis);

@@ -15,6 +15,12 @@
 //   structslim-verify [options] [workloads...]
 //     --scale=X      working-set scale factor (default 1.0)
 //     --period=N     PMU sampling period (default 10000)
+//     --reservoir=N  bound resident samples to N per thread via the
+//                    latency-weighted reservoir (default 0 = keep all)
+//     --sample-budget=N
+//                    overhead-governor target in samples per million
+//                    accesses (default 0 = governor off)
+//     --epoch=N      governor epoch length in accesses (default 2^20)
 //     --jobs=N       merge/analyzer worker threads (default 0 = auto);
 //                    output is byte-identical for every setting
 //     --json         emit the machine-readable document (schema_version
@@ -45,6 +51,9 @@ namespace {
 struct Options {
   double Scale = 1.0;
   uint64_t Period = 10000;
+  uint64_t Reservoir = 0;
+  uint64_t SampleBudget = 0;
+  uint64_t Epoch = 1ull << 20;
   unsigned Jobs = 0;
   bool Json = false;
   bool Smoke = false;
@@ -54,7 +63,8 @@ struct Options {
 
 int usage() {
   std::cerr << "usage: structslim-verify [--scale=X] [--period=N] "
-               "[--jobs=N] [--json] [--smoke] [--list] [workloads...]\n";
+               "[--reservoir=N] [--sample-budget=N] [--epoch=N] [--jobs=N] "
+               "[--json] [--smoke] [--list] [workloads...]\n";
   return 2;
 }
 
@@ -98,6 +108,15 @@ bool parseArgs(int argc, char **argv, Options &Opts) {
     } else if (Arg.rfind("--period=", 0) == 0) {
       if (!parseUnsigned(Arg.substr(9), Opts.Period) || Opts.Period == 0)
         return badValue("--period", Arg.substr(9));
+    } else if (Arg.rfind("--reservoir=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(12), Opts.Reservoir))
+        return badValue("--reservoir", Arg.substr(12));
+    } else if (Arg.rfind("--sample-budget=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(16), Opts.SampleBudget))
+        return badValue("--sample-budget", Arg.substr(16));
+    } else if (Arg.rfind("--epoch=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(8), Opts.Epoch) || Opts.Epoch == 0)
+        return badValue("--epoch", Arg.substr(8));
     } else if (Arg.rfind("--jobs=", 0) == 0) {
       uint64_t Jobs = 0;
       if (!parseUnsigned(Arg.substr(7), Jobs) || Jobs > 0xffffffffULL)
@@ -158,6 +177,9 @@ int main(int argc, char **argv) {
   core::ClosedLoopConfig Config;
   Config.Driver.Scale = Opts.Scale;
   Config.Driver.Run.Sampling.Period = Opts.Period;
+  Config.Driver.Run.Sampling.ReservoirCapacity = Opts.Reservoir;
+  Config.Driver.Run.Sampling.SampleBudgetPerMAccess = Opts.SampleBudget;
+  Config.Driver.Run.Sampling.EpochAccesses = Opts.Epoch;
   Config.Driver.WorkerThreads = Opts.Jobs;
   Config.Driver.Analysis.Jobs = Opts.Jobs;
 
