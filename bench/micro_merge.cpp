@@ -27,6 +27,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "HostFeatures.h"
+#include "core/Analyzer.h"
+#include "core/Report.h"
 #include "profile/MergeTree.h"
 #include "profile/ProfileIO.h"
 #include "support/Format.h"
@@ -34,6 +36,7 @@
 #include "support/TablePrinter.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -308,8 +311,137 @@ int main(int argc, char **argv) {
               std::to_string(Load.PeakResidentProfiles) +
               ", \"identical\": " + (Identical ? "true" : "false") + "}";
     }
+
+#if defined(__unix__) || defined(__APPLE__)
+    // The same jobs=1 pipeline with mmap disabled: isolates what the
+    // zero-copy mapped decode buys over buffered whole-file reads.
+    {
+      double BestSeconds = 0;
+      profile::MergeLoadResult Load;
+      ::setenv("STRUCTSLIM_NO_MMAP", "1", 1);
+      for (unsigned R = 0; R != Reps; ++R) {
+        profile::MergeOptions Opts;
+        Opts.WorkerThreads = 1;
+        auto T0 = std::chrono::steady_clock::now();
+        profile::MergeLoadResult ThisLoad =
+            profile::loadAndMergeProfiles(SubV3, Opts);
+        double S = secondsSince(T0);
+        if (R == 0 || S < BestSeconds) {
+          BestSeconds = S;
+          Load = std::move(ThisLoad);
+        }
+      }
+      ::unsetenv("STRUCTSLIM_NO_MMAP");
+      bool Identical = profile::profileToString(Load.Merged) == Expected &&
+                       Load.Loaded.size() == Shards;
+      AllIdentical = AllIdentical && Identical;
+      double Speedup = BestSeconds > 0 ? BaselineSeconds / BestSeconds : 0.0;
+      Table.addRow({std::to_string(Shards), "v3+buffered(no-mmap)", "1",
+                    formatDouble(BestSeconds, 4),
+                    formatDouble(Speedup, 2) + "x",
+                    std::to_string(Load.PeakResidentProfiles),
+                    Identical ? "yes" : "NO"});
+      Json += ",\n    {\"shards\": " + std::to_string(Shards) +
+              ", \"pipeline\": \"v3_buffered\", \"jobs\": 1"
+              ", \"ingest_merge_seconds\": " + std::to_string(BestSeconds) +
+              ", \"speedup\": " + std::to_string(Speedup) +
+              ", \"peak_resident_profiles\": " +
+              std::to_string(Load.PeakResidentProfiles) +
+              ", \"identical\": " + (Identical ? "true" : "false") + "}";
+    }
+#endif
+
+    // Epoch-wise accumulation (batches of 8): the incremental ingest
+    // path long-running consumers use. Must cost the same as one-shot
+    // and merge to the identical bytes — the stack IS the canonical
+    // tree's frontier.
+    {
+      const size_t Batch = 8;
+      double BestSeconds = 0;
+      size_t PeakResident = 0;
+      Profile Merged;
+      for (unsigned R = 0; R != Reps; ++R) {
+        profile::MergeOptions Opts;
+        Opts.WorkerThreads = 1;
+        auto T0 = std::chrono::steady_clock::now();
+        profile::EpochAccumulator Acc(Opts);
+        for (size_t I = 0; I < SubV3.size(); I += Batch) {
+          size_t End = std::min(I + Batch, SubV3.size());
+          Acc.addShards({SubV3.begin() + I, SubV3.begin() + End});
+        }
+        Profile ThisMerged = Acc.take();
+        double S = secondsSince(T0);
+        if (R == 0 || S < BestSeconds) {
+          BestSeconds = S;
+          PeakResident = Acc.peakResidentProfiles();
+          Merged = std::move(ThisMerged);
+        }
+      }
+      bool Identical = profile::profileToString(Merged) == Expected;
+      AllIdentical = AllIdentical && Identical;
+      double Speedup = BestSeconds > 0 ? BaselineSeconds / BestSeconds : 0.0;
+      Table.addRow({std::to_string(Shards), "v3+epoch(8)", "1",
+                    formatDouble(BestSeconds, 4),
+                    formatDouble(Speedup, 2) + "x",
+                    std::to_string(PeakResident),
+                    Identical ? "yes" : "NO"});
+      Json += ",\n    {\"shards\": " + std::to_string(Shards) +
+              ", \"pipeline\": \"v3_epoch8\", \"jobs\": 1"
+              ", \"ingest_merge_seconds\": " + std::to_string(BestSeconds) +
+              ", \"speedup\": " + std::to_string(Speedup) +
+              ", \"peak_resident_profiles\": " +
+              std::to_string(PeakResident) +
+              ", \"identical\": " + (Identical ? "true" : "false") + "}";
+    }
   }
   Json += "\n  ],\n";
+
+  // Warm vs cold analysis on the full merged profile: the incremental
+  // result cache re-serves unchanged objects, so a rolling re-report
+  // after an epoch that changed nothing skips analyzeObject entirely.
+  // The warm rendering must be byte-identical to the cold one.
+  double AnalyzeColdSeconds = 0, AnalyzeWarmSeconds = 0;
+  uint64_t ObjectsReused = 0;
+  bool WarmIdentical = false;
+  {
+    profile::MergeOptions Opts;
+    Opts.WorkerThreads = 1;
+    Profile Merged = profile::loadAndMergeProfiles(FilesV3, Opts).Merged;
+    core::AnalysisConfig Config;
+    Config.TopObjects = 1000;
+    Config.MinObjectShare = 0;
+    Config.Jobs = 1;
+    core::StructSlimAnalyzer Analyzer(Config);
+    auto TCold = std::chrono::steady_clock::now();
+    core::AnalysisResult Cold = Analyzer.analyze(Merged);
+    AnalyzeColdSeconds = secondsSince(TCold);
+    auto TWarm = std::chrono::steady_clock::now();
+    core::AnalysisResult Warm = Analyzer.analyze(Merged);
+    AnalyzeWarmSeconds = secondsSince(TWarm);
+    ObjectsReused = Warm.Stats.ObjectsReused;
+    WarmIdentical = core::renderHotObjects(Warm) ==
+                        core::renderHotObjects(Cold) &&
+                    ObjectsReused == Cold.Objects.size();
+    AllIdentical = AllIdentical && WarmIdentical;
+    std::cout << "Warm re-analysis: cold "
+              << formatDouble(AnalyzeColdSeconds, 4) << "s, warm "
+              << formatDouble(AnalyzeWarmSeconds, 4) << "s ("
+              << formatDouble(AnalyzeWarmSeconds > 0
+                                  ? AnalyzeColdSeconds / AnalyzeWarmSeconds
+                                  : 0.0,
+                              2)
+              << "x), " << ObjectsReused << " objects reused, identical: "
+              << (WarmIdentical ? "yes" : "NO") << "\n\n";
+  }
+  Json += "  \"analysis\": {\"cold_seconds\": " +
+          std::to_string(AnalyzeColdSeconds) +
+          ", \"warm_seconds\": " + std::to_string(AnalyzeWarmSeconds) +
+          ", \"warm_speedup\": " +
+          std::to_string(AnalyzeWarmSeconds > 0
+                             ? AnalyzeColdSeconds / AnalyzeWarmSeconds
+                             : 0.0) +
+          ", \"objects_reused\": " + std::to_string(ObjectsReused) +
+          ", \"identical\": " + (WarmIdentical ? "true" : "false") + "},\n";
   Json += "  \"headline_single_core_speedup\": " +
           std::to_string(HeadlineSpeedup) + ",\n";
   Json += "  \"all_identical\": " + std::string(AllIdentical ? "true"

@@ -28,6 +28,7 @@
 #include <array>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace structslim {
@@ -64,6 +65,14 @@ struct AnalysisConfig {
   unsigned MinUniqueAddrs = 10;
   /// Field clustering algorithm.
   ClusteringMethod Clustering = ClusteringMethod::Threshold;
+  /// Reuse per-object results across analyze() calls on one analyzer
+  /// when an object's content hash (aggregates + every stream field +
+  /// the reservoir-lossiness flag) is unchanged — the warm path for
+  /// rolling re-reports over an epoch accumulator, re-running
+  /// analyzeObject only for objects that actually changed. Output is
+  /// byte-identical to a cold run; false restores the always-recompute
+  /// oracle (--no-incremental in structslim-report).
+  bool Incremental = true;
   /// Worker threads for the per-object analysis: objects are analyzed
   /// concurrently on the shared support::ThreadPool when > 1; 1 runs
   /// serially; 0 (the default) sizes from
@@ -96,6 +105,11 @@ struct AnalysisStats {
   uint64_t TruncatedStreams = 0;
   /// Analyzed objects with at least one reservoir-starved stream.
   uint64_t ReservoirTruncatedObjects = 0;
+  /// Objects served from the incremental result cache this run
+  /// (content hash unchanged since a previous analyze() on the same
+  /// analyzer). Not rendered in reports — warm and cold runs must stay
+  /// byte-identical — but exposed for tests and benchmarks.
+  uint64_t ObjectsReused = 0;
 };
 
 /// Latency decomposition for one inferred field (Table 5 row).
@@ -204,14 +218,19 @@ public:
   /// Registers the source-level layout of the struct stored in object
   /// \p ObjectName, used only to attach field names to inferred
   /// offsets when rendering reports (the analysis itself never reads
-  /// it).
+  /// it). Invalidates the incremental result cache: cached analyses
+  /// may carry field names from the previous layout set.
   void registerLayout(const std::string &ObjectName,
                       const ir::StructLayout &Layout);
 
   /// Runs the full analysis pipeline of Fig. 2 on \p Merged. The
   /// per-object analyses run concurrently on the shared
   /// support::ThreadPool per AnalysisConfig::Jobs; the result is
-  /// byte-identical to a serial run for any job count.
+  /// byte-identical to a serial run for any job count, and (with
+  /// AnalysisConfig::Incremental) to any earlier warm/cold schedule of
+  /// analyze() calls on this analyzer. The incremental cache makes
+  /// concurrent analyze() calls on one analyzer unsupported; distinct
+  /// analyzers remain independent.
   AnalysisResult analyze(const profile::Profile &Merged) const;
 
   const AnalysisConfig &getConfig() const { return Config; }
@@ -224,6 +243,14 @@ private:
   const analysis::CodeMap *CodeMap = nullptr;
   AnalysisConfig Config;
   std::map<std::string, ir::StructLayout> Layouts;
+  /// Incremental re-analysis: per-object-key cached result plus the
+  /// content hash it was computed from. Mutable — the cache is an
+  /// acceleration structure invisible in analyze() output.
+  struct CachedAnalysis {
+    uint64_t Hash = 0;
+    ObjectAnalysis Result;
+  };
+  mutable std::unordered_map<std::string, CachedAnalysis> ResultCache;
 };
 
 } // namespace core

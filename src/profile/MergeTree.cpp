@@ -31,51 +31,6 @@ MergeScratch &threadScratch() {
   return Scratch;
 }
 
-/// Binary-counter accumulator producing the canonical adjacent-pair
-/// reduction tree incrementally. Invariant: the stack holds merged
-/// subtrees of strictly decreasing weight (leaf count, always a power
-/// of two); pushing a leaf merges equal-weight neighbors until the
-/// invariant holds again — exactly the shape the level-by-level tree
-/// in mergeProfiles builds, so streaming and batch merging are
-/// bit-identical (finish() right-folds the surviving subtrees from the
-/// top of the stack, which matches the odd-tail promotion rule).
-class TreeAccumulator {
-public:
-  void push(Profile P) {
-    Stack.push_back({std::move(P), 1});
-    while (Stack.size() >= 2 &&
-           Stack[Stack.size() - 2].Weight == Stack.back().Weight) {
-      Entry Top = std::move(Stack.back());
-      Stack.pop_back();
-      Stack.back().P.merge(Top.P, Scratch);
-      Stack.back().Weight *= 2;
-    }
-  }
-
-  Profile finish() {
-    if (Stack.empty())
-      return Profile();
-    while (Stack.size() > 1) {
-      Entry Top = std::move(Stack.back());
-      Stack.pop_back();
-      Stack.back().P.merge(Top.P, Scratch);
-    }
-    Profile Out = std::move(Stack.back().P);
-    Stack.clear();
-    return Out;
-  }
-
-  size_t size() const { return Stack.size(); }
-
-private:
-  struct Entry {
-    Profile P;
-    uint64_t Weight;
-  };
-  std::vector<Entry> Stack;
-  MergeScratch Scratch;
-};
-
 } // namespace
 
 Profile structslim::profile::mergeProfiles(std::vector<Profile> Profiles,
@@ -117,24 +72,75 @@ Profile structslim::profile::mergeProfiles(std::vector<Profile> Profiles,
   return std::move(Profiles.front());
 }
 
-namespace {
+//===----------------------------------------------------------------------===//
+// EpochAccumulator
+//===----------------------------------------------------------------------===//
+
+void EpochAccumulator::pushLeaf(Profile P) {
+  Stack.push_back({std::move(P), 1});
+  while (Stack.size() >= 2 &&
+         Stack[Stack.size() - 2].Weight == Stack.back().Weight) {
+    Entry Top = std::move(Stack.back());
+    Stack.pop_back();
+    Stack.back().P.merge(Top.P, Scratch);
+    Stack.back().Weight *= 2;
+  }
+  ++Shards;
+}
+
+Profile EpochAccumulator::compact() const {
+  if (Stack.empty())
+    return Profile();
+  // Right-fold deep copies from the top of the stack — the same order
+  // finish()/take() use, which matches the odd-tail promotion rule of
+  // the canonical tree.
+  std::vector<Profile> Copies;
+  Copies.reserve(Stack.size());
+  for (const Entry &E : Stack)
+    Copies.push_back(E.P);
+  MergeScratch LocalScratch;
+  while (Copies.size() > 1) {
+    Profile Top = std::move(Copies.back());
+    Copies.pop_back();
+    Copies.back().merge(Top, LocalScratch);
+  }
+  return std::move(Copies.front());
+}
+
+Profile EpochAccumulator::take() {
+  if (Stack.empty())
+    return Profile();
+  while (Stack.size() > 1) {
+    Entry Top = std::move(Stack.back());
+    Stack.pop_back();
+    Stack.back().P.merge(Top.P, Scratch);
+  }
+  Profile Out = std::move(Stack.back().P);
+  Stack.clear();
+  Shards = 0;
+  return Out;
+}
 
 /// The serial loader: decode and fold one shard at a time. Used for
 /// jobs <= 1 and whenever fault injection is armed (the injector's
 /// hit-order contract — hit N is file N — requires deterministic
 /// decode order). Identical output to the parallel path by
-/// construction: both feed the same accumulator in file order.
-MergeLoadResult loadSerial(const std::vector<std::string> &Files,
-                           const MergeOptions &Opts) {
+/// construction: both feed the same accumulator in file order. The
+/// serial path also fuses key interning into the decode itself (the
+/// interner is not thread-safe, so only this path can).
+MergeLoadResult EpochAccumulator::addSerial(
+    const std::vector<std::string> &Files) {
   MergeLoadResult Result;
   support::FaultInjector &Injector = support::FaultInjector::instance();
-  ObjectKeyInterner Interner;
-  TreeAccumulator Acc;
+  std::vector<Entry> Snapshot;
+  size_t ShardsSnapshot = Shards;
+  if (Opts.Strict)
+    Snapshot = Stack; // Deep copy: strict failure must restore it.
 
   for (const std::string &Path : Files) {
     auto LoadStart = Clock::now();
     std::string Error;
-    std::optional<Profile> P = readProfileFile(Path, &Error);
+    std::optional<Profile> P = readProfileFile(Path, &Error, &Interner);
     Result.LoadSeconds += secondsSince(LoadStart);
     if (P && Injector.shouldFail(support::FaultSite::MergeShardAlloc)) {
       P.reset();
@@ -144,24 +150,28 @@ MergeLoadResult loadSerial(const std::vector<std::string> &Files,
       Result.Skipped.push_back({Path, Error});
       if (Opts.Strict) {
         // All-or-nothing: report only the aborting shard and expose no
-        // partial merge state.
+        // partial merge state — neither in the result nor in the
+        // accumulator (ids interned from earlier shards of this call
+        // stay in the interner, which is harmless: ids only append).
         Result.StrictFailure = true;
         Result.Skipped = {{Path, Error}};
         Result.Loaded.clear();
         Result.Merged = Profile();
+        Stack = std::move(Snapshot);
+        Shards = ShardsSnapshot;
         return Result;
       }
       continue;
     }
     auto ReduceStart = Clock::now();
-    P->internObjectKeys(Interner);
-    if (Result.PeakResidentProfiles < Acc.size() + 1)
-      Result.PeakResidentProfiles = Acc.size() + 1;
-    Acc.push(std::move(*P));
+    if (Result.PeakResidentProfiles < Stack.size() + 1)
+      Result.PeakResidentProfiles = Stack.size() + 1;
+    pushLeaf(std::move(*P));
     Result.ReduceSeconds += secondsSince(ReduceStart);
     Result.Loaded.push_back(Path);
   }
-  Result.Merged = Acc.finish();
+  if (PeakResident < Result.PeakResidentProfiles)
+    PeakResident = Result.PeakResidentProfiles;
   return Result;
 }
 
@@ -169,8 +179,8 @@ MergeLoadResult loadSerial(const std::vector<std::string> &Files,
 /// runs ahead on the pool while the coordinator consumes strictly in
 /// file order, so the accumulator sees the same sequence as the serial
 /// path and at most O(jobs) decoded shards are resident at once.
-MergeLoadResult loadStreaming(const std::vector<std::string> &Files,
-                              const MergeOptions &Opts, unsigned Jobs) {
+MergeLoadResult EpochAccumulator::addStreaming(
+    const std::vector<std::string> &Files, unsigned Jobs) {
   MergeLoadResult Result;
   support::FaultInjector &Injector = support::FaultInjector::instance();
   support::ThreadPool &Pool = support::ThreadPool::global();
@@ -226,8 +236,10 @@ MergeLoadResult loadStreaming(const std::vector<std::string> &Files,
     SlotDone.wait(Lock, [&] { return Completed == Issued; });
   };
 
-  ObjectKeyInterner Interner;
-  TreeAccumulator Acc;
+  std::vector<Entry> Snapshot;
+  size_t ShardsSnapshot = Shards;
+  if (Opts.Strict)
+    Snapshot = Stack; // Deep copy: strict failure must restore it.
 
   for (size_t I = 0; I != Files.size(); ++I) {
     std::optional<Profile> P;
@@ -240,7 +252,7 @@ MergeLoadResult loadStreaming(const std::vector<std::string> &Files,
       Result.LoadSeconds += Slots[I].Seconds;
       // Sample the high-water mark while this shard still counts as
       // resident: decoded-but-unmerged slots plus the merge stack.
-      size_t Resident = ResidentDecoded + Acc.size();
+      size_t Resident = ResidentDecoded + Stack.size();
       if (Result.PeakResidentProfiles < Resident)
         Result.PeakResidentProfiles = Resident;
       if (P)
@@ -258,6 +270,8 @@ MergeLoadResult loadStreaming(const std::vector<std::string> &Files,
         Result.Loaded.clear();
         Result.Merged = Profile();
         Drain();
+        Stack = std::move(Snapshot);
+        Shards = ShardsSnapshot;
         return Result;
       }
       // Keep the pipeline full past a skipped shard.
@@ -267,8 +281,10 @@ MergeLoadResult loadStreaming(const std::vector<std::string> &Files,
       continue;
     }
     auto ReduceStart = Clock::now();
+    // Decode ran concurrently, so keys intern at fold time (the
+    // interner is single-threaded by contract).
     P->internObjectKeys(Interner);
-    Acc.push(std::move(*P));
+    pushLeaf(std::move(*P));
     Result.ReduceSeconds += secondsSince(ReduceStart);
     Result.Loaded.push_back(Files[I]);
     std::lock_guard<std::mutex> Lock(Mutex);
@@ -276,21 +292,29 @@ MergeLoadResult loadStreaming(const std::vector<std::string> &Files,
       IssueOne();
   }
   Drain();
-  Result.Merged = Acc.finish();
+  if (PeakResident < Result.PeakResidentProfiles)
+    PeakResident = Result.PeakResidentProfiles;
   return Result;
 }
 
-} // namespace
-
 MergeLoadResult
-structslim::profile::loadAndMergeProfiles(const std::vector<std::string> &Files,
-                                          const MergeOptions &Opts) {
+EpochAccumulator::addShards(const std::vector<std::string> &Files) {
   unsigned Jobs = Opts.WorkerThreads ? Opts.WorkerThreads
                                      : support::ThreadPool::defaultThreadCount();
   // Armed fault injection pins decode order (hit N must be file N);
   // one worker or one file gains nothing from the task machinery.
   if (Jobs <= 1 || Files.size() <= 1 ||
       support::FaultInjector::instance().anyArmed())
-    return loadSerial(Files, Opts);
-  return loadStreaming(Files, Opts, Jobs);
+    return addSerial(Files);
+  return addStreaming(Files, Jobs);
+}
+
+MergeLoadResult
+structslim::profile::loadAndMergeProfiles(const std::vector<std::string> &Files,
+                                          const MergeOptions &Opts) {
+  EpochAccumulator Acc(Opts);
+  MergeLoadResult Result = Acc.addShards(Files);
+  if (!Result.StrictFailure)
+    Result.Merged = Acc.take();
+  return Result;
 }

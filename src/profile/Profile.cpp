@@ -11,6 +11,7 @@ using namespace structslim;
 using namespace structslim::profile;
 
 uint32_t Profile::getOrCreateObject(const std::string &Key) {
+  ensureObjectIndex();
   auto [It, Inserted] = ObjectIndexByKey.try_emplace(
       Key, static_cast<uint32_t>(Objects.size()));
   if (Inserted) {
@@ -22,6 +23,7 @@ uint32_t Profile::getOrCreateObject(const std::string &Key) {
 }
 
 StreamRecord &Profile::getOrCreateStream(uint64_t Ip, uint32_t ObjectIndex) {
+  ensureStreamIndex();
   bool Inserted = false;
   uint32_t Index = StreamIndex.getOrInsert(
       Ip, ObjectIndex, static_cast<uint32_t>(Streams.size()), Inserted);
@@ -35,6 +37,7 @@ StreamRecord &Profile::getOrCreateStream(uint64_t Ip, uint32_t ObjectIndex) {
 }
 
 const ObjectAgg *Profile::findObject(const std::string &Key) const {
+  ensureObjectIndex();
   auto It = ObjectIndexByKey.find(Key);
   return It == ObjectIndexByKey.end() ? nullptr : &Objects[It->second];
 }
@@ -48,6 +51,12 @@ void Profile::internObjectKeys(ObjectKeyInterner &Interner) {
   for (const ObjectAgg &O : Objects)
     ObjectKeyIds.push_back(Interner.idOf(O.Key));
   KeyIdBound = static_cast<uint32_t>(Interner.universe());
+}
+
+void Profile::adoptInternedKeys(std::vector<uint32_t> Ids, uint32_t Bound) {
+  assert(Ids.size() == Objects.size() && "one interned id per object");
+  ObjectKeyIds = std::move(Ids);
+  KeyIdBound = Bound;
 }
 
 void Profile::remapObjects(const Profile &Other,
@@ -91,9 +100,11 @@ void Profile::remapObjectsBatched(const Profile &Other,
       Local = static_cast<uint32_t>(Objects.size());
       ObjectAgg Agg;
       Agg.Key = Other.Objects[I].Key;
-      // Keep the by-key map coherent: one string hash per *new*
-      // object, not per incoming object as on the string path.
-      ObjectIndexByKey.try_emplace(Agg.Key, Local);
+      // Keep the by-key map coherent when it exists: one string hash
+      // per *new* object. A lazily-unindexed destination skips even
+      // that — the rebuild covers appended objects.
+      if (ObjectsIndexed)
+        ObjectIndexByKey.try_emplace(Agg.Key, Local);
       Objects.push_back(std::move(Agg));
       ObjectKeyIds.push_back(G);
       Scratch.Local[G] = Local;
@@ -145,6 +156,7 @@ void Profile::mergeBody(const Profile &Other,
     Ours.LatencySum += Theirs.LatencySum;
   }
 
+  ensureStreamIndex();
   StreamIndex.reserve(Streams.size() + Other.Streams.size());
   for (const StreamRecord &Theirs : Other.Streams) {
     StreamRecord &Ours = getOrCreateStream(Theirs.Ip, Remap[Theirs.ObjectIndex]);
@@ -201,16 +213,38 @@ void Profile::merge(const Profile &Other, MergeScratch &Scratch) {
   mergeBody(Other, Scratch.Remap);
 }
 
-void Profile::reindex() {
+void Profile::markUnindexed() {
   ObjectIndexByKey.clear();
   StreamIndex.clear();
-  StreamIndex.reserve(Streams.size());
   ObjectKeyIds.clear();
   KeyIdBound = 0;
+  ObjectsIndexed = false;
+  StreamsIndexed = false;
+}
+
+void Profile::ensureObjectIndex() const {
+  if (ObjectsIndexed)
+    return;
+  ObjectIndexByKey.clear();
   for (size_t I = 0; I != Objects.size(); ++I)
     ObjectIndexByKey[Objects[I].Key] = static_cast<uint32_t>(I);
+  ObjectsIndexed = true;
+}
+
+void Profile::ensureStreamIndex() const {
+  if (StreamsIndexed)
+    return;
+  StreamIndex.clear();
+  StreamIndex.reserve(Streams.size());
   bool Inserted = false;
   for (size_t I = 0; I != Streams.size(); ++I)
     StreamIndex.getOrInsert(Streams[I].Ip, Streams[I].ObjectIndex,
                             static_cast<uint32_t>(I), Inserted);
+  StreamsIndexed = true;
+}
+
+void Profile::reindex() {
+  markUnindexed();
+  ensureObjectIndex();
+  ensureStreamIndex();
 }

@@ -30,6 +30,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -89,11 +90,29 @@ public:
     return It->second;
   }
 
+  /// The string_view variant the zero-copy decoder uses: keys intern
+  /// straight from mapped file bytes, copying only on first sight.
+  uint32_t idOf(std::string_view Key) {
+    auto It = Ids.find(Key);
+    if (It != Ids.end())
+      return It->second;
+    uint32_t Id = static_cast<uint32_t>(Ids.size());
+    Ids.emplace(std::string(Key), Id);
+    return Id;
+  }
+
   /// Upper bound (exclusive) on every id handed out so far.
   size_t universe() const { return Ids.size(); }
 
 private:
-  std::unordered_map<std::string, uint32_t> Ids;
+  struct TransparentHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view S) const noexcept {
+      return std::hash<std::string_view>{}(S);
+    }
+  };
+  std::unordered_map<std::string, uint32_t, TransparentHash, std::equal_to<>>
+      Ids;
 };
 
 /// Reusable per-merge-chain scratch for the batched (interned) merge:
@@ -192,11 +211,28 @@ public:
   /// before a batched reduction; merges maintain the ids incrementally.
   void internObjectKeys(ObjectKeyInterner &Interner);
 
-  /// Re-establishes the lookup indices after bulk loading (used by the
-  /// deserializer).
+  /// Installs interned key ids computed during decode (one per object,
+  /// in object order, from a single interner whose universe bound is
+  /// \p Bound). Equivalent to internObjectKeys against that interner
+  /// without a second pass over the key strings.
+  void adoptInternedKeys(std::vector<uint32_t> Ids, uint32_t Bound);
+
+  /// Marks the lookup indices stale after bulk deserialization. They
+  /// rebuild lazily on first use, so a shard that only ever acts as a
+  /// merge *source* never pays for an index build at all.
+  void markUnindexed();
+
+  /// Re-establishes the lookup indices after bulk loading (the eager
+  /// form of markUnindexed; kept for callers that want the build cost
+  /// now rather than on first lookup).
   void reindex();
 
 private:
+  /// Lazy index rebuilds (see markUnindexed). The flags cover the two
+  /// maps independently: a batched merge destination needs only the
+  /// stream index, so it never rebuilds the by-key string map.
+  void ensureObjectIndex() const;
+  void ensureStreamIndex() const;
   /// Phase 1 of a merge: computes Other-object-index -> our-object-
   /// index into \p Remap, appending objects missing on our side.
   void remapObjects(const Profile &Other, std::vector<uint32_t> &Remap);
@@ -206,11 +242,14 @@ private:
   /// makes them bit-identical by construction.
   void mergeBody(const Profile &Other, const std::vector<uint32_t> &Remap);
 
-  std::unordered_map<std::string, uint32_t> ObjectIndexByKey;
+  mutable std::unordered_map<std::string, uint32_t> ObjectIndexByKey;
   /// (Ip, ObjectIndex) -> index into Streams. Flat open addressing:
   /// the merge hot loop does one probe per incoming stream record with
   /// no allocation and no string or struct-key hashing.
-  support::FlatPairMap StreamIndex;
+  mutable support::FlatPairMap StreamIndex;
+  /// False after markUnindexed until the corresponding map rebuilt.
+  mutable bool ObjectsIndexed = true;
+  mutable bool StreamsIndexed = true;
   /// Interned key id per object (parallel to Objects) once
   /// internObjectKeys ran; empty on profiles outside a merge batch.
   std::vector<uint32_t> ObjectKeyIds;

@@ -5,6 +5,7 @@
 #include "profile/Profile.h"
 #include "support/Checksum.h"
 #include "support/FaultInjection.h"
+#include "support/MappedFile.h"
 #include "support/VarInt.h"
 
 #include <cassert>
@@ -554,7 +555,7 @@ static std::optional<Profile> readProfileV1(std::istream &IS,
   }
   if (!SawMeta)
     return failParse(Error, "profile has no meta record");
-  P.reindex();
+  P.markUnindexed();
   return P;
 }
 
@@ -635,7 +636,7 @@ static std::optional<Profile> readProfileV2(std::istream &IS,
     return failParse(Error, "truncated profile (missing end marker)");
   if (!SawMeta)
     return failParse(Error, "profile has no meta record");
-  P.reindex();
+  P.markUnindexed();
   return P;
 }
 
@@ -654,7 +655,8 @@ struct V3Header {
 } // namespace
 
 static std::optional<Profile> readProfileV3(std::string_view Data,
-                                            std::string *Error) {
+                                            std::string *Error,
+                                            ObjectKeyInterner *Interner) {
   // Data starts after the magic line. The section count comes first
   // (it fixes the header size: five base sections, optionally the
   // reservoir section); then the header's own CRC gates every size
@@ -759,9 +761,14 @@ static std::optional<Profile> readProfileV3(std::string_view Data,
       return SectionFail(V3Strtab, "record count mismatch");
   }
 
-  // object: string ids + aggregates.
+  // object: string ids + aggregates. With an interner, key ids resolve
+  // straight from the string-table views (one hash of mapped bytes per
+  // object, copied only on first sight across the whole batch).
+  std::vector<uint32_t> InternedIds;
   {
     P.Objects.reserve(Header.Records[V3Object]);
+    if (Interner)
+      InternedIds.reserve(Header.Records[V3Object]);
     support::VarintReader R(Slice[V3Object].data(),
                             Slice[V3Object].data() + Slice[V3Object].size());
     for (uint64_t I = 0; I != Header.Records[V3Object]; ++I) {
@@ -778,6 +785,8 @@ static std::optional<Profile> readProfileV3(std::string_view Data,
         return failParse(Error, "object references unknown string");
       O.Key.assign(Strings[KeyId].data(), Strings[KeyId].size());
       O.Name.assign(Strings[NameId].data(), Strings[NameId].size());
+      if (Interner)
+        InternedIds.push_back(Interner->idOf(Strings[KeyId]));
       P.Objects.push_back(std::move(O));
     }
     if (!R.atEnd())
@@ -882,7 +891,12 @@ static std::optional<Profile> readProfileV3(std::string_view Data,
       return SectionFail(V3Rsvr, "record count mismatch");
   }
 
-  P.reindex();
+  // Indices rebuild lazily on first lookup; a shard that is only ever
+  // a merge source never builds them at all.
+  P.markUnindexed();
+  if (Interner)
+    P.adoptInternedKeys(std::move(InternedIds),
+                        static_cast<uint32_t>(Interner->universe()));
   return P;
 }
 
@@ -892,11 +906,12 @@ static std::optional<Profile> readProfileV3(std::string_view Data,
 
 std::optional<Profile>
 structslim::profile::profileFromBytes(std::string_view Data,
-                                      std::string *Error) {
+                                      std::string *Error,
+                                      ObjectKeyInterner *Interner) {
   // v3 is framed by its magic line and decoded in place.
   std::string_view MagicLineV3("structslim-profile v3\n");
   if (Data.substr(0, MagicLineV3.size()) == MagicLineV3)
-    return readProfileV3(Data.substr(MagicLineV3.size()), Error);
+    return readProfileV3(Data.substr(MagicLineV3.size()), Error, Interner);
   if (Data == MagicV3) // Cut off right after the magic, newline lost.
     return failParse(Error, "truncated profile (missing end marker)");
   // The text formats run through the line-oriented readers.
@@ -904,14 +919,21 @@ structslim::profile::profileFromBytes(std::string_view Data,
   std::string Line;
   if (!std::getline(IS, Line))
     return failParse(Error, "missing profile magic header");
+  std::optional<Profile> P;
   if (Line == MagicV2)
-    return readProfileV2(IS, Error);
-  if (Line == MagicV1)
-    return readProfileV1(IS, Error);
-  if (Line.rfind("structslim-profile v", 0) == 0)
+    P = readProfileV2(IS, Error);
+  else if (Line == MagicV1)
+    P = readProfileV1(IS, Error);
+  else if (Line.rfind("structslim-profile v", 0) == 0)
     return failParse(Error, "unsupported profile format version '" +
                                 Line.substr(20) + "'");
-  return failParse(Error, "missing profile magic header");
+  else
+    return failParse(Error, "missing profile magic header");
+  // The text decoders have no string table to intern from; a separate
+  // pass keeps the interner contract uniform across versions.
+  if (P && Interner)
+    P->internObjectKeys(*Interner);
+  return P;
 }
 
 std::optional<Profile>
@@ -933,26 +955,22 @@ structslim::profile::profileFromString(const std::string &Text,
 
 std::optional<Profile>
 structslim::profile::readProfileFile(const std::string &Path,
-                                     std::string *Error) {
+                                     std::string *Error,
+                                     ObjectKeyInterner *Interner) {
   if (support::FaultInjector::instance().shouldFail(
           support::FaultSite::ProfileOpenRead))
     return failParse(Error, "injected open failure");
-  std::ifstream In(Path, std::ios::binary);
-  if (!In)
+  // Zero-copy: the v3 decoder slices sections straight out of the
+  // mapping (every slice is length-checked against the declared
+  // section sizes, so a truncated file rejects cleanly instead of
+  // faulting). MappedFile degrades to one buffered read when mapping
+  // is unavailable.
+  std::string MapError;
+  std::optional<support::MappedFile> File =
+      support::MappedFile::open(Path, &MapError);
+  if (!File)
     return failParse(Error, "cannot open file");
-  // One read into one buffer: v3 decodes from zero-copy section slices
-  // of exactly this allocation.
-  std::string Bytes;
-  In.seekg(0, std::ios::end);
-  std::streampos Size = In.tellg();
-  if (Size > 0) {
-    Bytes.resize(static_cast<size_t>(Size));
-    In.seekg(0, std::ios::beg);
-    In.read(Bytes.data(), Size);
-    if (!In)
-      return failParse(Error, "read failed");
-  }
-  return profileFromBytes(Bytes, Error);
+  return profileFromBytes(File->bytes(), Error, Interner);
 }
 
 bool structslim::profile::writeProfileFile(const Profile &P,

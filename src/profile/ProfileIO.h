@@ -51,6 +51,7 @@ namespace structslim {
 namespace profile {
 
 class Profile;
+class ObjectKeyInterner;
 
 /// The profile format version writeProfile emits. readProfile accepts
 /// this and every older version.
@@ -71,8 +72,15 @@ std::string profileToString(const Profile &P, unsigned Version);
 /// selected by the magic line); std::nullopt on malformed input (the
 /// error is described in \p Error when non-null). For v3 this is the
 /// fast path: section slices decode in place from \p Data.
+///
+/// When \p Interner is non-null the decoder interns every object key
+/// into it as the keys stream out of the buffer and installs the ids
+/// on the returned profile (adoptInternedKeys) — fusing the separate
+/// internObjectKeys pass a batched merge would otherwise run. Serial
+/// callers only: ObjectKeyInterner is not thread-safe.
 std::optional<Profile> profileFromBytes(std::string_view Data,
-                                        std::string *Error = nullptr);
+                                        std::string *Error = nullptr,
+                                        ObjectKeyInterner *Interner = nullptr);
 
 /// Parses a profile (current or legacy format, selected by the header
 /// line); std::nullopt on malformed input (the error is described in
@@ -84,12 +92,15 @@ std::optional<Profile> readProfile(std::istream &IS,
 std::optional<Profile> profileFromString(const std::string &Text,
                                          std::string *Error = nullptr);
 
-/// Reads a profile shard from \p Path in one read syscall and decodes
-/// it from the buffer. Failures to open, injected faults
-/// (support::FaultSite::ProfileOpenRead), and parse errors all report
-/// through \p Error.
+/// Reads a profile shard from \p Path and decodes it zero-copy from a
+/// read-only memory mapping (support::MappedFile; buffered fallback
+/// when mapping is unavailable or STRUCTSLIM_NO_MMAP is set). Failures
+/// to open, injected faults (support::FaultSite::ProfileOpenRead), and
+/// parse errors all report through \p Error. \p Interner as in
+/// profileFromBytes.
 std::optional<Profile> readProfileFile(const std::string &Path,
-                                       std::string *Error = nullptr);
+                                       std::string *Error = nullptr,
+                                       ObjectKeyInterner *Interner = nullptr);
 
 /// Writes \p P to \p Path. This is the boundary where fault injection
 /// applies: support::FaultSite::ProfileOpenWrite can fail the open and

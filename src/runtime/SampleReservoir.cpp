@@ -59,11 +59,18 @@ void SampleReservoir::onSampleAt(const pmu::AddressSample &Sample,
 
 void SampleReservoir::noteEviction(uint64_t Ip, uint64_t Weight) {
   ++Evictions;
-  bool Inserted = false;
-  uint32_t Index = EvictedByIp.getOrInsert(
-      Ip, 0, static_cast<uint32_t>(EvictedAgg.size()), Inserted);
-  if (Inserted)
-    EvictedAgg.emplace_back();
+  // Same multiplier as the map's hash; the top bits index the memo.
+  IpMemoEntry &Memo = IpMemo[(Ip * 0x9e3779b97f4a7c15ULL) >> 56];
+  uint32_t Index = Memo.Index;
+  if (Index == support::FlatPairMap::Npos || Memo.Ip != Ip) {
+    bool Inserted = false;
+    Index = EvictedByIp.getOrInsert(
+        Ip, 0, static_cast<uint32_t>(EvictedAgg.size()), Inserted);
+    if (Inserted)
+      EvictedAgg.emplace_back();
+    Memo.Ip = Ip;
+    Memo.Index = Index;
+  }
   EvictedAgg[Index].Count += 1;
   EvictedAgg[Index].Weight += Weight;
 }
@@ -75,6 +82,7 @@ void SampleReservoir::heapPush(uint32_t SlotIndex) {
   };
   HeapIdx.push_back(SlotIndex);
   std::push_heap(HeapIdx.begin(), HeapIdx.end(), MinFirst);
+  MinKey = Slots[HeapIdx.front()].Key;
 }
 
 uint32_t SampleReservoir::heapPopMin() {
@@ -85,6 +93,8 @@ uint32_t SampleReservoir::heapPopMin() {
   std::pop_heap(HeapIdx.begin(), HeapIdx.end(), MinFirst);
   uint32_t Index = HeapIdx.back();
   HeapIdx.pop_back();
+  if (!HeapIdx.empty())
+    MinKey = Slots[HeapIdx.front()].Key;
   return Index;
 }
 
@@ -106,7 +116,7 @@ void SampleReservoir::drawJump() {
   // the next replacement is exponentially distributed: X = log(r)/log(T),
   // r ~ U(0,1). Both logs are negative (0 < r, T < 1), so X >= 0; a key
   // of exactly 0 yields X = 0 and the next arrival replaces it.
-  double T = Slots[HeapIdx.front()].Key;
+  double T = MinKey;
   JumpLeft = T > 0 ? std::log(unitDraw()) / std::log(T) : 0.0;
 }
 
@@ -137,7 +147,7 @@ void SampleReservoir::offer(const pmu::AddressSample &Sample,
   // This sample lands: it replaces the minimum with a key drawn from
   // the conditional distribution U(T^w, 1)^(1/w), which is what makes
   // the jump statistically identical to per-arrival keying.
-  double T = Slots[HeapIdx.front()].Key;
+  double T = MinKey;
   double Tw = std::pow(T, static_cast<double>(W));
   double R = Tw + unitDraw() * (1.0 - Tw);
   double Key = std::pow(R, 1.0 / static_cast<double>(W));
@@ -164,6 +174,7 @@ void SampleReservoir::flush() {
   Slots.clear();
   CurBytes = 0;
   JumpLeft = 0;
+  MinKey = 0;
 }
 
 void SampleReservoir::stampProfile(profile::Profile &P) const {

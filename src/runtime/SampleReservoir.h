@@ -46,6 +46,7 @@
 #include "support/FlatHash.h"
 #include "support/Random.h"
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -117,6 +118,10 @@ private:
   std::vector<Slot> Slots;        ///< Dense storage, Capacity entries max.
   std::vector<uint32_t> HeapIdx;  ///< Min-heap over Slots by (Key, Seq).
   double JumpLeft = 0;            ///< Weight to skip before next insert.
+  /// Cached Slots[HeapIdx.front()].Key, refreshed whenever the heap
+  /// root can move (push/pop), so the saturated paths that need the
+  /// threshold T read one member instead of chasing heap and slot.
+  double MinKey = 0;
 
   uint64_t Seen = 0;
   uint64_t Evictions = 0;
@@ -134,6 +139,17 @@ private:
     uint64_t Weight = 0;
   };
   std::vector<Pressure> EvictedAgg;
+  /// Direct-mapped memo in front of EvictedByIp: a saturated reservoir
+  /// rejects almost every arrival, and the per-reject cost is the
+  /// pressure lookup. Sampled code touches few distinct IPs, so a small
+  /// cache of (Ip -> EvictedAgg index) turns the common reject into one
+  /// compare plus two adds. Pure cache: misses fall back to the map, so
+  /// EvictedAgg indices (and the profile) are unchanged.
+  struct IpMemoEntry {
+    uint64_t Ip = 0;
+    uint32_t Index = support::FlatPairMap::Npos; ///< Npos = empty.
+  };
+  std::array<IpMemoEntry, 256> IpMemo{};
 };
 
 } // namespace runtime

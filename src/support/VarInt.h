@@ -58,6 +58,22 @@ public:
   VarintReader(const char *Begin, const char *End) : Cur(Begin), End(End) {}
 
   uint64_t readVarint() {
+    // Fast path: one- and two-byte encodings cover almost every field
+    // of a delta-encoded record stream. Identical results (and error
+    // behaviour) to the general loop below.
+    if (End - Cur >= 2) {
+      uint8_t B0 = static_cast<uint8_t>(Cur[0]);
+      if (!(B0 & 0x80)) {
+        ++Cur;
+        return B0;
+      }
+      uint8_t B1 = static_cast<uint8_t>(Cur[1]);
+      if (!(B1 & 0x80)) {
+        Cur += 2;
+        return static_cast<uint64_t>(B0 & 0x7f) |
+               (static_cast<uint64_t>(B1) << 7);
+      }
+    }
     uint64_t Value = 0;
     unsigned Shift = 0;
     for (unsigned I = 0; I != 10; ++I) {

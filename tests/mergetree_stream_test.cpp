@@ -311,3 +311,152 @@ TEST_F(MergeTreeStream, BatchedMergeMatchesStringMerge) {
         << "n=" << N;
   }
 }
+
+//===----------------------------------------------------------------------===//
+// EpochAccumulator: incremental epochs over the same canonical tree.
+//===----------------------------------------------------------------------===//
+
+// Any epoch schedule over a file sequence — one shard at a time,
+// batches, lopsided splits — must leave the accumulator bit-identical
+// to a one-shot loadAndMergeProfiles over the concatenated sequence,
+// at every job count. compact() after each epoch must equal the
+// one-shot merge of the prefix consumed so far.
+TEST_F(MergeTreeStream, EpochSchedulesMatchOneShotMerge) {
+  std::string Dir = scratchDir();
+  const unsigned N = 13;
+  std::vector<std::string> Files = writeShards(Dir, N, 3);
+  const std::vector<std::vector<unsigned>> Schedules = {
+      {13},                      // One epoch == plain one-shot.
+      {1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}, // Fully incremental.
+      {3, 3, 3, 3, 1},           // Uniform batches with a tail.
+      {1, 12},                   // Lopsided early.
+      {12, 1},                   // Lopsided late.
+      {5, 0, 8},                 // An empty epoch in the middle.
+  };
+  for (unsigned Jobs : {1u, 2u, 4u}) {
+    MergeOptions Opts;
+    Opts.WorkerThreads = Jobs;
+    for (const std::vector<unsigned> &Schedule : Schedules) {
+      EpochAccumulator Acc(Opts);
+      size_t Consumed = 0;
+      for (unsigned Batch : Schedule) {
+        std::vector<std::string> Epoch(Files.begin() + Consumed,
+                                       Files.begin() + Consumed + Batch);
+        MergeLoadResult Result = Acc.addShards(Epoch);
+        EXPECT_FALSE(Result.StrictFailure);
+        ASSERT_EQ(Result.Loaded.size(), Batch);
+        Consumed += Batch;
+        std::vector<std::string> Prefix(Files.begin(),
+                                        Files.begin() + Consumed);
+        EXPECT_EQ(profileToString(Acc.compact()),
+                  profileToString(loadAndMergeProfiles(Prefix, Opts).Merged))
+            << "jobs=" << Jobs << " consumed=" << Consumed;
+        EXPECT_EQ(Acc.shardCount(), Consumed);
+      }
+      EXPECT_EQ(profileToString(Acc.take()),
+                profileToString(loadAndMergeProfiles(Files, Opts).Merged))
+          << "jobs=" << Jobs;
+    }
+  }
+}
+
+// compact() leaves the accumulator intact: repeated compaction returns
+// the same bytes, and appending afterwards behaves as if compact() was
+// never called.
+TEST_F(MergeTreeStream, CompactIsNonDestructive) {
+  std::string Dir = scratchDir();
+  std::vector<std::string> Files = writeShards(Dir, 9, 3);
+  MergeOptions Opts;
+  Opts.WorkerThreads = 2;
+  EpochAccumulator Acc(Opts);
+  Acc.addShards({Files.begin(), Files.begin() + 5});
+  std::string First = profileToString(Acc.compact());
+  EXPECT_EQ(profileToString(Acc.compact()), First);
+  EXPECT_EQ(Acc.shardCount(), 5u);
+  Acc.addShards({Files.begin() + 5, Files.end()});
+  EXPECT_EQ(profileToString(Acc.take()),
+            profileToString(loadAndMergeProfiles(Files, Opts).Merged));
+}
+
+// take() drains the accumulator: it resets to empty and can be reused
+// for an unrelated shard sequence.
+TEST_F(MergeTreeStream, TakeResetsTheAccumulatorForReuse) {
+  std::string Dir = scratchDir();
+  std::vector<std::string> Files = writeShards(Dir, 8, 3);
+  MergeOptions Opts;
+  Opts.WorkerThreads = 1;
+  EpochAccumulator Acc(Opts);
+  Acc.addShards({Files.begin(), Files.begin() + 3});
+  (void)Acc.take();
+  EXPECT_EQ(Acc.shardCount(), 0u);
+  EXPECT_EQ(Acc.residentProfiles(), 0u);
+  std::vector<std::string> Second(Files.begin() + 3, Files.end());
+  Acc.addShards(Second);
+  EXPECT_EQ(profileToString(Acc.take()),
+            profileToString(loadAndMergeProfiles(Second, Opts).Merged));
+}
+
+// The resident-subtree bound holds across epochs: never more than
+// log2(shards) + 1 merged subtrees on the stack.
+TEST_F(MergeTreeStream, EpochResidentProfilesStayLogarithmic) {
+  std::string Dir = scratchDir();
+  const unsigned N = 64;
+  std::vector<std::string> Files = writeShards(Dir, N, 3);
+  EpochAccumulator Acc;
+  for (unsigned I = 0; I != N; ++I) {
+    Acc.addShards({Files[I]});
+    size_t Bound =
+        static_cast<size_t>(std::floor(std::log2(I + 1))) + 1;
+    EXPECT_LE(Acc.residentProfiles(), Bound) << "after shard " << I;
+  }
+  EXPECT_EQ(Acc.shardCount(), N);
+}
+
+// Strict mode across epochs: a failing epoch restores the accumulator
+// to its pre-call state — the earlier epochs' merge is unchanged, and
+// retrying with the repaired shard list continues as if the failed
+// call never happened. Exercised at both the serial and streaming job
+// counts.
+TEST_F(MergeTreeStream, StrictEpochFailureRestoresPriorState) {
+  for (unsigned Jobs : {1u, 4u}) {
+    std::string Dir = scratchDir();
+    std::vector<std::string> Files = writeShards(Dir, 12, 3);
+    std::string Corrupt = Dir + "/corrupt.structslim";
+    {
+      std::ifstream In(Files[8], std::ios::binary);
+      std::string Bytes((std::istreambuf_iterator<char>(In)),
+                        std::istreambuf_iterator<char>());
+      std::ofstream(Corrupt, std::ios::binary)
+          << Bytes.substr(0, Bytes.size() / 2);
+    }
+    MergeOptions Opts;
+    Opts.Strict = true;
+    Opts.WorkerThreads = Jobs;
+    EpochAccumulator Acc(Opts);
+    MergeLoadResult First =
+        Acc.addShards({Files.begin(), Files.begin() + 6});
+    ASSERT_FALSE(First.StrictFailure);
+    std::string BeforeFailure = profileToString(Acc.compact());
+    size_t ShardsBefore = Acc.shardCount();
+
+    // Epoch 2 aborts on the corrupt shard in the middle.
+    std::vector<std::string> BadEpoch = {Files[6], Corrupt, Files[7]};
+    MergeLoadResult Failed = Acc.addShards(BadEpoch);
+    EXPECT_TRUE(Failed.StrictFailure) << "jobs=" << Jobs;
+    ASSERT_EQ(Failed.Skipped.size(), 1u);
+    EXPECT_EQ(Failed.Skipped[0].Path, Corrupt);
+    EXPECT_FALSE(Failed.Skipped[0].Message.empty());
+    EXPECT_TRUE(Failed.Loaded.empty());
+    EXPECT_EQ(Acc.shardCount(), ShardsBefore);
+    EXPECT_EQ(profileToString(Acc.compact()), BeforeFailure)
+        << "jobs=" << Jobs;
+
+    // A repaired epoch continues to the one-shot answer.
+    MergeLoadResult Retry =
+        Acc.addShards({Files.begin() + 6, Files.end()});
+    ASSERT_FALSE(Retry.StrictFailure);
+    EXPECT_EQ(profileToString(Acc.take()),
+              profileToString(loadAndMergeProfiles(Files, Opts).Merged))
+        << "jobs=" << Jobs;
+  }
+}

@@ -22,8 +22,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 using namespace structslim;
 using namespace structslim::profile;
@@ -114,8 +120,37 @@ uint32_t v3SectionCount(const std::string &Blob) {
   return V;
 }
 
+/// Per-process scratch path for the file-loader leg of every mutation
+/// (ctest runs fuzz cases as parallel processes; the pid keeps their
+/// scratch files apart).
+const std::string &scratchPath() {
+  static const std::string Path = [] {
+    std::string P = ::testing::TempDir() + "profileio_fuzz_";
+#if defined(__unix__) || defined(__APPLE__)
+    P += std::to_string(static_cast<unsigned long>(::getpid()));
+#endif
+    return P + ".structslim";
+  }();
+  return Path;
+}
+
+/// Writes \p Blob to the scratch file and loads it back through
+/// readProfileFile — the real zero-copy mmap ingestion path. Every
+/// truncation size lands the mapping tail at a different in-page
+/// offset, so this also proves a short final page never faults.
+std::optional<Profile> loadViaFile(const std::string &Blob,
+                                   std::string *Error) {
+  {
+    std::ofstream Out(scratchPath(), std::ios::binary | std::ios::trunc);
+    Out.write(Blob.data(), static_cast<std::streamsize>(Blob.size()));
+  }
+  return readProfileFile(scratchPath(), Error);
+}
+
 /// Parses \p Blob and enforces the fuzz contract against \p Canonical:
-/// exact profile back, or a clean error. Returns 1 mutation exercised.
+/// exact profile back, or a clean error. Every mutation runs through
+/// both ingestion paths — the in-memory reader and the mmap-backed
+/// file loader — and their verdicts must agree byte for byte.
 void checkMutation(const std::string &Blob, const std::string &Canonical) {
   std::string Error;
   auto Parsed = profileFromString(Blob, &Error);
@@ -126,6 +161,13 @@ void checkMutation(const std::string &Blob, const std::string &Canonical) {
   } else {
     EXPECT_FALSE(Error.empty());
   }
+  std::string FileError;
+  auto FromFile = loadViaFile(Blob, &FileError);
+  ASSERT_EQ(FromFile.has_value(), Parsed.has_value());
+  if (FromFile)
+    EXPECT_EQ(profileToString(*FromFile), profileToString(*Parsed));
+  else
+    EXPECT_FALSE(FileError.empty());
 }
 
 class ProfileIoFuzz : public ::testing::TestWithParam<int> {};
@@ -376,6 +418,39 @@ TEST_P(ProfileIoFuzz, LegacyV1MutationsNeverCrash) {
   }
 }
 
+// The two file-ingestion modes — zero-copy mmap and the buffered
+// fallback (STRUCTSLIM_NO_MMAP=1) — must agree byte for byte on intact
+// blobs and on truncated tails, where the mapping ends mid-page.
+TEST_P(ProfileIoFuzz, MmapAndBufferedFileLoadersAgree) {
+#if defined(__unix__) || defined(__APPLE__)
+  Rng R(6600 + GetParam());
+  Profile P = makeRandomProfile(R);
+  addReservoirFields(P, R);
+  std::string Canonical = profileToString(P, 3);
+  std::vector<std::string> Blobs = {Canonical};
+  for (int Trial = 0; Trial != 16; ++Trial)
+    Blobs.push_back(Canonical.substr(0, R.nextBelow(Canonical.size())));
+  for (const std::string &Blob : Blobs) {
+    std::string MmapError, BufError;
+    ASSERT_EQ(::unsetenv("STRUCTSLIM_NO_MMAP"), 0);
+    auto ViaMmap = loadViaFile(Blob, &MmapError);
+    ASSERT_EQ(::setenv("STRUCTSLIM_NO_MMAP", "1", 1), 0);
+    auto ViaBuffer = loadViaFile(Blob, &BufError);
+    ASSERT_EQ(::unsetenv("STRUCTSLIM_NO_MMAP"), 0);
+    ASSERT_EQ(ViaMmap.has_value(), ViaBuffer.has_value());
+    if (ViaMmap) {
+      EXPECT_EQ(profileToString(*ViaMmap), profileToString(*ViaBuffer));
+      EXPECT_EQ(profileToString(*ViaMmap), Canonical);
+    } else {
+      EXPECT_EQ(MmapError, BufError);
+    }
+  }
+#else
+  GTEST_SKIP() << "no mmap / setenv on this platform";
+#endif
+}
+
 // 8 seeds x (|blob| truncations + |blob| flips + 400 random + 300 v1
-// random) comfortably clears 10,000 distinct mutations per run.
+// random) comfortably clears 10,000 distinct mutations per run — and
+// every one of them now exercises the mmap file loader too.
 INSTANTIATE_TEST_SUITE_P(Seeded, ProfileIoFuzz, ::testing::Range(0, 8));
